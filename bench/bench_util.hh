@@ -1,0 +1,98 @@
+/** @file Shared plumbing for the figure/table reproduction benches.
+ *
+ * Every bench binary prints the series of one paper figure or table.
+ * Common knobs come from the environment:
+ *
+ *   CARVE_BENCH_SCALE     capacity scale divisor (default 8)
+ *   CARVE_BENCH_DURATION  trace-length multiplier (default 0.35; use
+ *                         1.0 or more for slower, tighter runs)
+ *   CARVE_BENCH_WORKLOADS comma list to restrict the suite (optional)
+ */
+
+#ifndef CARVE_BENCH_BENCH_UTIL_HH
+#define CARVE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/report.hh"
+#include "core/simulator.hh"
+#include "core/system_preset.hh"
+#include "workloads/suite.hh"
+
+namespace carve {
+namespace bench {
+
+/** Environment-configured context shared by all benches. */
+struct BenchContext
+{
+    SuiteOptions suite;
+    SystemConfig base;   ///< Table III scaled by suite.memory_scale
+    RunOptions opts;
+};
+
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atof(v) : fallback;
+}
+
+inline BenchContext
+makeContext(bool profile_lines = false)
+{
+    BenchContext ctx;
+    ctx.suite.memory_scale = static_cast<unsigned>(
+        envDouble("CARVE_BENCH_SCALE", 8));
+    ctx.suite.duration = envDouble("CARVE_BENCH_DURATION", 0.2);
+    ctx.base = SystemConfig{}.scaled(ctx.suite.memory_scale);
+    ctx.opts.profile_lines = profile_lines;
+    return ctx;
+}
+
+/** The (possibly restricted) workload list for this bench run. */
+inline std::vector<WorkloadParams>
+benchWorkloads(const BenchContext &ctx)
+{
+    std::vector<WorkloadParams> all = standardSuite(ctx.suite);
+    const char *filter = std::getenv("CARVE_BENCH_WORKLOADS");
+    if (!filter)
+        return all;
+    const std::string list = filter;
+    std::vector<WorkloadParams> picked;
+    for (const auto &wl : all) {
+        if (list.find(wl.name) != std::string::npos)
+            picked.push_back(wl);
+    }
+    return picked.empty() ? all : picked;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *claim,
+       const BenchContext &ctx)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("(capacities scaled 1/%u, trace duration x%.2f; see "
+                "EXPERIMENTS.md)\n",
+                ctx.suite.memory_scale, ctx.suite.duration);
+    std::printf("================================================="
+                "=============\n");
+}
+
+inline SimResult
+run(const BenchContext &ctx, Preset preset, const WorkloadParams &wl)
+{
+    return runPreset(preset, ctx.base, wl, ctx.opts);
+}
+
+} // namespace bench
+} // namespace carve
+
+#endif // CARVE_BENCH_BENCH_UTIL_HH

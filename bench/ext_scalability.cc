@@ -1,0 +1,57 @@
+/** @file Extension (Section V-E): CARVE scalability with node count.
+ * NUMA problems exacerbate as GPUs are added (more of the working
+ * set is remote); CARVE keeps converting remote accesses to local
+ * ones, so its advantage over NUMA-GPU *grows* with node count —
+ * while the directory-less broadcast invalidation traffic also grows,
+ * motivating the paper's call for directory-based coherence at scale.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    BenchContext ctx = makeContext();
+    banner("Extension: scalability with GPU count (Section V-E)",
+           "CARVE scales to more nodes; broadcast invalidates grow "
+           "with node count (directory coherence would cap them)",
+           ctx);
+
+    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
+        setenv("CARVE_BENCH_WORKLOADS",
+               "Lulesh,HPGMG,stream-triad", 1);
+    }
+    const auto workloads = benchWorkloads(ctx);
+    std::printf("workloads: ");
+    for (const auto &wl : workloads)
+        std::printf("%s ", wl.name.c_str());
+    std::printf("\n\n%-6s %10s %10s %10s %14s\n", "GPUs", "NUMA-GPU",
+                "CARVE", "Ideal", "inval/1Kwrite");
+
+    for (const unsigned gpus : {2u, 4u, 8u}) {
+        ctx.base.num_gpus = gpus;
+        std::vector<double> vn, vc, vi;
+        std::uint64_t invals = 0, writes = 0;
+        for (const auto &wl : workloads) {
+            const SimResult one = run(ctx, Preset::SingleGpu, wl);
+            const SimResult numa = run(ctx, Preset::NumaGpu, wl);
+            const SimResult carve = run(ctx, Preset::CarveHwc, wl);
+            const SimResult ideal = run(ctx, Preset::Ideal, wl);
+            vn.push_back(speedupOver(one, numa));
+            vc.push_back(speedupOver(one, carve));
+            vi.push_back(speedupOver(one, ideal));
+            invals += carve.hw_invalidates;
+            writes += carve.traffic.local_writes +
+                carve.traffic.remote_writes;
+        }
+        std::printf("%-6u %9.2fx %9.2fx %9.2fx %14.1f\n", gpus,
+                    geomean(vn), geomean(vc), geomean(vi),
+                    writes ? 1000.0 * static_cast<double>(invals) /
+                                 static_cast<double>(writes)
+                           : 0.0);
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/** @file Figure 2: performance of NUMA-GPU and NUMA-GPU + read-only
+ * page replication relative to an ideal system that replicates ALL
+ * shared pages. */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    const BenchContext ctx = makeContext();
+    banner("Figure 2: NUMA-GPU performance gap vs ideal paging",
+           "8 workloads show negligible NUMA bottleneck; ~3 are fixed "
+           "by read-only replication; the rest lose 20-80% and need "
+           "read-write handling",
+           ctx);
+
+    std::printf("%-14s %10s %10s   %s\n", "workload", "NUMA-GPU",
+                "+Repl-RO", "(perf relative to ideal, 1.0 == ideal)");
+
+    std::vector<double> numa_rel, repl_rel;
+    for (const auto &wl : benchWorkloads(ctx)) {
+        const SimResult ideal = run(ctx, Preset::Ideal, wl);
+        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
+        const SimResult repl = run(ctx, Preset::NumaGpuReplRO, wl);
+        const double rn = speedupOver(numa, ideal) > 0
+            ? static_cast<double>(ideal.cycles) /
+                static_cast<double>(numa.cycles)
+            : 0.0;
+        const double rr = static_cast<double>(ideal.cycles) /
+            static_cast<double>(repl.cycles);
+        numa_rel.push_back(rn);
+        repl_rel.push_back(rr);
+        std::printf("%-14s %10.2f %10.2f\n", wl.name.c_str(), rn, rr);
+    }
+    std::printf("%-14s %10.2f %10.2f\n", "geomean",
+                geomean(numa_rel), geomean(repl_rel));
+    return 0;
+}

@@ -1,0 +1,42 @@
+/** @file Figure 8: fraction of post-LLC memory accesses serviced by
+ * remote GPU memory, NUMA-GPU vs NUMA-GPU + CARVE. */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    const BenchContext ctx = makeContext();
+    banner("Figure 8: fraction of remote memory accesses",
+           "CARVE reduces the average fraction of remote accesses "
+           "from ~40% (NUMA-GPU) to ~8%",
+           ctx);
+
+    std::printf("%-14s %10s %10s %12s\n", "workload", "NUMA-GPU",
+                "CARVE", "rdc-hitrate");
+
+    double sum_numa = 0.0, sum_carve = 0.0;
+    unsigned n = 0;
+    for (const auto &wl : benchWorkloads(ctx)) {
+        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
+        const SimResult carve = run(ctx, Preset::CarveHwc, wl);
+        const double rdc_hr = carve.rdc_hits + carve.rdc_misses
+            ? static_cast<double>(carve.rdc_hits) /
+                static_cast<double>(carve.rdc_hits + carve.rdc_misses)
+            : 0.0;
+        std::printf("%-14s %9.1f%% %9.1f%% %11.1f%%\n",
+                    wl.name.c_str(), 100.0 * numa.frac_remote,
+                    100.0 * carve.frac_remote, 100.0 * rdc_hr);
+        sum_numa += numa.frac_remote;
+        sum_carve += carve.frac_remote;
+        ++n;
+    }
+    if (n) {
+        std::printf("%-14s %9.1f%% %9.1f%%\n", "mean",
+                    100.0 * sum_numa / n, 100.0 * sum_carve / n);
+    }
+    return 0;
+}

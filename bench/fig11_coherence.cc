@@ -1,0 +1,56 @@
+/** @file Figure 11: CARVE under software vs hardware coherence.
+ * Software coherence (epoch-flushing the RDC at every kernel
+ * boundary) forfeits inter-kernel locality; GPU-VI+IMST hardware
+ * coherence restores it. */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    const BenchContext ctx = makeContext();
+    banner("Figure 11: CARVE coherence design space",
+           "CARVE-SWC loses nearly all RDC benefit except on "
+           "single-long-kernel workloads (XSBench); CARVE-HWC "
+           "matches CARVE-No-Coherence",
+           ctx);
+
+    // Representative subset by default (full suite via
+    // CARVE_BENCH_WORKLOADS): the iterative workloads that lose their
+    // RDC value under SWC plus the single-long-kernel exception.
+    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
+        setenv("CARVE_BENCH_WORKLOADS",
+               "Lulesh,Euler,HPGMG,SSSP,XSBench,MCB,bfs-road,"
+               "stream-triad", 1);
+    }
+    std::printf("%-14s %10s %10s %10s %10s\n", "workload",
+                "NUMA-GPU", "CARVE-SWC", "CARVE-HWC", "CARVE-NoC");
+
+    std::vector<double> vb, vs, vh, vc;
+    for (const auto &wl : benchWorkloads(ctx)) {
+        const SimResult ideal = run(ctx, Preset::Ideal, wl);
+        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
+        const SimResult swc = run(ctx, Preset::CarveSwc, wl);
+        const SimResult hwc = run(ctx, Preset::CarveHwc, wl);
+        const SimResult noc = run(ctx, Preset::CarveNoCoherence, wl);
+        const auto rel = [&](const SimResult &r) {
+            return static_cast<double>(ideal.cycles) /
+                static_cast<double>(r.cycles);
+        };
+        vb.push_back(rel(numa));
+        vs.push_back(rel(swc));
+        vh.push_back(rel(hwc));
+        vc.push_back(rel(noc));
+        std::printf("%-14s %10.2f %10.2f %10.2f %10.2f\n",
+                    wl.name.c_str(), vb.back(), vs.back(), vh.back(),
+                    vc.back());
+    }
+    std::printf("%-14s %10.2f %10.2f %10.2f %10.2f\n", "geomean",
+                geomean(vb), geomean(vs), geomean(vh), geomean(vc));
+    std::printf("\n(values relative to ideal NUMA-GPU; 1.0 == "
+                "ideal)\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/** @file Figure 13: end-to-end speedup over a single GPU for
+ * NUMA-GPU, NUMA-GPU + read-only replication, NUMA-GPU + CARVE, and
+ * the ideal replicate-all system. */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    const BenchContext ctx = makeContext();
+    banner("Figure 13: speedup over 1 GPU (4-GPU system)",
+           "NUMA-GPU ~2.5x, +Repl-RO ~2.75x, CARVE ~3.6x, ideal "
+           "~3.7x",
+           ctx);
+
+    std::printf("%-14s %9s %9s %9s %9s\n", "workload", "NUMA-GPU",
+                "+Repl-RO", "CARVE", "Ideal");
+
+    std::vector<double> vn, vr, vc, vi;
+    for (const auto &wl : benchWorkloads(ctx)) {
+        const SimResult one = run(ctx, Preset::SingleGpu, wl);
+        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
+        const SimResult repl = run(ctx, Preset::NumaGpuReplRO, wl);
+        const SimResult carve = run(ctx, Preset::CarveHwc, wl);
+        const SimResult ideal = run(ctx, Preset::Ideal, wl);
+        vn.push_back(speedupOver(one, numa));
+        vr.push_back(speedupOver(one, repl));
+        vc.push_back(speedupOver(one, carve));
+        vi.push_back(speedupOver(one, ideal));
+        std::printf("%-14s %8.2fx %8.2fx %8.2fx %8.2fx\n",
+                    wl.name.c_str(), vn.back(), vr.back(), vc.back(),
+                    vi.back());
+    }
+    std::printf("%-14s %8.2fx %8.2fx %8.2fx %8.2fx\n", "geomean",
+                geomean(vn), geomean(vr), geomean(vc), geomean(vi));
+    return 0;
+}

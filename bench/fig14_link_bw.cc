@@ -1,0 +1,64 @@
+/** @file Figure 14: sensitivity to inter-GPU link bandwidth.
+ * NUMA-GPU tracks the link; CARVE is largely insensitive and close
+ * to ideal at every bandwidth.
+ *
+ * To keep the sweep tractable this bench uses a representative
+ * subset of workloads by default (override with
+ * CARVE_BENCH_WORKLOADS to choose your own, or set it to a list
+ * containing all names for the full suite). */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    BenchContext ctx = makeContext();
+    banner("Figure 14: speedup over 1 GPU vs inter-GPU link bandwidth",
+           "NUMA-GPU performance follows link bandwidth; CARVE stays "
+           "near ideal even at 32 GB/s, and its advantage grows as "
+           "links get slower",
+           ctx);
+
+    // Representative mix: heavy false sharing, RO-shared, huge
+    // lookup, private streaming, irregular.
+    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
+        setenv("CARVE_BENCH_WORKLOADS",
+               "Lulesh,HPGMG,bfs-road,XSBench,stream-triad,SSSP", 1);
+    }
+    const auto workloads = benchWorkloads(ctx);
+    std::printf("workloads: ");
+    for (const auto &wl : workloads)
+        std::printf("%s ", wl.name.c_str());
+    std::printf("\n\n%-10s %10s %10s %10s\n", "link GB/s", "NUMA-GPU",
+                "+Repl-RO", "CARVE");
+
+    for (const double bw : {16.0, 64.0, 256.0}) {
+        ctx.base.link.gpu_gpu_bw = bw;
+        std::vector<double> vn, vr, vc;
+        for (const auto &wl : workloads) {
+            const SimResult one = run(ctx, Preset::SingleGpu, wl);
+            vn.push_back(
+                speedupOver(one, run(ctx, Preset::NumaGpu, wl)));
+            vr.push_back(
+                speedupOver(one, run(ctx, Preset::NumaGpuReplRO,
+                                     wl)));
+            vc.push_back(
+                speedupOver(one, run(ctx, Preset::CarveHwc, wl)));
+        }
+        std::printf("%-10.0f %9.2fx %9.2fx %9.2fx\n", bw,
+                    geomean(vn), geomean(vr), geomean(vc));
+    }
+
+    // The ideal bound is link-independent: report it once.
+    std::vector<double> vi;
+    for (const auto &wl : workloads) {
+        const SimResult one = run(ctx, Preset::SingleGpu, wl);
+        vi.push_back(speedupOver(one, run(ctx, Preset::Ideal, wl)));
+    }
+    std::printf("%-10s %9s %9s %8.2fx  (ideal, any bandwidth)\n",
+                "inf", "-", "-", geomean(vi));
+    return 0;
+}

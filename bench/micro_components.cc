@@ -1,0 +1,134 @@
+/** @file google-benchmark micro-benchmarks of the hot simulator
+ * components: event queue, tag array, Alloy RDC structure, DRAM
+ * channel, IMST and the synthetic trace generator. These bound the
+ * simulator's own performance (simulation throughput), not the
+ * modeled system's. */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_array.hh"
+#include "coherence/imst.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "dramcache/alloy_cache.hh"
+#include "mem/memory_controller.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace carve;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Cycle>(i % 37), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TagArrayLookupHit(benchmark::State &state)
+{
+    TagArray tags(1 * MiB, 16, 128);
+    for (Addr a = 0; a < 4096; ++a)
+        tags.insert(a * 128, false);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup((a % 4096) * 128));
+        ++a;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayLookupHit);
+
+void
+BM_TagArrayInsertEvict(benchmark::State &state)
+{
+    TagArray tags(64 * KiB, 8, 128);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (tags.lookup(a * 128) == nullptr)
+            tags.insert(a * 128, false);
+        ++a;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayInsertEvict);
+
+void
+BM_AlloyLookupInsert(benchmark::State &state)
+{
+    AlloyCache alloy(256 * MiB, 128);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr line = rng.below(1 << 22) * 128;
+        if (alloy.lookup(line, 0) != RdcLookup::Hit)
+            alloy.insert(line, 0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlloyLookupInsert);
+
+void
+BM_DramChannelThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        SystemConfig cfg;
+        cfg.dram.channels = 1;
+        MemoryController mc(eq, cfg);
+        for (unsigned i = 0; i < 1024; ++i) {
+            mc.access(static_cast<Addr>(i) * 128, AccessType::Read,
+                      {});
+        }
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DramChannelThroughput);
+
+void
+BM_ImstTransitions(benchmark::State &state)
+{
+    Imst imst(0, 0.01, 5);
+    Rng rng(2);
+    bool inval = false;
+    for (auto _ : state) {
+        const Addr line = rng.below(1 << 16) * 128;
+        const NodeId node = static_cast<NodeId>(rng.below(4));
+        const AccessType t = rng.chance(0.2) ? AccessType::Write
+                                             : AccessType::Read;
+        imst.onAccess(line, node, t, inval);
+        benchmark::DoNotOptimize(inval);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImstTransitions);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const WorkloadParams params = suiteWorkload("Lulesh");
+    SyntheticWorkload wl(params, 128, 1);
+    WarpInstruction inst;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        wl.instruction(0, i % params.ctas,
+                       static_cast<WarpId>(i % 8), i, inst);
+        benchmark::DoNotOptimize(inst.lines[0]);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/** @file Table IV: worst-case kernel-launch delay under software
+ * coherence, for the on-chip LLC vs a 2 GB Remote Data Cache — the
+ * analysis motivating the epoch counter and write-through RDC.
+ * Computed at paper-exact (unscaled) Table III parameters. */
+
+#include <cstdio>
+
+#include "coherence/software_coherence.hh"
+#include "common/config.hh"
+
+int
+main()
+{
+    using namespace carve;
+
+    SystemConfig cfg;  // paper-exact Table III
+    cfg.rdc.enabled = true;
+    const SwCoherenceCost cost = computeSwCoherenceCost(cfg);
+
+    const auto us = [](Cycle c) {
+        return static_cast<double>(c) / 1000.0;  // 1 GHz
+    };
+
+    std::printf("==============================================\n");
+    std::printf("Table IV: kernel-launch delay under software\n");
+    std::printf("coherence (paper-exact sizes: 8MB LLC, 2GB RDC)\n");
+    std::printf("==============================================\n\n");
+    std::printf("%-22s %14s %14s\n", "", "L2 Cache (8MB)",
+                "RDC (2GB)");
+    std::printf("%-22s %12.1fus %12.1fms\n", "Cache Invalidate",
+                us(cost.l2_invalidate),
+                us(cost.rdc_invalidate) / 1000.0);
+    std::printf("%-22s %12.1fus %12.1fms\n", "Flush Dirty",
+                us(cost.l2_flush), us(cost.rdc_flush) / 1000.0);
+    std::printf("\nwith the paper's mechanisms:\n");
+    std::printf("%-22s %14s %12.1fms  (epoch counter)\n",
+                "Cache Invalidate", "-",
+                us(cost.rdc_invalidate_epoch) / 1000.0);
+    std::printf("%-22s %14s %12.1fms  (write-through RDC)\n",
+                "Flush Dirty", "-",
+                us(cost.rdc_flush_writethrough) / 1000.0);
+    std::printf("\npaper: invalidate 4us vs 2ms=>0ms; flush "
+                "8-128us vs 32ms=>0ms\n");
+    return 0;
+}

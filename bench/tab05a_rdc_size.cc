@@ -1,0 +1,64 @@
+/** @file Table V(a): NUMA speed-up (over 1 GPU) as a function of the
+ * Remote Data Cache size: 0.5, 1, 2 and 4 GB per GPU (scaled). */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    BenchContext ctx = makeContext();
+    banner("Table V(a): performance sensitivity to RDC size",
+           "geomean NUMA speed-up: NUMA-GPU 2.53x; CARVE-0.5GB "
+           "3.50x; 1GB 3.55x; 2GB 3.61x; 4GB 3.65x — XSBench/MCB/"
+           "HPGMG keep gaining with bigger RDCs",
+           ctx);
+
+    // Default to the size-sensitive representatives; set
+    // CARVE_BENCH_WORKLOADS for the full suite.
+    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
+        setenv("CARVE_BENCH_WORKLOADS",
+               "XSBench,MCB,HPGMG,HPGMG-amry,Lulesh,bfs-road,"
+               "stream-triad,RandAccess", 1);
+    }
+    const auto workloads = benchWorkloads(ctx);
+
+    // 1-GPU baselines and the no-RDC baseline.
+    std::vector<SimResult> one, numa;
+    for (const auto &wl : workloads) {
+        one.push_back(run(ctx, Preset::SingleGpu, wl));
+        numa.push_back(run(ctx, Preset::NumaGpu, wl));
+    }
+
+    std::printf("%-14s %9s", "workload", "NUMA-GPU");
+    const std::vector<double> sizes_gb{0.5, 1.0, 2.0, 4.0};
+    for (const double gb : sizes_gb)
+        std::printf("  C-%.1fGB", gb);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> per_size(sizes_gb.size());
+    std::vector<double> vnuma;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        vnuma.push_back(speedupOver(one[i], numa[i]));
+        std::printf("%-14s %8.2fx", workloads[i].name.c_str(),
+                    vnuma.back());
+        for (std::size_t s = 0; s < sizes_gb.size(); ++s) {
+            ctx.base.rdc.size = static_cast<std::uint64_t>(
+                sizes_gb[s] * static_cast<double>(GiB)) /
+                ctx.suite.memory_scale;
+            const SimResult r = run(ctx, Preset::CarveHwc,
+                                    workloads[i]);
+            per_size[s].push_back(speedupOver(one[i], r));
+            std::printf(" %6.2fx", per_size[s].back());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-14s %8.2fx", "geomean", geomean(vnuma));
+    for (const auto &col : per_size)
+        std::printf(" %6.2fx", geomean(col));
+    std::printf("\n");
+    return 0;
+}

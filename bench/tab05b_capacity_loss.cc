@@ -1,0 +1,56 @@
+/** @file Table V(b): slowdown from the CARVE carve-out when the
+ * application needs all of GPU memory, so the displaced fraction of
+ * the footprint spills to CPU system memory under Unified Memory.
+ *
+ * GPU memory is modeled as full (no free frames for UM to migrate
+ * spilled pages back in), matching the paper's hand-optimized
+ * footprint scenario. */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace carve;
+    using namespace carve::bench;
+
+    BenchContext ctx = makeContext();
+    banner("Table V(b): slowdown due to carve-out capacity loss",
+           "geomean slowdown 1.00/0.96/0.94/0.83/0.76 for carve-outs "
+           "of 0/1.5/3.12/6.25/12.5% of GPU memory",
+           ctx);
+
+    // The application fills GPU memory: spilled pages cannot migrate
+    // back in.
+    ctx.base.numa.um_migration_threshold = 1u << 30;
+
+    // Default to the size-sensitive representatives; set
+    // CARVE_BENCH_WORKLOADS for the full suite.
+    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
+        setenv("CARVE_BENCH_WORKLOADS",
+               "XSBench,MCB,HPGMG,HPGMG-amry,Lulesh,bfs-road,"
+               "stream-triad,RandAccess", 1);
+    }
+    const auto workloads = benchWorkloads(ctx);
+    const std::vector<double> fracs{0.0, 0.015, 0.0312, 0.0625,
+                                    0.125};
+
+    std::vector<SimResult> base;
+    for (const auto &wl : workloads)
+        base.push_back(run(ctx, Preset::CarveHwc, wl));
+
+    std::printf("%-12s %12s %12s\n", "carve-out", "geomean perf",
+                "(1.00 == no carve-out)");
+    for (const double f : fracs) {
+        ctx.base.numa.spill_fraction = f;
+        std::vector<double> rel;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult r = run(ctx, Preset::CarveHwc,
+                                    workloads[i]);
+            rel.push_back(static_cast<double>(base[i].cycles) /
+                          static_cast<double>(r.cycles));
+        }
+        std::printf("%10.2f%% %11.2fx\n", 100.0 * f, geomean(rel));
+    }
+    return 0;
+}

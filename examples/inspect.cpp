@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deep-dive inspection: run one workload on one preset and dump every
+ * major counter in the system — post-LLC traffic mix, cache and RDC
+ * hit rates, per-link utilization, DRAM pressure, coherence traffic,
+ * NUMA-runtime actions and the sharing profile.
+ *
+ * Usage: inspect [workload] [preset]
+ *   presets: 1gpu numa mig repl carve-noc carve-swc carve-hwc ideal
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/multi_gpu_system.hh"
+#include "core/report.hh"
+#include "core/system_preset.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+carve::Preset
+parsePreset(const std::string &s)
+{
+    using carve::Preset;
+    if (s == "1gpu") return Preset::SingleGpu;
+    if (s == "numa") return Preset::NumaGpu;
+    if (s == "mig") return Preset::NumaGpuMigration;
+    if (s == "repl") return Preset::NumaGpuReplRO;
+    if (s == "carve-noc") return Preset::CarveNoCoherence;
+    if (s == "carve-swc") return Preset::CarveSwc;
+    if (s == "carve-hwc") return Preset::CarveHwc;
+    if (s == "ideal") return Preset::Ideal;
+    carve::fatal("unknown preset '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace carve;
+
+    const std::string name = argc > 1 ? argv[1] : "Lulesh";
+    const Preset preset =
+        parsePreset(argc > 2 ? argv[2] : "carve-hwc");
+
+    SuiteOptions opt;
+    const WorkloadParams params = suiteWorkload(name, opt);
+    SystemConfig base;
+    base = base.scaled(opt.memory_scale);
+    const SystemConfig cfg = makePreset(preset, base);
+
+    SyntheticWorkload wl(params, cfg.line_size, 1);
+    MultiGpuSystem sys(cfg, wl, true);
+    const Cycle cycles = sys.run();
+    const SimResult r = collectResult(sys, name, presetName(preset));
+
+    std::printf("== %s on %s ==\n", name.c_str(), presetName(preset));
+    std::printf("cycles %llu, warp insts %llu, ipc %.2f\n",
+                (unsigned long long)cycles,
+                (unsigned long long)r.warp_insts, r.ipc());
+
+    const GpuTraffic &t = r.traffic;
+    std::printf("\npost-LLC traffic (total %llu):\n",
+                (unsigned long long)t.total());
+    auto pct = [&](std::uint64_t v) {
+        return t.total() ? 100.0 * static_cast<double>(v) /
+                   static_cast<double>(t.total()) : 0.0;
+    };
+    std::printf("  local reads   %9llu (%5.1f%%)\n",
+                (unsigned long long)t.local_reads,
+                pct(t.local_reads));
+    std::printf("  rdc-hit reads %9llu (%5.1f%%)\n",
+                (unsigned long long)t.rdc_hit_reads,
+                pct(t.rdc_hit_reads));
+    std::printf("  remote reads  %9llu (%5.1f%%)\n",
+                (unsigned long long)t.remote_reads,
+                pct(t.remote_reads));
+    std::printf("  cpu reads     %9llu (%5.1f%%)\n",
+                (unsigned long long)t.cpu_reads, pct(t.cpu_reads));
+    std::printf("  local writes  %9llu (%5.1f%%)\n",
+                (unsigned long long)t.local_writes,
+                pct(t.local_writes));
+    std::printf("  remote writes %9llu (%5.1f%%)\n",
+                (unsigned long long)t.remote_writes,
+                pct(t.remote_writes));
+    std::printf("  cpu writes    %9llu (%5.1f%%)\n",
+                (unsigned long long)t.cpu_writes, pct(t.cpu_writes));
+
+    std::printf("\ncaches: L2 hit %.1f%%", 100.0 * r.l2_hit_rate);
+    if (r.rdc_hits + r.rdc_misses) {
+        std::printf(", RDC hit %.1f%% (%llu hits, %llu misses)",
+                    100.0 * static_cast<double>(r.rdc_hits) /
+                        static_cast<double>(r.rdc_hits + r.rdc_misses),
+                    (unsigned long long)r.rdc_hits,
+                    (unsigned long long)r.rdc_misses);
+    }
+    std::printf("\n");
+
+    // Per-GPU structures.
+    for (unsigned g = 0; g < sys.numGpus(); ++g) {
+        GpuNode &gpu = sys.gpu(g);
+        std::printf("gpu%u: L1[0] hit %.1f%%, L2 hit %.1f%%, DRAM "
+                    "row-hit %.1f%%, mem bytes %llu\n",
+                    g, 100.0 * gpu.sm(0).l1().hitRate(),
+                    100.0 * gpu.l2().hitRate(),
+                    100.0 * gpu.mem().rowHitRate(),
+                    (unsigned long long)gpu.mem().bytesTransferred());
+    }
+
+    // Link utilization.
+    if (sys.numGpus() > 1) {
+        std::printf("\nlinks (util over %llu cycles):\n",
+                    (unsigned long long)cycles);
+        for (unsigned s = 0; s < sys.numGpus(); ++s) {
+            for (unsigned d = 0; d < sys.numGpus(); ++d) {
+                if (s == d)
+                    continue;
+                const Link &l = sys.network().link(s, d);
+                std::printf("  %s: %8llu B, util %5.1f%%, qdelay "
+                            "%.0f\n", l.name().c_str(),
+                            (unsigned long long)l.bytesSent(),
+                            100.0 * l.utilization(cycles),
+                            l.meanQueueDelay());
+            }
+        }
+    }
+
+    std::printf("\ncoherence: hw invalidates %llu\n",
+                (unsigned long long)r.hw_invalidates);
+    std::printf("numa: migrations %llu, replications %llu, collapses "
+                "%llu, um-migrations %llu, capacity pressure %.2fx\n",
+                (unsigned long long)r.migrations,
+                (unsigned long long)r.replications,
+                (unsigned long long)r.collapses,
+                (unsigned long long)r.um_migrations,
+                r.capacity_pressure);
+
+    std::printf("\nsharing profile (page): private %.1f%%, ro-shared "
+                "%.1f%%, rw-shared %.1f%%\n",
+                100.0 * r.page_sharing.fracPrivate(),
+                100.0 * r.page_sharing.fracReadOnlyShared(),
+                100.0 * r.page_sharing.fracReadWriteShared());
+    std::printf("sharing profile (line): private %.1f%%, ro-shared "
+                "%.1f%%, rw-shared %.1f%%\n",
+                100.0 * r.line_sharing.fracPrivate(),
+                100.0 * r.line_sharing.fracReadOnlyShared(),
+                100.0 * r.line_sharing.fracReadWriteShared());
+    std::printf("shared footprint: %.1f MiB of pages, %.1f MiB of "
+                "lines (total touched %.1f MiB)\n",
+                r.shared_page_footprint / (1024.0 * 1024.0),
+                r.shared_line_footprint / (1024.0 * 1024.0),
+                r.total_page_footprint / (1024.0 * 1024.0));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: simulate one workload on the 4-GPU Table III system
+ * under the NUMA-GPU baseline and under CARVE-HWC, and print what
+ * changed.
+ *
+ * Usage: quickstart [workload-abbreviation]   (default: Lulesh)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace carve;
+
+    const std::string name = argc > 1 ? argv[1] : "Lulesh";
+
+    // Hardware and workloads scaled together by 8 so all capacity
+    // ratios match the paper at a fraction of the simulation cost.
+    SuiteOptions suite_opt;
+    suite_opt.memory_scale = 8;
+    const WorkloadParams params = suiteWorkload(name, suite_opt);
+
+    SystemConfig base;                       // Table III defaults
+    base = base.scaled(suite_opt.memory_scale);
+
+    std::cout << "workload " << name << ": footprint "
+              << params.footprint() / (1024.0 * 1024.0)
+              << " MiB (scaled), " << params.kernels << " kernels, "
+              << params.ctas << " CTAs x " << params.warps_per_cta
+              << " warps\n\n";
+
+    const SimResult numa = runPreset(Preset::NumaGpu, base, params);
+    const SimResult carve = runPreset(Preset::CarveHwc, base, params);
+    const SimResult ideal = runPreset(Preset::Ideal, base, params);
+
+    printSummary(std::cout, numa);
+    printSummary(std::cout, carve);
+    printSummary(std::cout, ideal);
+
+    std::printf("\nCARVE-HWC speedup over NUMA-GPU: %.2fx\n",
+                speedupOver(numa, carve));
+    std::printf("CARVE-HWC vs ideal NUMA-GPU:     %.1f%%\n",
+                100.0 * static_cast<double>(ideal.cycles) /
+                    static_cast<double>(carve.cycles));
+    std::printf("remote traffic: %.1f%% -> %.1f%% of post-LLC "
+                "accesses\n", 100.0 * numa.frac_remote,
+                100.0 * carve.frac_remote);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Carve-out sizing study: how big should the Remote Data Cache be for
+ * one workload? Sweeps the RDC size and reports speedup, RDC hit
+ * rate, remote-traffic fraction and the GPU-memory capacity given up
+ * — the trade-off Section V-B/V-C of the paper discusses.
+ *
+ * Usage: rdc_sizing [workload-abbreviation]   (default: XSBench)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace carve;
+
+    const std::string name = argc > 1 ? argv[1] : "XSBench";
+
+    SuiteOptions suite_opt;
+    const WorkloadParams params = suiteWorkload(name, suite_opt);
+    SystemConfig base;
+    base = base.scaled(suite_opt.memory_scale);
+
+    std::printf("RDC sizing study for %s (footprint %.0f MiB "
+                "scaled)\n\n", name.c_str(),
+                params.footprint() / (1024.0 * 1024.0));
+
+    const SimResult one = runPreset(Preset::SingleGpu, base, params);
+    const SimResult numa = runPreset(Preset::NumaGpu, base, params);
+    std::printf("%-12s speedup %5.2fx (no remote data cache)\n\n",
+                "NUMA-GPU", speedupOver(one, numa));
+
+    std::printf("%-10s %8s %9s %9s %12s\n", "RDC size", "speedup",
+                "rdc-hit", "remote", "mem given up");
+    for (const std::uint64_t mib : {16, 32, 64, 128, 256, 512}) {
+        SystemConfig cfg = makePreset(Preset::CarveHwc, base);
+        cfg.rdc.size = mib * MiB;
+        const SimResult r = runSimulation(cfg, params, "carve");
+        const double hit = r.rdc_hits + r.rdc_misses
+            ? 100.0 * static_cast<double>(r.rdc_hits) /
+                static_cast<double>(r.rdc_hits + r.rdc_misses)
+            : 0.0;
+        std::printf("%7llu MiB %7.2fx %8.1f%% %8.1f%% %11.2f%%\n",
+                    (unsigned long long)mib,
+                    speedupOver(one, r), hit,
+                    100.0 * r.frac_remote,
+                    100.0 * static_cast<double>(cfg.rdc.size) /
+                        static_cast<double>(cfg.dram.capacity));
+    }
+    std::printf("\n(the paper's default: 2 GB of 32 GB per GPU == "
+                "6.25%%, scaled here to 256 MiB of 4 GiB)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "cache/cache.hh"
+
+#include <utility>
+
+namespace carve {
+
+Cache::Cache(std::string name, const CacheConfig &cfg,
+             std::uint64_t line_size)
+    : name_(std::move(name)), hit_latency_(cfg.hit_latency),
+      tags_(cfg.size, cfg.ways, line_size)
+{
+}
+
+bool
+Cache::readProbe(Addr addr)
+{
+    if (tags_.lookup(addr) != nullptr) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::writeProbe(Addr addr, bool mark_dirty)
+{
+    if (CacheLine *line = tags_.lookup(addr)) {
+        if (mark_dirty)
+            line->dirty = true;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+std::optional<Evicted>
+Cache::fill(Addr addr, bool remote)
+{
+    // A racing fill may have already installed the line (MSHR-merged
+    // requesters all call fill on completion); treat that as a no-op.
+    if (tags_.peek(addr) != nullptr)
+        return std::nullopt;
+    auto evicted = tags_.insert(addr, remote);
+    if (evicted)
+        ++evictions_;
+    return evicted;
+}
+
+bool
+Cache::invalidateLine(Addr addr)
+{
+    return tags_.invalidate(addr);
+}
+
+std::uint64_t
+Cache::invalidateAll()
+{
+    return tags_.invalidateAll();
+}
+
+std::uint64_t
+Cache::invalidateRemote()
+{
+    return tags_.invalidateRemote();
+}
+
+} // namespace carve

@@ -1,0 +1,51 @@
+#include "cache/mshr.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+MshrFile::MshrFile(unsigned num_entries)
+    : capacity_(num_entries)
+{
+    if (num_entries == 0)
+        fatal("MshrFile: need at least one entry");
+}
+
+MshrOutcome
+MshrFile::allocate(Addr line_addr, Callback cb)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        it->second.push_back(std::move(cb));
+        ++merges_;
+        return MshrOutcome::Merged;
+    }
+    if (entries_.size() >= capacity_) {
+        ++rejections_;
+        return MshrOutcome::Full;
+    }
+    entries_[line_addr].push_back(std::move(cb));
+    return MshrOutcome::NewEntry;
+}
+
+std::size_t
+MshrFile::complete(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        panic("MshrFile: completing untracked line %llx",
+              static_cast<unsigned long long>(line_addr));
+
+    // Move out before erasing: callbacks may allocate new entries.
+    std::vector<Callback> waiters = std::move(it->second);
+    entries_.erase(it);
+    for (auto &cb : waiters) {
+        if (cb)
+            cb();
+    }
+    return waiters.size();
+}
+
+} // namespace carve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Miss Status Holding Registers: merge concurrent misses to the same
+ * line and bound the number of distinct outstanding lines.
+ */
+
+#ifndef CARVE_CACHE_MSHR_HH
+#define CARVE_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/** Result of trying to track a miss in the MSHR file. */
+enum class MshrOutcome : std::uint8_t {
+    NewEntry,   ///< first miss to this line: caller must fetch
+    Merged,     ///< outstanding fetch exists: callback queued behind it
+    Full,       ///< no free registers: caller must stall and retry
+};
+
+/**
+ * MSHR file keyed by line address. Callbacks registered against a line
+ * all fire (in registration order) when the fill completes.
+ */
+class MshrFile
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @param num_entries max distinct outstanding lines */
+    explicit MshrFile(unsigned num_entries);
+
+    /**
+     * Track a miss to @p line_addr.
+     * @param cb fired on fill completion (not on MshrOutcome::Full)
+     */
+    MshrOutcome allocate(Addr line_addr, Callback cb);
+
+    /**
+     * Complete the fill of @p line_addr: fires and removes all queued
+     * callbacks. Calling for an untracked line is a simulator bug.
+     * @return number of callbacks fired
+     */
+    std::size_t complete(Addr line_addr);
+
+    /** True when a fetch for @p line_addr is in flight. */
+    bool
+    outstanding(Addr line_addr) const
+    {
+        return entries_.contains(line_addr);
+    }
+
+    /** Distinct lines currently in flight. */
+    std::size_t size() const { return entries_.size(); }
+    /** True when no further distinct line can be tracked. */
+    bool full() const { return entries_.size() >= capacity_; }
+    unsigned capacity() const { return capacity_; }
+
+    /** Total misses merged behind an existing entry. */
+    std::uint64_t merges() const { return merges_.value(); }
+    /** Total allocations rejected because the file was full. */
+    std::uint64_t rejections() const { return rejections_.value(); }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    stats::Scalar merges_;
+    stats::Scalar rejections_;
+};
+
+} // namespace carve
+
+#endif // CARVE_CACHE_MSHR_HH

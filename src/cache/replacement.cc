@@ -1,0 +1,34 @@
+#include "cache/replacement.hh"
+
+#include "common/logging.hh"
+
+namespace carve {
+
+Replacer::Replacer(ReplPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed)
+{
+}
+
+unsigned
+Replacer::victim(const std::vector<std::uint8_t> &valid,
+                 const std::vector<std::uint64_t> &last_use)
+{
+    carve_assert(!valid.empty() && valid.size() == last_use.size());
+
+    for (unsigned w = 0; w < valid.size(); ++w) {
+        if (!valid[w])
+            return w;
+    }
+
+    if (policy_ == ReplPolicy::Random)
+        return static_cast<unsigned>(rng_.below(valid.size()));
+
+    unsigned victim_way = 0;
+    for (unsigned w = 1; w < valid.size(); ++w) {
+        if (last_use[w] < last_use[victim_way])
+            victim_way = w;
+    }
+    return victim_way;
+}
+
+} // namespace carve

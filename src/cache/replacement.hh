@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Replacement policies for set-associative tag arrays.
+ */
+
+#ifndef CARVE_CACHE_REPLACEMENT_HH
+#define CARVE_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace carve {
+
+/** Supported replacement policies. */
+enum class ReplPolicy : std::uint8_t {
+    LRU,
+    Random,
+};
+
+/**
+ * Picks a victim way given per-way recency stamps. Invalid ways are
+ * always preferred; ties fall back to the configured policy.
+ */
+class Replacer
+{
+  public:
+    /**
+     * @param policy which policy to apply among valid ways
+     * @param seed RNG seed for ReplPolicy::Random
+     */
+    explicit Replacer(ReplPolicy policy = ReplPolicy::LRU,
+                      std::uint64_t seed = 7);
+
+    /**
+     * Choose a victim.
+     * @param valid per-way validity
+     * @param last_use per-way recency stamps (larger == more recent)
+     * @return victim way index
+     */
+    unsigned victim(const std::vector<std::uint8_t> &valid,
+                    const std::vector<std::uint64_t> &last_use);
+
+    ReplPolicy policy() const { return policy_; }
+
+  private:
+    ReplPolicy policy_;
+    Rng rng_;
+};
+
+} // namespace carve
+
+#endif // CARVE_CACHE_REPLACEMENT_HH

@@ -1,0 +1,141 @@
+#include "cache/tag_array.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+TagArray::TagArray(std::uint64_t size, unsigned ways,
+                   std::uint64_t line_size, ReplPolicy policy,
+                   std::uint64_t seed)
+    : ways_(ways), line_size_(line_size), replacer_(policy, seed)
+{
+    if (ways == 0 || line_size == 0 || size == 0)
+        fatal("TagArray: degenerate geometry");
+    if (size % (static_cast<std::uint64_t>(ways) * line_size) != 0)
+        fatal("TagArray: size not divisible by ways*line_size");
+    sets_ = size / (static_cast<std::uint64_t>(ways) * line_size);
+    lines_.resize(sets_ * ways_);
+    last_use_.resize(sets_ * ways_, 0);
+    valid_scratch_.resize(ways_);
+    use_scratch_.resize(ways_);
+}
+
+std::uint64_t
+TagArray::setIndex(Addr addr) const
+{
+    return (addr / line_size_) % sets_;
+}
+
+CacheLine *
+TagArray::lookup(Addr addr, bool touch)
+{
+    const Addr line_addr = alignDown(addr, line_size_);
+    const std::size_t base = wayBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (line.valid && line.tag == line_addr) {
+            if (touch)
+                last_use_[base + w] = ++tick_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+TagArray::peek(Addr addr) const
+{
+    const Addr line_addr = alignDown(addr, line_size_);
+    const std::size_t base = wayBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        const CacheLine &line = lines_[base + w];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+std::optional<Evicted>
+TagArray::insert(Addr addr, bool remote)
+{
+    const Addr line_addr = alignDown(addr, line_size_);
+    carve_assert(peek(addr) == nullptr);
+
+    const std::size_t base = wayBase(setIndex(addr));
+    for (unsigned w = 0; w < ways_; ++w) {
+        valid_scratch_[w] = lines_[base + w].valid ? 1 : 0;
+        use_scratch_[w] = last_use_[base + w];
+    }
+    const unsigned way = replacer_.victim(valid_scratch_, use_scratch_);
+
+    CacheLine &line = lines_[base + way];
+    std::optional<Evicted> evicted;
+    if (line.valid)
+        evicted = Evicted{line.tag, line.dirty, line.remote};
+
+    line.tag = line_addr;
+    line.valid = true;
+    line.dirty = false;
+    line.remote = remote;
+    last_use_[base + way] = ++tick_;
+    return evicted;
+}
+
+bool
+TagArray::invalidate(Addr addr)
+{
+    if (CacheLine *line = lookup(addr, false)) {
+        line->valid = false;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+TagArray::invalidateAll()
+{
+    std::uint64_t dropped = 0;
+    for (auto &line : lines_) {
+        if (line.valid) {
+            line.valid = false;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+std::uint64_t
+TagArray::invalidateRemote()
+{
+    std::uint64_t dropped = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.remote) {
+            line.valid = false;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+TagArray::forEachDirty(const std::function<void(CacheLine &)> &visitor)
+{
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty)
+            visitor(line);
+    }
+}
+
+std::uint64_t
+TagArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace carve

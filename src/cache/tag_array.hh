@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Set-associative tag array shared by the L1, L2 and TLB models.
+ *
+ * Purely structural: lookup / insert / invalidate and recency state.
+ * All timing and request routing lives in the owning controller.
+ */
+
+#ifndef CARVE_CACHE_TAG_ARRAY_HH
+#define CARVE_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/** One resident line's metadata. */
+struct CacheLine
+{
+    Addr tag = 0;        ///< full line address (not just the tag bits)
+    bool valid = false;
+    bool dirty = false;
+    bool remote = false; ///< line's home is another GPU's memory
+};
+
+/** Outcome of an eviction: metadata of the displaced line. */
+struct Evicted
+{
+    Addr line_addr;
+    bool dirty;
+    bool remote;
+};
+
+/**
+ * Tag array with per-way recency stamps. Addresses are full byte
+ * addresses; the array derives the line/set internally.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param size total capacity in bytes
+     * @param ways associativity
+     * @param line_size line size in bytes
+     * @param policy replacement policy
+     * @param seed RNG seed for random replacement
+     */
+    TagArray(std::uint64_t size, unsigned ways, std::uint64_t line_size,
+             ReplPolicy policy = ReplPolicy::LRU, std::uint64_t seed = 7);
+
+    /**
+     * Probe for the line containing @p addr.
+     * @param touch update recency on hit
+     * @return pointer to resident line metadata, or nullptr on miss.
+     *         The pointer is invalidated by the next insert().
+     */
+    CacheLine *lookup(Addr addr, bool touch = true);
+
+    /** Const probe without recency update. */
+    const CacheLine *peek(Addr addr) const;
+
+    /**
+     * Insert the line containing @p addr (must not already be
+     * resident), evicting a victim when the set is full.
+     * @param remote mark the line as remote-homed
+     * @return metadata of the evicted valid line, if any
+     */
+    std::optional<Evicted> insert(Addr addr, bool remote);
+
+    /** Invalidate the line containing @p addr if resident.
+     * @return true when a valid line was dropped. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate every line. @return number dropped. */
+    std::uint64_t invalidateAll();
+
+    /** Invalidate every remote-homed line. @return number dropped. */
+    std::uint64_t invalidateRemote();
+
+    /**
+     * Visit every valid dirty line (e.g., to flush at a kernel
+     * boundary). The visitor may clear the dirty bit via the
+     * reference it receives.
+     */
+    void forEachDirty(const std::function<void(CacheLine &)> &visitor);
+
+    std::uint64_t numSets() const { return sets_; }
+    unsigned numWays() const { return ways_; }
+    std::uint64_t lineSize() const { return line_size_; }
+
+    /** Count of currently valid lines (O(capacity); tests only). */
+    std::uint64_t validCount() const;
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+    std::size_t wayBase(std::uint64_t set) const { return set * ways_; }
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    std::uint64_t line_size_;
+    Replacer replacer_;
+
+    std::vector<CacheLine> lines_;
+    std::vector<std::uint64_t> last_use_;
+    std::uint64_t tick_ = 0;
+
+    // Scratch buffers for the replacer (avoid per-insert allocation).
+    std::vector<std::uint8_t> valid_scratch_;
+    std::vector<std::uint64_t> use_scratch_;
+};
+
+} // namespace carve
+
+#endif // CARVE_CACHE_TAG_ARRAY_HH

@@ -1,0 +1,66 @@
+#include "coherence/gpu_vi.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+GpuVi::GpuVi(const SystemConfig &cfg, unsigned num_gpus,
+             CoherenceOps ops, bool use_imst)
+    : cfg_(cfg), num_gpus_(num_gpus), ops_(std::move(ops)),
+      use_imst_(use_imst)
+{
+    carve_assert(ops_.invalidate_at && ops_.send_ctrl);
+    imsts_.reserve(num_gpus);
+    for (unsigned g = 0; g < num_gpus; ++g)
+        imsts_.emplace_back(g, 0.01, cfg.seed + 101);
+}
+
+void
+GpuVi::onRead(NodeId home, NodeId requester, Addr line_addr)
+{
+    carve_assert(home < num_gpus_);
+    bool unused = false;
+    imsts_[home].onAccess(line_addr, requester, AccessType::Read,
+                          unused);
+}
+
+unsigned
+GpuVi::onWrite(NodeId home, NodeId requester, Addr line_addr)
+{
+    carve_assert(home < num_gpus_);
+    bool needs_invalidate = false;
+    imsts_[home].onAccess(line_addr, requester, AccessType::Write,
+                          needs_invalidate);
+    if (!use_imst_) {
+        // Unfiltered GPU-VI: every store broadcasts.
+        needs_invalidate = true;
+    }
+    if (!needs_invalidate)
+        return 0;
+
+    unsigned sent = 0;
+    for (NodeId node = 0; node < num_gpus_; ++node) {
+        if (node == requester)
+            continue;
+        // The home node drops its own copies without a network hop.
+        if (node != home)
+            ops_.send_ctrl(home, node, cfg_.link.ctrl_packet_size);
+        ops_.invalidate_at(node, line_addr);
+        ++sent;
+        ++invalidates_sent_;
+    }
+    return sent;
+}
+
+std::uint64_t
+GpuVi::writesFiltered() const
+{
+    std::uint64_t total = 0;
+    for (const auto &imst : imsts_)
+        total += imst.filteredWrites();
+    return total;
+}
+
+} // namespace carve

@@ -1,0 +1,102 @@
+#include "coherence/imst.hh"
+
+namespace carve {
+
+const char *
+sharingStateName(SharingState s)
+{
+    switch (s) {
+      case SharingState::Uncached: return "uncached";
+      case SharingState::Private: return "private";
+      case SharingState::ReadShared: return "read-shared";
+      case SharingState::ReadWriteShared: return "read-write-shared";
+    }
+    return "?";
+}
+
+Imst::Imst(NodeId home, double demote_probability, std::uint64_t seed)
+    : home_(home), demote_probability_(demote_probability),
+      rng_(seed + home)
+{
+}
+
+SharingState
+Imst::state(Addr line_addr) const
+{
+    const auto it = states_.find(line_addr);
+    return it == states_.end() ? SharingState::Uncached
+                               : it->second.state;
+}
+
+NodeId
+Imst::owner(Addr line_addr) const
+{
+    const auto it = states_.find(line_addr);
+    if (it == states_.end() ||
+        it->second.state != SharingState::Private) {
+        return invalid_node;
+    }
+    return it->second.owner;
+}
+
+SharingState
+Imst::onAccess(Addr line_addr, NodeId requester, AccessType type,
+               bool &needs_invalidate)
+{
+    needs_invalidate = false;
+    const bool write = isWrite(type);
+    LineState &ls = states_[line_addr];
+
+    switch (ls.state) {
+      case SharingState::Uncached:
+        ls.state = SharingState::Private;
+        ls.owner = requester;
+        break;
+
+      case SharingState::Private:
+        if (requester != ls.owner) {
+            if (write) {
+                // The old owner may cache a stale copy: invalidate.
+                needs_invalidate = true;
+                ls.state = SharingState::ReadWriteShared;
+            } else {
+                ls.state = SharingState::ReadShared;
+            }
+            ls.owner = invalid_node;
+        }
+        break;
+
+      case SharingState::ReadShared:
+        if (write) {
+            needs_invalidate = true;
+            ls.state = SharingState::ReadWriteShared;
+        }
+        break;
+
+      case SharingState::ReadWriteShared:
+        if (write)
+            needs_invalidate = true;
+        break;
+    }
+
+    // Sticky-state escape: a write to a shared line occasionally
+    // resets it to Private for the writer (after the invalidate
+    // broadcast) so lines whose sharing phase ended stop paying
+    // broadcast costs.
+    if (write && needs_invalidate && rng_.chance(demote_probability_)) {
+        ls.state = SharingState::Private;
+        ls.owner = requester;
+        ++demotions_;
+    }
+
+    if (write) {
+        if (needs_invalidate)
+            ++shared_writes_;
+        else
+            ++filtered_writes_;
+    }
+
+    return ls.state;
+}
+
+} // namespace carve

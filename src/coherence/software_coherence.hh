@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Software (kernel-boundary) coherence: the conventional GPU scheme
+ * and its cost model (Table IV of the paper).
+ *
+ * Conventional GPUs keep caches coherent by (a) invalidating the
+ * write-through L1s and the LLC's remote lines at every kernel
+ * boundary and (b) flushing dirty data. Extending the same scheme to
+ * a multi-GB RDC naively costs milliseconds per boundary; the paper's
+ * epoch counter (invalidate) and write-through policy (flush) reduce
+ * both to zero. This module provides the analytic worst-case costs
+ * for all four cells of Table IV plus the epoch/write-through variants.
+ */
+
+#ifndef CARVE_COHERENCE_SOFTWARE_COHERENCE_HH
+#define CARVE_COHERENCE_SOFTWARE_COHERENCE_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/** Worst-case kernel-boundary delays under software coherence. */
+struct SwCoherenceCost
+{
+    Cycle l2_invalidate;    ///< explicit LLC invalidate
+    Cycle l2_flush;         ///< LLC dirty writeback over the link
+    Cycle rdc_invalidate;   ///< explicit RDC invalidate (read+write all)
+    Cycle rdc_flush;        ///< RDC dirty writeback over the link
+    Cycle rdc_invalidate_epoch;  ///< with EPCTR: instant
+    Cycle rdc_flush_writethrough;///< with write-through RDC: instant
+};
+
+/**
+ * Compute the Table IV cost model from a system configuration.
+ *
+ * - LLC invalidate: sets/banks cleared one per cycle per bank.
+ * - LLC flush: worst case the whole LLC is dirty and drains over the
+ *   inter-GPU link.
+ * - RDC invalidate: every line's metadata must be read and written in
+ *   local DRAM (2 bytes transferred per line each way is optimistic;
+ *   we charge full line reads, matching the paper's ~2 ms).
+ * - RDC flush: worst case the whole carve-out drains over the link.
+ */
+SwCoherenceCost computeSwCoherenceCost(const SystemConfig &cfg);
+
+} // namespace carve
+
+#endif // CARVE_COHERENCE_SOFTWARE_COHERENCE_HH

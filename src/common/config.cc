@@ -1,0 +1,216 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        std::uint64_t v = std::stoull(value, &pos, 0);
+        if (pos != value.size())
+            fatal("config: trailing garbage in %s=%s",
+                  key.c_str(), value.c_str());
+        return v;
+    } catch (...) {
+        fatal("config: cannot parse %s=%s as integer",
+              key.c_str(), value.c_str());
+    }
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(value, &pos);
+        if (pos != value.size())
+            fatal("config: trailing garbage in %s=%s",
+                  key.c_str(), value.c_str());
+        return v;
+    } catch (...) {
+        fatal("config: cannot parse %s=%s as double",
+              key.c_str(), value.c_str());
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    const std::string v = lower(value);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config: cannot parse %s=%s as bool",
+          key.c_str(), value.c_str());
+}
+
+} // namespace
+
+PlacementPolicy
+parsePlacementPolicy(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "firsttouch" || v == "first-touch" || v == "ft")
+        return PlacementPolicy::FirstTouch;
+    if (v == "roundrobin" || v == "round-robin" || v == "rr")
+        return PlacementPolicy::RoundRobin;
+    if (v == "local" || v == "localonly")
+        return PlacementPolicy::LocalOnly;
+    fatal("unknown placement policy '%s'", s.c_str());
+}
+
+ReplicationPolicy
+parseReplicationPolicy(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "none")
+        return ReplicationPolicy::None;
+    if (v == "readonly" || v == "read-only" || v == "ro")
+        return ReplicationPolicy::ReadOnly;
+    if (v == "all" || v == "ideal")
+        return ReplicationPolicy::All;
+    fatal("unknown replication policy '%s'", s.c_str());
+}
+
+RdcCoherence
+parseRdcCoherence(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "none")
+        return RdcCoherence::None;
+    if (v == "software" || v == "swc" || v == "sw")
+        return RdcCoherence::Software;
+    if (v == "hwvi" || v == "hardware" || v == "hwc" || v == "vi")
+        return RdcCoherence::HardwareVI;
+    fatal("unknown RDC coherence mode '%s'", s.c_str());
+}
+
+SystemConfig
+SystemConfig::scaled(unsigned k) const
+{
+    if (!isPowerOf2(k))
+        fatal("SystemConfig::scaled: factor %u is not a power of two", k);
+    SystemConfig c = *this;
+    c.l1.size /= k;
+    c.l2.size /= k;
+    c.rdc.size /= k;
+    c.dram.capacity /= k;
+    return c;
+}
+
+void
+SystemConfig::applyOverride(const std::string &key,
+                            const std::string &value)
+{
+    const std::string k = lower(key);
+    if (k == "num_gpus") {
+        num_gpus = static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "seed") {
+        seed = parseU64(k, value);
+    } else if (k == "page_size") {
+        page_size = parseU64(k, value);
+    } else if (k == "line_size") {
+        line_size = parseU64(k, value);
+    } else if (k == "core.sms_per_gpu") {
+        core.sms_per_gpu = static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "core.max_warps_per_sm") {
+        core.max_warps_per_sm =
+            static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "l1.size") {
+        l1.size = parseU64(k, value);
+    } else if (k == "l2.size") {
+        l2.size = parseU64(k, value);
+    } else if (k == "l2.ways") {
+        l2.ways = static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "dram.capacity") {
+        dram.capacity = parseU64(k, value);
+    } else if (k == "dram.channels") {
+        dram.channels = static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "dram.channel_bw") {
+        dram.channel_bw = parseDouble(k, value);
+    } else if (k == "link.gpu_gpu_bw") {
+        link.gpu_gpu_bw = parseDouble(k, value);
+    } else if (k == "link.cpu_gpu_bw") {
+        link.cpu_gpu_bw = parseDouble(k, value);
+    } else if (k == "link.latency") {
+        link.latency = parseU64(k, value);
+    } else if (k == "rdc.enabled") {
+        rdc.enabled = parseBool(k, value);
+    } else if (k == "rdc.size") {
+        rdc.size = parseU64(k, value);
+    } else if (k == "rdc.coherence") {
+        rdc.coherence = parseRdcCoherence(value);
+    } else if (k == "rdc.write_policy") {
+        rdc.write_policy = lower(value) == "writeback"
+            ? RdcWritePolicy::WriteBack : RdcWritePolicy::WriteThrough;
+    } else if (k == "rdc.hit_predictor") {
+        rdc.hit_predictor = parseBool(k, value);
+    } else if (k == "numa.placement") {
+        numa.placement = parsePlacementPolicy(value);
+    } else if (k == "numa.replication") {
+        numa.replication = parseReplicationPolicy(value);
+    } else if (k == "numa.migration") {
+        numa.migration = parseBool(k, value);
+    } else if (k == "numa.migration_threshold") {
+        numa.migration_threshold =
+            static_cast<unsigned>(parseU64(k, value));
+    } else if (k == "numa.spill_fraction") {
+        numa.spill_fraction = parseDouble(k, value);
+    } else if (k == "numa.llc_caches_remote") {
+        numa.llc_caches_remote = parseBool(k, value);
+    } else if (k == "numa.charge_bulk_transfers") {
+        numa.charge_bulk_transfers = parseBool(k, value);
+    } else {
+        fatal("config: unknown override key '%s'", key.c_str());
+    }
+}
+
+void
+SystemConfig::validate() const
+{
+    if (num_gpus == 0)
+        fatal("config: num_gpus must be >= 1");
+    if (!isPowerOf2(line_size))
+        fatal("config: line_size must be a power of two");
+    if (!isPowerOf2(page_size) || page_size < line_size)
+        fatal("config: page_size must be a power of two >= line_size");
+    if (l1.size == 0 || l2.size == 0)
+        fatal("config: cache sizes must be nonzero");
+    if (l1.size % (line_size * l1.ways) != 0)
+        fatal("config: L1 geometry (size/ways/line) is not integral");
+    if (l2.size % (line_size * l2.ways) != 0)
+        fatal("config: L2 geometry (size/ways/line) is not integral");
+    if (dram.channels == 0 || dram.channel_bw <= 0.0)
+        fatal("config: DRAM channel configuration invalid");
+    if (rdc.enabled) {
+        if (rdc.size == 0 || rdc.size % line_size != 0)
+            fatal("config: RDC size must be a nonzero line multiple");
+        if (rdc.size >= dram.capacity)
+            fatal("config: RDC carve-out exceeds GPU memory capacity");
+    }
+    if (numa.spill_fraction < 0.0 || numa.spill_fraction >= 1.0)
+        fatal("config: spill_fraction must lie in [0, 1)");
+    if (num_gpus == 1 && numa.placement != PlacementPolicy::LocalOnly &&
+        numa.placement != PlacementPolicy::FirstTouch) {
+        warn("config: single-GPU run with non-local placement");
+    }
+}
+
+} // namespace carve

@@ -1,0 +1,63 @@
+#include "common/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    if (when < now_) {
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    }
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::fireNext()
+{
+    // priority_queue::top() returns const&; the callback must be moved
+    // out before pop() so it can safely schedule further events.
+    Callback cb = std::move(const_cast<Event &>(heap_.top()).cb);
+    now_ = heap_.top().when;
+    heap_.pop();
+    ++executed_;
+    cb();
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && !heap_.empty()) {
+        fireNext();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runWhile(const std::function<bool()> &keep_going)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && keep_going()) {
+        fireNext();
+        ++n;
+    }
+    return n;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    fireNext();
+    return true;
+}
+
+} // namespace carve

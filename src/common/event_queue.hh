@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * Every timed component in carve-sim (DRAM channels, links, SMs, the
+ * RDC controller) schedules callbacks on a shared EventQueue. Events at
+ * equal ticks fire in scheduling order (a monotonic sequence number
+ * breaks ties) so simulations are fully deterministic.
+ */
+
+#ifndef CARVE_COMMON_EVENT_QUEUE_HH
+#define CARVE_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carve {
+
+/**
+ * Min-heap event queue keyed by (tick, sequence).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb @p delay cycles from now. */
+    void
+    scheduleAfter(Cycle delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Run events until the queue drains or @p limit events have fired.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run events while @p keep_going returns true (checked before each
+     * event). @return number of events executed.
+     */
+    std::uint64_t runWhile(const std::function<bool()> &keep_going);
+
+    /** Execute exactly one event if available. @return true if fired. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void fireNext();
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace carve
+
+#endif // CARVE_COMMON_EVENT_QUEUE_HH

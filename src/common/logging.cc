@@ -1,0 +1,69 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace carve {
+
+namespace {
+
+bool quiet_flag = false;
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quiet_flag;
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    if (quiet_flag &&
+        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+        return;
+    }
+    std::FILE *out =
+        (level == LogLevel::Inform) ? stdout : stderr;
+    std::fprintf(out, "%s: ", levelPrefix(level));
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(out, fmt, ap);
+    va_end(ap);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+}
+
+void
+terminate(LogLevel level)
+{
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace carve

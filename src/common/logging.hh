@@ -1,0 +1,89 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  -- internal simulator invariant violated; aborts.
+ * fatal()  -- user error (bad configuration etc.); exits with code 1.
+ * warn()   -- questionable but survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef CARVE_COMMON_LOGGING_HH
+#define CARVE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace carve {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/** Emit one formatted message at the given level (printf semantics). */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+[[noreturn]] void terminate(LogLevel level);
+
+} // namespace detail
+
+/** Globally silence inform()/warn() output (used by tests). */
+void setLogQuiet(bool quiet);
+
+/** @return whether inform()/warn() output is currently suppressed. */
+bool logQuiet();
+
+/** Report an unrecoverable internal error and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Panic, fmt, args...);
+    detail::terminate(LogLevel::Panic);
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Fatal, fmt, args...);
+    detail::terminate(LogLevel::Fatal);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Warn, fmt, args...);
+}
+
+/** Report routine status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Inform, fmt, args...);
+}
+
+/** panic() unless @p cond holds. */
+#define carve_assert(cond)                                              \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::carve::panic("assertion '%s' failed at %s:%d",            \
+                           #cond, __FILE__, __LINE__);                  \
+        }                                                               \
+    } while (0)
+
+} // namespace carve
+
+#endif // CARVE_COMMON_LOGGING_HH

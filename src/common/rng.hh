@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * carve-sim must be bit-reproducible across runs, so every stochastic
+ * component (workload generators, probabilistic IMST demotion, random
+ * replacement) draws from an explicitly seeded Rng instance instead of
+ * any global generator.
+ */
+
+#ifndef CARVE_COMMON_RNG_HH
+#define CARVE_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace carve {
+
+/**
+ * xoshiro256**-based deterministic generator. Small, fast, and good
+ * enough statistical quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (SplitMix64-expanded to 256b). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitMix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiplicative range reduction (Lemire); bias is negligible
+        // for simulation purposes and avoids modulo cost.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Approximate Zipf-distributed index in [0, n) with exponent
+     * @p s via inverse-CDF on the continuous approximation. s == 0
+     * degenerates to uniform.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        if (s <= 0.0)
+            return below(n);
+        const double u = uniform();
+        double x;
+        if (s == 1.0) {
+            // CDF ~ ln(x+1)/ln(n+1)
+            x = std::exp2(u * std::log2(
+                    static_cast<double>(n) + 1.0)) - 1.0;
+        } else {
+            const double one_m_s = 1.0 - s;
+            const double nn = static_cast<double>(n) + 1.0;
+            const double top = std::pow(nn, one_m_s) - 1.0;
+            x = std::pow(u * top + 1.0, 1.0 / one_m_s) - 1.0;
+        }
+        auto idx = static_cast<std::uint64_t>(x);
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitMix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace carve
+
+#endif // CARVE_COMMON_RNG_HH

@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace carve {
+namespace stats {
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+void
+StatGroup::addScalar(const std::string &name, Scalar *s,
+                     const std::string &desc)
+{
+    scalars_.push_back({name, desc, s});
+}
+
+void
+StatGroup::addAverage(const std::string &name, Average *a,
+                      const std::string &desc)
+{
+    averages_.push_back({name, desc, a});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d,
+                           const std::string &desc)
+{
+    distributions_.push_back({name, desc, d});
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (!parent_)
+        return name_;
+    std::string prefix = parent_->fullName();
+    if (prefix.empty())
+        return name_;
+    return prefix + "." + name_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix =
+        fullName().empty() ? "" : fullName() + ".";
+    for (const auto &s : scalars_) {
+        os << prefix << s.name << " = " << s.stat->value();
+        if (!s.desc.empty())
+            os << "  # " << s.desc;
+        os << "\n";
+    }
+    for (const auto &a : averages_) {
+        os << prefix << a.name << " = " << std::setprecision(6)
+           << a.stat->mean() << " (n=" << a.stat->count() << ")";
+        if (!a.desc.empty())
+            os << "  # " << a.desc;
+        os << "\n";
+    }
+    for (const auto &d : distributions_) {
+        os << prefix << d.name << " = mean " << std::setprecision(6)
+           << d.stat->mean() << ", max " << d.stat->max()
+           << ", n " << d.stat->count();
+        if (!d.desc.empty())
+            os << "  # " << d.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : scalars_)
+        s.stat->reset();
+    for (auto &a : averages_)
+        a.stat->reset();
+    for (auto &d : distributions_)
+        d.stat->reset();
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+} // namespace stats
+} // namespace carve

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Lightweight named-statistics package.
+ *
+ * Components own Scalar / Average / Distribution objects registered in a
+ * StatGroup tree; StatGroup::dump() renders a flat name=value report.
+ * This is a deliberately small subset of the gem5 stats package: enough
+ * to expose every counter the paper's figures need.
+ */
+
+#ifndef CARVE_COMMON_STATS_HH
+#define CARVE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace carve {
+namespace stats {
+
+/** Monotonic 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (used between measurement phases). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of observed samples. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of samples; 0 when empty. */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, bucket_width * num_buckets). */
+class Distribution
+{
+  public:
+    /**
+     * @param num_buckets number of equal-width buckets
+     * @param bucket_width width of each bucket
+     */
+    Distribution(unsigned num_buckets = 16,
+                 std::uint64_t bucket_width = 64)
+        : width_(bucket_width ? bucket_width : 1),
+          buckets_(num_buckets ? num_buckets : 1, 0)
+    {
+    }
+
+    /** Record one sample (overflow clamps into the last bucket). */
+    void
+    sample(std::uint64_t v)
+    {
+        std::uint64_t b = v / width_;
+        if (b >= buckets_.size())
+            b = buckets_.size() - 1;
+        ++buckets_[b];
+        ++count_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0
+            ? 0.0
+            : static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /** Raw bucket counts. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Named collection of statistics. Groups nest to form dotted names
+ * (e.g., "gpu0.l2.hits").
+ */
+class StatGroup
+{
+  public:
+    /**
+     * @param name leaf name of this group
+     * @param parent enclosing group, or nullptr for a root
+     */
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar under @p name. Pointers must outlive dump(). */
+    void addScalar(const std::string &name, Scalar *s,
+                   const std::string &desc = "");
+    /** Register an average under @p name. */
+    void addAverage(const std::string &name, Average *a,
+                    const std::string &desc = "");
+    /** Register a distribution under @p name. */
+    void addDistribution(const std::string &name, Distribution *d,
+                         const std::string &desc = "");
+
+    /** Fully qualified dotted name of this group. */
+    std::string fullName() const;
+
+    /** Render this group and all children as name=value lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat in this group and children. */
+    void resetAll();
+
+  private:
+    struct NamedScalar
+    {
+        std::string name;
+        std::string desc;
+        Scalar *stat;
+    };
+    struct NamedAverage
+    {
+        std::string name;
+        std::string desc;
+        Average *stat;
+    };
+    struct NamedDistribution
+    {
+        std::string name;
+        std::string desc;
+        Distribution *stat;
+    };
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatGroup *> children_;
+    std::vector<NamedScalar> scalars_;
+    std::vector<NamedAverage> averages_;
+    std::vector<NamedDistribution> distributions_;
+};
+
+} // namespace stats
+} // namespace carve
+
+#endif // CARVE_COMMON_STATS_HH

@@ -1,0 +1,188 @@
+#include "core/multi_gpu_system.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
+                               const Workload &wl, bool profile_lines)
+    : cfg_(cfg), wl_(wl),
+      pages_(cfg_, true, profile_lines),
+      net_(eq_, cfg_.link, cfg_.num_gpus),
+      sched_(cfg_.num_gpus)
+{
+    cfg_.validate();
+
+    if (cfg_.rdc.enabled &&
+        cfg_.rdc.coherence == RdcCoherence::HardwareVI) {
+        CoherenceOps ops;
+        ops.invalidate_at = [this](NodeId node, Addr line) {
+            gpus_[node]->invalidateLine(line);
+        };
+        ops.send_ctrl = [this](NodeId src, NodeId dst,
+                               unsigned bytes) {
+            net_.send(src, dst, bytes, Network::Callback());
+        };
+        vi_.emplace(cfg_, cfg_.num_gpus, std::move(ops));
+    }
+
+    gpus_.reserve(cfg_.num_gpus);
+    for (unsigned g = 0; g < cfg_.num_gpus; ++g) {
+        gpus_.push_back(std::make_unique<GpuNode>(eq_, cfg_, g,
+                                                  pages_, *this));
+        gpus_.back()->setWorkload(&wl_);
+        gpus_.back()->setKernelDoneCallback(
+            [this](NodeId id) { onGpuKernelDone(id); });
+    }
+}
+
+Cycle
+MultiGpuSystem::run(Cycle max_cycles)
+{
+    carve_assert(!finished_);
+    launchKernel(0);
+    if (max_cycles == 0) {
+        eq_.runWhile([this] { return !finished_; });
+    } else {
+        eq_.runWhile([this, max_cycles] {
+            return !finished_ && eq_.now() <= max_cycles;
+        });
+    }
+    if (!finished_)
+        fatal("MultiGpuSystem: simulation did not converge "
+              "(deadlock or max_cycles=%llu reached at %llu)",
+              static_cast<unsigned long long>(max_cycles),
+              static_cast<unsigned long long>(eq_.now()));
+    return finish_time_;
+}
+
+void
+MultiGpuSystem::launchKernel(KernelId k)
+{
+    cur_kernel_ = k;
+    gpus_done_ = 0;
+    sched_.launchKernel(wl_.numCtas(k));
+    for (auto &gpu : gpus_)
+        gpu->startKernel(k, sched_);
+}
+
+void
+MultiGpuSystem::onGpuKernelDone(NodeId)
+{
+    ++gpus_done_;
+    if (gpus_done_ < gpus_.size())
+        return;
+
+    carve_assert(sched_.kernelDone());
+
+    // Global barrier reached: apply kernel-boundary coherence on
+    // every GPU; the slowest flush gates the next launch.
+    Cycle stall = 0;
+    for (auto &gpu : gpus_)
+        stall = std::max(stall, gpu->kernelBoundary());
+
+    if (cur_kernel_ + 1 < wl_.numKernels()) {
+        const KernelId next = cur_kernel_ + 1;
+        eq_.scheduleAfter(cfg_.core.kernel_launch_latency + stall,
+                          [this, next] { launchKernel(next); });
+    } else {
+        finished_ = true;
+        finish_time_ = eq_.now() + stall;
+    }
+}
+
+void
+MultiGpuSystem::remoteRead(NodeId src, NodeId home, Addr line,
+                           Callback done)
+{
+    carve_assert(src != home && home < gpus_.size());
+    // Request packet to the home node...
+    net_.send(src, home, cfg_.link.ctrl_packet_size,
+        [this, src, home, line, done = std::move(done)]() mutable {
+            if (vi_)
+                vi_->onRead(home, src, line);
+            // ...home DRAM access...
+            gpus_[home]->serviceRemoteRead(line,
+                [this, src, home, done = std::move(done)]() mutable {
+                    // ...data line back to the requester.
+                    net_.send(home, src, cfg_.line_size,
+                              std::move(done));
+                });
+        });
+}
+
+void
+MultiGpuSystem::remoteWrite(NodeId src, NodeId home, Addr line)
+{
+    carve_assert(src != home && home < gpus_.size());
+    net_.send(src, home, cfg_.line_size, [this, src, home, line] {
+        gpus_[home]->serviceRemoteWrite(line);
+        if (vi_)
+            vi_->onWrite(home, src, line);
+    });
+}
+
+void
+MultiGpuSystem::cpuRead(NodeId src, Addr line, Callback done)
+{
+    (void)line;
+    net_.sendToCpu(src, cfg_.link.ctrl_packet_size,
+        [this, src, done = std::move(done)]() mutable {
+            eq_.scheduleAfter(cfg_.link.cpu_mem_latency,
+                [this, src, done = std::move(done)]() mutable {
+                    net_.sendFromCpu(src, cfg_.line_size,
+                                     std::move(done));
+                });
+        });
+}
+
+void
+MultiGpuSystem::cpuWrite(NodeId src, Addr line)
+{
+    (void)line;
+    net_.sendToCpu(src, cfg_.line_size, Network::Callback());
+}
+
+void
+MultiGpuSystem::bulkTransfer(NodeId src, NodeId dst,
+                             std::uint64_t bytes)
+{
+    if (src == dst)
+        return;
+    bulk_bytes_ += bytes;
+    if (!cfg_.numa.charge_bulk_transfers)
+        return;
+    if (src == cpu_node) {
+        net_.sendFromCpu(dst, bytes, Network::Callback());
+    } else if (dst == cpu_node) {
+        net_.sendToCpu(src, bytes, Network::Callback());
+    } else {
+        net_.send(src, dst, bytes, Network::Callback());
+    }
+}
+
+void
+MultiGpuSystem::coherenceLocalAccess(NodeId home, Addr line,
+                                     AccessType type)
+{
+    if (!vi_)
+        return;
+    if (isWrite(type))
+        vi_->onWrite(home, home, line);
+    else
+        vi_->onRead(home, home, line);
+}
+
+std::uint64_t
+MultiGpuSystem::totalInstsIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &gpu : gpus_)
+        total += gpu->instsIssued();
+    return total;
+}
+
+} // namespace carve

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MultiGpuSystem: the complete simulated machine. Owns the event
+ * queue, the NUMA runtime, the interconnect, the coherence engine and
+ * every GPU node; implements SystemFabric to route off-chip traffic;
+ * and sequences kernel launches with global barriers and software-
+ * coherence actions at every boundary.
+ */
+
+#ifndef CARVE_CORE_MULTI_GPU_SYSTEM_HH
+#define CARVE_CORE_MULTI_GPU_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coherence/gpu_vi.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "gpu/cta_scheduler.hh"
+#include "gpu/fabric.hh"
+#include "gpu/gpu.hh"
+#include "interconnect/network.hh"
+#include "numa/page_manager.hh"
+#include "workloads/workload.hh"
+
+namespace carve {
+
+/**
+ * The paper's 4-GPU machine (any GPU count works). Construct with a
+ * validated SystemConfig and a Workload, then call run().
+ */
+class MultiGpuSystem : public SystemFabric
+{
+  public:
+    /**
+     * @param cfg system configuration (copied; validated here)
+     * @param wl trace source (must outlive the system)
+     * @param profile_lines line-granularity sharing profiling (costs
+     *        memory proportional to touched lines; disable for pure
+     *        timing runs)
+     */
+    MultiGpuSystem(const SystemConfig &cfg, const Workload &wl,
+                   bool profile_lines = true);
+
+    /**
+     * Execute the whole trace.
+     * @param max_cycles safety abort (0 == unlimited)
+     * @return total cycles from first launch to last kernel's end
+     */
+    Cycle run(Cycle max_cycles = 0);
+
+    /** True once every kernel has completed. */
+    bool finished() const { return finished_; }
+
+    /** End-to-end runtime (valid after run()). */
+    Cycle finishTime() const { return finish_time_; }
+
+    /** Current simulation time. */
+    Cycle now() const { return eq_.now(); }
+
+    // ---- SystemFabric ----------------------------------------------
+    void remoteRead(NodeId src, NodeId home, Addr line,
+                    Callback done) override;
+    void remoteWrite(NodeId src, NodeId home, Addr line) override;
+    void cpuRead(NodeId src, Addr line, Callback done) override;
+    void cpuWrite(NodeId src, Addr line) override;
+    void bulkTransfer(NodeId src, NodeId dst,
+                      std::uint64_t bytes) override;
+    void coherenceLocalAccess(NodeId home, Addr line,
+                              AccessType type) override;
+
+    // ---- introspection ---------------------------------------------
+    const SystemConfig &config() const { return cfg_; }
+    EventQueue &eventQueue() { return eq_; }
+    PageManager &pages() { return pages_; }
+    const PageManager &pages() const { return pages_; }
+    Network &network() { return net_; }
+    const Network &network() const { return net_; }
+    GpuNode &gpu(unsigned i) { return *gpus_[i]; }
+    const GpuNode &gpu(unsigned i) const { return *gpus_[i]; }
+    unsigned numGpus() const
+    {
+        return static_cast<unsigned>(gpus_.size());
+    }
+    const GpuVi *gpuVi() const
+    {
+        return vi_ ? &*vi_ : nullptr;
+    }
+    const CtaScheduler &scheduler() const { return sched_; }
+    const Workload &workload() const { return wl_; }
+
+    /** Total warp instructions issued so far. */
+    std::uint64_t totalInstsIssued() const;
+
+    /** Page-copy bytes moved by the NUMA runtime (charged to links
+     * only when numa.charge_bulk_transfers is set). */
+    std::uint64_t bulkBytes() const { return bulk_bytes_; }
+
+  private:
+    void launchKernel(KernelId k);
+    void onGpuKernelDone(NodeId gpu);
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    const Workload &wl_;
+    PageManager pages_;
+    Network net_;
+    std::optional<GpuVi> vi_;
+    std::vector<std::unique_ptr<GpuNode>> gpus_;
+    CtaScheduler sched_;
+
+    KernelId cur_kernel_ = 0;
+    unsigned gpus_done_ = 0;
+    bool finished_ = false;
+    Cycle finish_time_ = 0;
+    std::uint64_t bulk_bytes_ = 0;
+};
+
+} // namespace carve
+
+#endif // CARVE_CORE_MULTI_GPU_SYSTEM_HH

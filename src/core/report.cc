@@ -1,0 +1,109 @@
+#include "core/report.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "core/multi_gpu_system.hh"
+
+namespace carve {
+
+SimResult
+collectResult(const MultiGpuSystem &sys, const std::string &workload,
+              const std::string &preset)
+{
+    SimResult r;
+    r.workload = workload;
+    r.preset = preset;
+    r.cycles = sys.finished() ? sys.finishTime() : sys.now();
+    r.warp_insts = sys.totalInstsIssued();
+
+    std::uint64_t l2_hits = 0, l2_misses = 0;
+    for (unsigned g = 0; g < sys.numGpus(); ++g) {
+        const GpuNode &gpu = sys.gpu(g);
+        const GpuTraffic &t = gpu.traffic();
+        r.traffic.local_reads += t.local_reads;
+        r.traffic.remote_reads += t.remote_reads;
+        r.traffic.rdc_hit_reads += t.rdc_hit_reads;
+        r.traffic.cpu_reads += t.cpu_reads;
+        r.traffic.local_writes += t.local_writes;
+        r.traffic.remote_writes += t.remote_writes;
+        r.traffic.cpu_writes += t.cpu_writes;
+        l2_hits += gpu.l2().hits();
+        l2_misses += gpu.l2().misses();
+        if (const RdcController *rdc = gpu.rdc()) {
+            r.rdc_hits += rdc->readHits();
+            r.rdc_misses += rdc->readMisses();
+        }
+    }
+    r.frac_remote = r.traffic.fracRemote();
+    r.l2_hit_rate = (l2_hits + l2_misses) == 0
+        ? 0.0
+        : static_cast<double>(l2_hits) /
+              static_cast<double>(l2_hits + l2_misses);
+
+    r.gpu_gpu_bytes = sys.network().totalGpuGpuBytes();
+    r.cpu_gpu_bytes = sys.network().totalCpuGpuBytes();
+    if (const GpuVi *vi = sys.gpuVi())
+        r.hw_invalidates = vi->invalidatesSent();
+
+    const PageManager &pages = sys.pages();
+    r.migrations = pages.migration().migrations();
+    r.replications = pages.replication().replications();
+    r.collapses = pages.replication().collapses();
+    r.um_migrations = pages.unifiedMemory().migrationsIn();
+    r.capacity_pressure = pages.table().capacityPressure();
+
+    const SharingProfiler &prof = pages.profiler();
+    r.page_sharing = prof.pageBreakdown();
+    r.line_sharing = prof.lineBreakdown();
+    r.shared_page_footprint = prof.sharedPageFootprint();
+    r.shared_line_footprint = prof.sharedLineFootprint();
+    r.total_page_footprint = prof.totalPageFootprint();
+    return r;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        if (v <= 0.0)
+            fatal("geomean: non-positive value %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+speedupOver(const SimResult &baseline, const SimResult &result)
+{
+    if (result.cycles == 0)
+        fatal("speedupOver: zero-cycle result");
+    return static_cast<double>(baseline.cycles) /
+        static_cast<double>(result.cycles);
+}
+
+void
+printSummary(std::ostream &os, const SimResult &r)
+{
+    os << std::left << std::setw(14) << r.workload << " "
+       << std::setw(20) << r.preset
+       << " cycles=" << std::setw(10) << r.cycles
+       << " ipc=" << std::fixed << std::setprecision(2)
+       << std::setw(6) << r.ipc()
+       << " remote=" << std::setprecision(1)
+       << r.frac_remote * 100.0 << "%"
+       << " l2hit=" << r.l2_hit_rate * 100.0 << "%";
+    if (r.rdc_hits + r.rdc_misses > 0) {
+        os << " rdchit="
+           << 100.0 * static_cast<double>(r.rdc_hits) /
+                  static_cast<double>(r.rdc_hits + r.rdc_misses)
+           << "%";
+    }
+    os << "\n";
+}
+
+} // namespace carve

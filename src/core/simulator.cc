@@ -1,0 +1,25 @@
+#include "core/simulator.hh"
+
+#include "core/multi_gpu_system.hh"
+
+namespace carve {
+
+SimResult
+runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
+              const std::string &preset_label, const RunOptions &opt)
+{
+    SyntheticWorkload wl(params, cfg.line_size, opt.seed);
+    MultiGpuSystem sys(cfg, wl, opt.profile_lines);
+    sys.run(opt.max_cycles);
+    return collectResult(sys, params.name, preset_label);
+}
+
+SimResult
+runPreset(Preset preset, const SystemConfig &base,
+          const WorkloadParams &params, const RunOptions &opt)
+{
+    return runSimulation(makePreset(preset, base), params,
+                         presetName(preset), opt);
+}
+
+} // namespace carve

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One-call simulation driver: workload description + configuration in,
+ * SimResult out. This is the primary public entry point of the
+ * library (see examples/quickstart.cpp).
+ */
+
+#ifndef CARVE_CORE_SIMULATOR_HH
+#define CARVE_CORE_SIMULATOR_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "core/report.hh"
+#include "core/system_preset.hh"
+#include "workloads/synthetic.hh"
+
+namespace carve {
+
+/** Options for a single simulation run. */
+struct RunOptions
+{
+    /** Safety abort; 0 == unlimited. */
+    Cycle max_cycles = 0;
+    /** Line-granularity sharing profiling (memory-hungry). */
+    bool profile_lines = true;
+    /** Trace RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build a system from @p cfg, run @p params through it, and collect
+ * the result. @p preset_label is recorded in the result for
+ * reporting.
+ */
+SimResult runSimulation(const SystemConfig &cfg,
+                        const WorkloadParams &params,
+                        const std::string &preset_label,
+                        const RunOptions &opt = {});
+
+/**
+ * Convenience: run @p params on a named preset derived from @p base.
+ */
+SimResult runPreset(Preset preset, const SystemConfig &base,
+                    const WorkloadParams &params,
+                    const RunOptions &opt = {});
+
+} // namespace carve
+
+#endif // CARVE_CORE_SIMULATOR_HH

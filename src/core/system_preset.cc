@@ -1,0 +1,72 @@
+#include "core/system_preset.hh"
+
+namespace carve {
+
+const char *
+presetName(Preset p)
+{
+    switch (p) {
+      case Preset::SingleGpu: return "1-GPU";
+      case Preset::NumaGpu: return "NUMA-GPU";
+      case Preset::NumaGpuMigration: return "NUMA-GPU+Migration";
+      case Preset::NumaGpuReplRO: return "NUMA-GPU+Repl-RO";
+      case Preset::CarveNoCoherence: return "CARVE-No-Coherence";
+      case Preset::CarveSwc: return "CARVE-SWC";
+      case Preset::CarveHwc: return "CARVE-HWC";
+      case Preset::Ideal: return "Ideal-NUMA-GPU";
+    }
+    return "?";
+}
+
+SystemConfig
+makePreset(Preset preset, const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    // Policy-neutral starting point.
+    cfg.numa.placement = PlacementPolicy::FirstTouch;
+    cfg.numa.replication = ReplicationPolicy::None;
+    cfg.numa.migration = false;
+    cfg.numa.llc_caches_remote = true;
+    cfg.rdc.enabled = false;
+
+    switch (preset) {
+      case Preset::SingleGpu:
+        cfg.num_gpus = 1;
+        cfg.numa.placement = PlacementPolicy::LocalOnly;
+        break;
+      case Preset::NumaGpu:
+        break;
+      case Preset::NumaGpuMigration:
+        cfg.numa.migration = true;
+        break;
+      case Preset::NumaGpuReplRO:
+        cfg.numa.replication = ReplicationPolicy::ReadOnly;
+        break;
+      case Preset::CarveNoCoherence:
+        cfg.rdc.enabled = true;
+        cfg.rdc.coherence = RdcCoherence::None;
+        break;
+      case Preset::CarveSwc:
+        cfg.rdc.enabled = true;
+        cfg.rdc.coherence = RdcCoherence::Software;
+        break;
+      case Preset::CarveHwc:
+        cfg.rdc.enabled = true;
+        cfg.rdc.coherence = RdcCoherence::HardwareVI;
+        break;
+      case Preset::Ideal:
+        cfg.numa.replication = ReplicationPolicy::All;
+        break;
+    }
+    return cfg;
+}
+
+std::vector<Preset>
+comparisonPresets()
+{
+    return {Preset::NumaGpu, Preset::NumaGpuMigration,
+            Preset::NumaGpuReplRO, Preset::CarveNoCoherence,
+            Preset::CarveSwc, Preset::CarveHwc, Preset::Ideal};
+}
+
+} // namespace carve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Named system configurations matching the lines of the paper's
+ * figures, all derived from one base (Table III) configuration.
+ */
+
+#ifndef CARVE_CORE_SYSTEM_PRESET_HH
+#define CARVE_CORE_SYSTEM_PRESET_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace carve {
+
+/** The evaluated system variants. */
+enum class Preset : std::uint8_t {
+    SingleGpu,        ///< 1-GPU baseline for speedup normalization
+    NumaGpu,          ///< NUMA-GPU [16]: FT placement + LLC remote
+                      ///< caching with software coherence
+    NumaGpuMigration, ///< NUMA-GPU + page migration
+    NumaGpuReplRO,    ///< NUMA-GPU + read-only page replication
+    CarveNoCoherence, ///< CARVE upper bound: zero-cost coherence
+    CarveSwc,         ///< CARVE + software (epoch) coherence
+    CarveHwc,         ///< CARVE + GPU-VI/IMST hardware coherence
+    Ideal,            ///< replicate ALL shared pages at zero cost
+};
+
+/** Display name (matches figure legends). */
+const char *presetName(Preset p);
+
+/**
+ * Build the configuration of @p preset from @p base (typically
+ * Table III scaled). Only policy fields change; geometry is shared
+ * so comparisons are apples-to-apples.
+ */
+SystemConfig makePreset(Preset preset, const SystemConfig &base);
+
+/** Presets in figure order (excluding SingleGpu). */
+std::vector<Preset> comparisonPresets();
+
+} // namespace carve
+
+#endif // CARVE_CORE_SYSTEM_PRESET_HH

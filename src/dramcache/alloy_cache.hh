@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Alloy-style direct-mapped DRAM cache structure (Qureshi & Loh,
+ * MICRO '12), used as the Remote Data Cache carve-out (Figure 7).
+ *
+ * Tags are stored with data (in spare HBM ECC bits), so one DRAM
+ * access returns both; the structure here tracks tag/epoch/valid/dirty
+ * state while the owning RdcController charges the DRAM timing.
+ *
+ * The tag store is sparse (hash map keyed by set) so multi-GB
+ * carve-outs cost memory proportional to the *touched* footprint, not
+ * the configured capacity.
+ */
+
+#ifndef CARVE_DRAMCACHE_ALLOY_CACHE_HH
+#define CARVE_DRAMCACHE_ALLOY_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/** Outcome of an RDC lookup. */
+enum class RdcLookup : std::uint8_t {
+    Hit,        ///< tag and epoch match
+    Miss,       ///< set empty or tag mismatch
+    StaleEpoch, ///< tag matches but the line is from an old epoch
+};
+
+/**
+ * Direct-mapped tags-with-data cache keyed by line address.
+ * Set index = line number mod number of sets.
+ */
+class AlloyCache
+{
+  public:
+    /**
+     * @param size carve-out capacity in bytes
+     * @param line_size line size in bytes
+     */
+    AlloyCache(std::uint64_t size, std::uint64_t line_size);
+
+    /**
+     * Probe the set holding @p line_addr.
+     * @param epoch current EPCTR value of the accessing kernel
+     */
+    RdcLookup lookup(Addr line_addr, std::uint32_t epoch);
+
+    /**
+     * Install @p line_addr, displacing whatever occupied its set.
+     * @param epoch EPCTR value stored with the line
+     * @param dirty install in dirty state (write-back mode)
+     * @return true when a valid different line was displaced
+     */
+    bool insert(Addr line_addr, std::uint32_t epoch, bool dirty = false);
+
+    /**
+     * Mark a resident, epoch-current line dirty (write-back mode).
+     * @return true when the line was resident and marked
+     */
+    bool markDirty(Addr line_addr, std::uint32_t epoch);
+
+    /**
+     * Stat-free structural probe (coherence logic and tests).
+     * @return true when an epoch-current copy is resident
+     */
+    bool peek(Addr line_addr, std::uint32_t epoch) const;
+
+    /** Drop @p line_addr if resident (hardware write-invalidate).
+     * @return true when a valid line was dropped */
+    bool invalidateLine(Addr line_addr);
+
+    /** Physically clear every set (EPCTR rollover). */
+    void resetAll();
+
+    /** Set index of @p line_addr (channel interleave uses this). */
+    std::uint64_t
+    setIndex(Addr line_addr) const
+    {
+        return (line_addr / line_size_) % sets_;
+    }
+
+    /**
+     * Local physical address of a set's storage inside the carve-out
+     * (relative to the carve-out base); interleaves across channels
+     * exactly like ordinary memory.
+     */
+    Addr
+    setStorageOffset(Addr line_addr) const
+    {
+        return setIndex(line_addr) * line_size_;
+    }
+
+    std::uint64_t numSets() const { return sets_; }
+    std::uint64_t capacity() const { return sets_ * line_size_; }
+
+    /** Number of sets currently tracked (== touched). */
+    std::size_t touchedSets() const { return sets_map_.size(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t staleHits() const { return stale_.value(); }
+    std::uint64_t conflictEvictions() const { return conflicts_.value(); }
+
+    /** Hit rate counting stale-epoch probes as misses. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total =
+            hits_.value() + misses_.value() + stale_.value();
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits_.value()) /
+                  static_cast<double>(total);
+    }
+
+  private:
+    struct SetEntry
+    {
+        Addr tag;             ///< full line address
+        std::uint32_t epoch;
+        bool valid;
+        bool dirty;
+    };
+
+    std::uint64_t line_size_;
+    std::uint64_t sets_;
+    std::unordered_map<std::uint64_t, SetEntry> sets_map_;
+
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar stale_;
+    stats::Scalar conflicts_;
+};
+
+} // namespace carve
+
+#endif // CARVE_DRAMCACHE_ALLOY_CACHE_HH

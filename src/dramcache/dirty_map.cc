@@ -1,0 +1,28 @@
+#include "dramcache/dirty_map.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+DirtyMap::DirtyMap(std::uint64_t region_size)
+    : region_size_(region_size)
+{
+    if (!isPowerOf2(region_size))
+        fatal("DirtyMap: region size must be a power of two");
+}
+
+void
+DirtyMap::markDirty(Addr rdc_offset)
+{
+    regions_.insert(rdc_offset / region_size_);
+    ++markings_;
+}
+
+bool
+DirtyMap::isDirty(Addr rdc_offset) const
+{
+    return regions_.contains(rdc_offset / region_size_);
+}
+
+} // namespace carve

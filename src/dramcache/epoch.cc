@@ -1,0 +1,27 @@
+#include "dramcache/epoch.hh"
+
+#include "common/logging.hh"
+
+namespace carve {
+
+EpochCounter::EpochCounter(unsigned bits)
+{
+    if (bits == 0 || bits > 31)
+        fatal("EpochCounter: width must be 1..31 bits");
+    max_ = (1u << bits) - 1;
+}
+
+bool
+EpochCounter::increment()
+{
+    ++increments_;
+    if (value_ == max_) {
+        value_ = 0;
+        ++rollovers_;
+        return true;
+    }
+    ++value_;
+    return false;
+}
+
+} // namespace carve

@@ -1,0 +1,60 @@
+#include "dramcache/hit_predictor.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+HitPredictor::HitPredictor(unsigned table_entries, unsigned region_bits)
+    : region_bits_(region_bits),
+      table_(table_entries, 4)  // weakly predict hit initially
+{
+    if (!isPowerOf2(table_entries))
+        fatal("HitPredictor: table size must be a power of two");
+}
+
+std::size_t
+HitPredictor::indexOf(Addr line_addr) const
+{
+    const std::uint64_t region = line_addr >> region_bits_;
+    // Mix the region id so nearby regions don't collide trivially.
+    const std::uint64_t h = region * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 32) & (table_.size() - 1);
+}
+
+bool
+HitPredictor::predictHit(Addr line_addr) const
+{
+    return table_[indexOf(line_addr)] >= 4;
+}
+
+void
+HitPredictor::update(Addr line_addr, bool was_hit)
+{
+    const bool predicted_hit = predictHit(line_addr);
+    if (predicted_hit == was_hit)
+        ++correct_;
+    else
+        ++wrong_;
+
+    std::uint8_t &ctr = table_[indexOf(line_addr)];
+    if (was_hit) {
+        if (ctr < 7)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+double
+HitPredictor::accuracy() const
+{
+    const std::uint64_t total = correct_.value() + wrong_.value();
+    return total == 0
+        ? 1.0
+        : static_cast<double>(correct_.value()) /
+              static_cast<double>(total);
+}
+
+} // namespace carve

@@ -1,0 +1,163 @@
+#include "dramcache/rdc_controller.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+RdcController::RdcController(EventQueue &eq, const SystemConfig &cfg,
+                             NodeId self, MemoryController &local_mem,
+                             RdcRemoteOps ops)
+    : eq_(eq), cfg_(cfg), self_(self), local_mem_(local_mem),
+      ops_(std::move(ops)),
+      alloy_(cfg.rdc.size, cfg.line_size),
+      epoch_(cfg.rdc.epoch_bits),
+      mshrs_(1024),
+      carve_base_(cfg.dram.capacity - cfg.rdc.size)
+{
+    carve_assert(cfg.rdc.enabled);
+    carve_assert(ops_.fetch_remote && ops_.write_remote);
+}
+
+Addr
+RdcController::storageAddr(Addr line_addr) const
+{
+    return carve_base_ + alloy_.setStorageOffset(line_addr);
+}
+
+void
+RdcController::read(NodeId home, Addr line_addr, Callback done)
+{
+    carve_assert(home != self_);
+
+    const RdcLookup outcome = alloy_.lookup(line_addr, epoch_.current());
+    const bool hit = outcome == RdcLookup::Hit;
+    const bool use_predictor = cfg_.rdc.hit_predictor;
+    const bool predicted_hit =
+        use_predictor ? predictor_.predictHit(line_addr) : true;
+    if (use_predictor)
+        predictor_.update(line_addr, hit);
+
+    if (hit) {
+        ++read_hits_;
+        // Tags-with-data: the single probe access returns the line.
+        eq_.scheduleAfter(cfg_.rdc.controller_latency,
+            [this, line_addr, done = std::move(done)]() mutable {
+                local_mem_.access(storageAddr(line_addr),
+                                  AccessType::Read, std::move(done));
+            });
+        return;
+    }
+
+    ++read_misses_;
+    if (use_predictor && !predicted_hit) {
+        // Predicted miss: overlap the verification probe with the
+        // remote fetch. The probe still consumes local bandwidth.
+        ++bypasses_;
+        local_mem_.access(storageAddr(line_addr), AccessType::Read,
+                          Callback());
+        handleMiss(home, line_addr, /* serialized */ false,
+                   std::move(done));
+    } else {
+        // Serialized probe-then-fetch: the RandAccess pathology.
+        eq_.scheduleAfter(cfg_.rdc.controller_latency,
+            [this, home, line_addr,
+             done = std::move(done)]() mutable {
+                local_mem_.access(storageAddr(line_addr),
+                                  AccessType::Read,
+                    [this, home, line_addr,
+                     done = std::move(done)]() mutable {
+                        handleMiss(home, line_addr, true,
+                                   std::move(done));
+                    });
+            });
+    }
+}
+
+void
+RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
+                          Callback done)
+{
+    (void)serialized;
+    const MshrOutcome out = mshrs_.allocate(line_addr, std::move(done));
+    if (out == MshrOutcome::Full) {
+        // The RDC MSHR file is generously sized; overflowing it means
+        // a pathological configuration rather than expected load.
+        panic("RdcController: MSHR overflow at node %u",
+              static_cast<unsigned>(self_));
+    }
+    if (out != MshrOutcome::NewEntry)
+        return;
+
+    ops_.fetch_remote(home, line_addr, [this, line_addr] {
+        alloy_.insert(line_addr, epoch_.current(), false);
+        // Fill write into the carve-out is posted.
+        local_mem_.access(storageAddr(line_addr), AccessType::Write,
+                          Callback());
+        mshrs_.complete(line_addr);
+    });
+}
+
+void
+RdcController::write(NodeId home, Addr line_addr)
+{
+    carve_assert(home != self_);
+
+    if (cfg_.rdc.write_policy == RdcWritePolicy::WriteThrough) {
+        // Update in place when resident so later reads stay hits.
+        if (alloy_.lookup(line_addr, epoch_.current()) ==
+                RdcLookup::Hit) {
+            ++write_updates_;
+            local_mem_.access(storageAddr(line_addr),
+                              AccessType::Write, Callback());
+        }
+        ++write_throughs_;
+        ops_.write_remote(home, line_addr);
+        return;
+    }
+
+    // Write-back: allocate on write, defer propagation to the flush.
+    if (alloy_.lookup(line_addr, epoch_.current()) != RdcLookup::Hit)
+        alloy_.insert(line_addr, epoch_.current(), true);
+    else
+        alloy_.markDirty(line_addr, epoch_.current());
+    local_mem_.access(storageAddr(line_addr), AccessType::Write,
+                      Callback());
+    dirty_map_.markDirty(alloy_.setStorageOffset(line_addr));
+    ++write_updates_;
+}
+
+Cycle
+RdcController::kernelBoundarySwc()
+{
+    Cycle stall = 0;
+    if (cfg_.rdc.write_policy == RdcWritePolicy::WriteBack) {
+        // Dirty regions must reach their homes before the next kernel
+        // may consume them. Worst-case serialization over one link.
+        const std::uint64_t bytes = dirty_map_.dirtyBytes();
+        stall = static_cast<Cycle>(
+            static_cast<double>(bytes) / cfg_.link.gpu_gpu_bw);
+        dirty_map_.clear();
+    }
+    if (epoch_.increment()) {
+        // Rollover: the controller physically clears every line.
+        alloy_.resetAll();
+    }
+    return stall;
+}
+
+bool
+RdcController::invalidateLine(Addr line_addr)
+{
+    ++hw_invalidates_;
+    return alloy_.invalidateLine(line_addr);
+}
+
+bool
+RdcController::contains(Addr line_addr)
+{
+    return alloy_.peek(line_addr, epoch_.current());
+}
+
+} // namespace carve

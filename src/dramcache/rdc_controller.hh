@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CARVE Remote Data Cache controller.
+ *
+ * Sits between the GPU LLC and the local memory controller. LLC misses
+ * to *remote-homed* lines probe the RDC carve-out (one local DRAM
+ * access, tags-with-data); hits are serviced at local bandwidth, misses
+ * fetch from the home GPU over the NUMA link and install into the
+ * carve-out. Local-homed lines never touch the RDC (no benefit,
+ * Section IV-A of the paper).
+ */
+
+#ifndef CARVE_DRAMCACHE_RDC_CONTROLLER_HH
+#define CARVE_DRAMCACHE_RDC_CONTROLLER_HH
+
+#include <functional>
+
+#include "cache/mshr.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/dirty_map.hh"
+#include "dramcache/epoch.hh"
+#include "dramcache/hit_predictor.hh"
+#include "mem/memory_controller.hh"
+
+namespace carve {
+
+/**
+ * Callbacks into the rest of the system, wired by MultiGpuSystem.
+ * Keeping them as std::function decouples the dramcache module from
+ * the GPU/network modules and makes the controller unit-testable.
+ */
+struct RdcRemoteOps
+{
+    /** Fetch @p line from @p home; callback fires when the data has
+     * arrived at this GPU. */
+    std::function<void(NodeId home, Addr line,
+                       std::function<void()> done)> fetch_remote;
+    /** Posted write-through of @p line to @p home. */
+    std::function<void(NodeId home, Addr line)> write_remote;
+};
+
+/**
+ * Per-GPU CARVE controller: Alloy RDC + EPCTR + optional dirty map and
+ * hit predictor, with all DRAM timing charged through the owning GPU's
+ * MemoryController (RDC sets share the channels with ordinary memory
+ * traffic, exactly like a carve-out of real HBM would).
+ */
+class RdcController
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param eq shared event queue
+     * @param cfg full system configuration
+     * @param self this GPU's node id
+     * @param local_mem this GPU's memory controller
+     * @param ops remote fetch / write-through plumbing
+     */
+    RdcController(EventQueue &eq, const SystemConfig &cfg, NodeId self,
+                  MemoryController &local_mem, RdcRemoteOps ops);
+
+    /**
+     * Service an LLC read miss to a remote-homed line.
+     * @param home the line's home node
+     * @param line_addr global line address
+     * @param done fires when the data is available at this GPU's LLC
+     */
+    void read(NodeId home, Addr line_addr, Callback done);
+
+    /**
+     * Service a write to a remote-homed line (posted).
+     * Write-through: update-in-place if resident and forward home.
+     * Write-back: write-allocate into the carve-out and mark dirty.
+     */
+    void write(NodeId home, Addr line_addr);
+
+    /**
+     * Kernel boundary under *software* coherence: bump the EPCTR
+     * (instant invalidation) and, in write-back mode, flush dirty
+     * regions to their homes.
+     * @return stall cycles the kernel launch must absorb
+     */
+    Cycle kernelBoundarySwc();
+
+    /** Inbound hardware write-invalidate for @p line_addr.
+     * @return true when a valid copy was dropped */
+    bool invalidateLine(Addr line_addr);
+
+    /** True when a current-epoch copy of the line is resident. */
+    bool contains(Addr line_addr);
+
+    const AlloyCache &alloy() const { return alloy_; }
+    const EpochCounter &epoch() const { return epoch_; }
+    const DirtyMap &dirtyMap() const { return dirty_map_; }
+    const HitPredictor &predictor() const { return predictor_; }
+
+    /** Reads serviced from the carve-out (NUMA traffic avoided). */
+    std::uint64_t readHits() const { return read_hits_.value(); }
+    /** Reads forwarded to the home node. */
+    std::uint64_t readMisses() const { return read_misses_.value(); }
+    /** Misses that overlapped the probe with the remote fetch thanks
+     * to the hit predictor. */
+    std::uint64_t predictedBypasses() const { return bypasses_.value(); }
+
+  private:
+    void handleMiss(NodeId home, Addr line_addr, bool serialized,
+                    Callback done);
+    Addr storageAddr(Addr line_addr) const;
+
+    EventQueue &eq_;
+    const SystemConfig &cfg_;
+    NodeId self_;
+    MemoryController &local_mem_;
+    RdcRemoteOps ops_;
+
+    AlloyCache alloy_;
+    EpochCounter epoch_;
+    DirtyMap dirty_map_;
+    HitPredictor predictor_;
+    MshrFile mshrs_;
+
+    /** Carve-out base inside local physical memory (top of DRAM). */
+    Addr carve_base_;
+
+    stats::Scalar read_hits_;
+    stats::Scalar read_misses_;
+    stats::Scalar write_updates_;
+    stats::Scalar write_throughs_;
+    stats::Scalar bypasses_;
+    stats::Scalar hw_invalidates_;
+};
+
+} // namespace carve
+
+#endif // CARVE_DRAMCACHE_RDC_CONTROLLER_HH

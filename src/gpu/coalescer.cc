@@ -1,0 +1,33 @@
+#include "gpu/coalescer.hh"
+
+#include "common/units.hh"
+
+namespace carve {
+
+CoalesceResult
+coalesce(std::span<const Addr> lane_addrs, std::uint64_t line_size,
+         WarpInstruction &out)
+{
+    CoalesceResult res{0, 0};
+    for (const Addr a : lane_addrs) {
+        const Addr line = alignDown(a, line_size);
+        bool seen = false;
+        for (unsigned i = 0; i < res.num_lines; ++i) {
+            if (out.lines[i] == line) {
+                seen = true;
+                break;
+            }
+        }
+        if (seen)
+            continue;
+        if (res.num_lines >= max_lines_per_inst) {
+            ++res.dropped;
+            continue;
+        }
+        out.lines[res.num_lines++] = line;
+    }
+    out.num_lines = res.num_lines;
+    return res;
+}
+
+} // namespace carve

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Memory coalescer: collapses the 32 per-lane addresses of a warp
+ * access into the distinct cache lines actually requested, exactly as
+ * a GPU load/store unit does. Workload generators use it to turn
+ * lane-level access patterns into WarpInstruction line lists.
+ */
+
+#ifndef CARVE_GPU_COALESCER_HH
+#define CARVE_GPU_COALESCER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+#include "workloads/workload.hh"
+
+namespace carve {
+
+/**
+ * Coalesce @p lane_addrs (any count) into distinct line addresses.
+ *
+ * @param lane_addrs per-lane byte addresses
+ * @param line_size line size in bytes (power of two)
+ * @param out receives up to max_lines_per_inst distinct lines; when
+ *        a warp diverges across more lines than fit, the extra lines
+ *        are dropped and counted in the return value's second member
+ * @return {lines written to out, lines dropped}
+ */
+struct CoalesceResult
+{
+    std::uint8_t num_lines;
+    std::uint8_t dropped;
+};
+
+CoalesceResult coalesce(std::span<const Addr> lane_addrs,
+                        std::uint64_t line_size, WarpInstruction &out);
+
+} // namespace carve
+
+#endif // CARVE_GPU_COALESCER_HH

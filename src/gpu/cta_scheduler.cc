@@ -1,0 +1,73 @@
+#include "gpu/cta_scheduler.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+CtaScheduler::CtaScheduler(unsigned num_gpus)
+    : num_gpus_(num_gpus), next_(num_gpus, 0), end_(num_gpus, 0),
+      start_(num_gpus, 0)
+{
+    if (num_gpus == 0)
+        fatal("CtaScheduler: need at least one GPU");
+}
+
+void
+CtaScheduler::launchKernel(std::uint64_t num_ctas)
+{
+    total_ = num_ctas;
+    retired_ = 0;
+    // Contiguous batches; the first (num_ctas % num_gpus) GPUs take
+    // one extra CTA so every CTA is assigned.
+    const std::uint64_t base = num_ctas / num_gpus_;
+    const std::uint64_t extra = num_ctas % num_gpus_;
+    CtaId cursor = 0;
+    for (unsigned g = 0; g < num_gpus_; ++g) {
+        const std::uint64_t batch = base + (g < extra ? 1 : 0);
+        start_[g] = cursor;
+        next_[g] = cursor;
+        cursor += batch;
+        end_[g] = cursor;
+    }
+    carve_assert(cursor == num_ctas);
+}
+
+std::optional<CtaId>
+CtaScheduler::nextCta(NodeId gpu)
+{
+    carve_assert(gpu < num_gpus_);
+    if (next_[gpu] >= end_[gpu])
+        return std::nullopt;
+    return next_[gpu]++;
+}
+
+void
+CtaScheduler::retireCta()
+{
+    carve_assert(retired_ < total_);
+    ++retired_;
+}
+
+std::uint64_t
+CtaScheduler::remaining(NodeId gpu) const
+{
+    carve_assert(gpu < num_gpus_);
+    return end_[gpu] - next_[gpu];
+}
+
+CtaId
+CtaScheduler::batchStart(NodeId gpu) const
+{
+    carve_assert(gpu < num_gpus_);
+    return start_[gpu];
+}
+
+CtaId
+CtaScheduler::batchEnd(NodeId gpu) const
+{
+    carve_assert(gpu < num_gpus_);
+    return end_[gpu];
+}
+
+} // namespace carve

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SystemFabric: everything a GPU node needs from the outside world
+ * (remote memories, the CPU, coherence). Implemented by
+ * MultiGpuSystem; mocked in unit tests.
+ */
+
+#ifndef CARVE_GPU_FABRIC_HH
+#define CARVE_GPU_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace carve {
+
+/**
+ * Off-chip service interface of one GPU node.
+ *
+ * All read calls deliver data to the requester via the callback; all
+ * write calls are posted. Coherence notifications happen inside the
+ * fabric at the access's home node, so protocol logic lives in one
+ * place regardless of which GPU initiated the access.
+ */
+class SystemFabric
+{
+  public:
+    using Callback = std::function<void()>;
+
+    virtual ~SystemFabric() = default;
+
+    /**
+     * Read @p line from GPU @p home's memory on behalf of @p src.
+     * Charges request + data link traffic and the home DRAM access;
+     * fires IMST read tracking at the home.
+     */
+    virtual void remoteRead(NodeId src, NodeId home, Addr line,
+                            Callback done) = 0;
+
+    /**
+     * Posted write-through of @p line to GPU @p home's memory.
+     * Fires coherence write handling (possible invalidate broadcast)
+     * when the write reaches the home.
+     */
+    virtual void remoteWrite(NodeId src, NodeId home, Addr line) = 0;
+
+    /** Read @p line from CPU system memory (Unified Memory path). */
+    virtual void cpuRead(NodeId src, Addr line, Callback done) = 0;
+
+    /** Posted write of @p line to CPU system memory. */
+    virtual void cpuWrite(NodeId src, Addr line) = 0;
+
+    /**
+     * Posted page-sized bulk transfer (migration / replication / UM
+     * page move). @p src may be cpu_node.
+     */
+    virtual void bulkTransfer(NodeId src, NodeId dst,
+                              std::uint64_t bytes) = 0;
+
+    /**
+     * An access by @p home to its own memory reached the memory
+     * controller: run coherence tracking (a local write may need to
+     * invalidate remote copies of the line; a local read updates the
+     * sharing tracker).
+     */
+    virtual void coherenceLocalAccess(NodeId home, Addr line,
+                                      AccessType type) = 0;
+};
+
+} // namespace carve
+
+#endif // CARVE_GPU_FABRIC_HH

@@ -1,0 +1,322 @@
+#include "gpu/gpu.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+namespace {
+
+/** Cycles between retries when the L2 MSHR file is full. */
+constexpr Cycle l2_mshr_retry_delay = 16;
+
+} // namespace
+
+double
+GpuTraffic::fracRemote() const
+{
+    const std::uint64_t t = total();
+    if (t == 0)
+        return 0.0;
+    // CPU traffic also leaves the package but the paper's Figure 8
+    // counts GPU<->GPU NUMA traffic; CPU accesses are reported apart.
+    return static_cast<double>(remote_reads + remote_writes) /
+        static_cast<double>(t);
+}
+
+GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
+                 PageManager &pages, SystemFabric &fabric)
+    : eq_(eq), cfg_(cfg), id_(id), pages_(pages), fabric_(fabric),
+      l2_("l2", cfg.l2, cfg.line_size),
+      l2_mshrs_(cfg.l2.mshrs),
+      tlb_(cfg.tlb, cfg.core.sms_per_gpu, cfg.page_size),
+      mem_(eq, cfg)
+{
+    if (cfg.rdc.enabled) {
+        RdcRemoteOps ops;
+        ops.fetch_remote = [this](NodeId home, Addr line,
+                                  std::function<void()> done) {
+            fabric_.remoteRead(id_, home, line, std::move(done));
+        };
+        ops.write_remote = [this](NodeId home, Addr line) {
+            fabric_.remoteWrite(id_, home, line);
+        };
+        rdc_ = std::make_unique<RdcController>(eq, cfg, id, mem_,
+                                               std::move(ops));
+    }
+
+    Sm::Hooks hooks;
+    hooks.access_l2 = [this](Addr line, AccessType type,
+                             Callback done) {
+        accessFromSm(line, type, std::move(done));
+    };
+    hooks.record_access = [this](Addr line, AccessType type) {
+        pages_.recordAccess(line, id_, type);
+    };
+    hooks.translate = [this](SmId sm, Addr addr) {
+        return tlb_.translate(sm, addr).latency;
+    };
+    hooks.cta_retired = [this](SmId sm, CtaId cta) {
+        onCtaRetired(sm, cta);
+    };
+
+    sms_.reserve(cfg.core.sms_per_gpu);
+    for (unsigned s = 0; s < cfg.core.sms_per_gpu; ++s) {
+        const std::uint64_t jitter =
+            (static_cast<std::uint64_t>(id) << 32) | s;
+        sms_.push_back(std::make_unique<Sm>(eq, cfg, s, hooks,
+                                            jitter));
+    }
+}
+
+void
+GpuNode::setWorkload(const Workload *wl)
+{
+    wl_ = wl;
+    for (auto &sm : sms_)
+        sm->setWorkload(wl);
+}
+
+void
+GpuNode::startKernel(KernelId k, CtaScheduler &sched)
+{
+    carve_assert(wl_ != nullptr);
+    cur_kernel_ = k;
+    sched_ = &sched;
+
+    // Greedily fill every SM's CTA slots from this GPU's batch.
+    bool any = false;
+    for (auto &sm : sms_) {
+        while (sm->freeWarpSlots() >= wl_->warpsPerCta()) {
+            const auto cta = sched.nextCta(id_);
+            if (!cta)
+                break;
+            const bool started = sm->tryStartCta(k, *cta);
+            carve_assert(started);
+            ++live_ctas_;
+            any = true;
+        }
+        if (sched.remaining(id_) == 0)
+            break;
+    }
+
+    if (!any && live_ctas_ == 0) {
+        // Empty batch: report completion asynchronously.
+        eq_.schedule(eq_.now(), [this] { maybeFinishKernel(); });
+    }
+}
+
+void
+GpuNode::onCtaRetired(SmId sm, CtaId)
+{
+    carve_assert(sched_ != nullptr && live_ctas_ > 0);
+    --live_ctas_;
+    sched_->retireCta();
+
+    // Backfill the SM that freed capacity.
+    while (sms_[sm]->freeWarpSlots() >= wl_->warpsPerCta()) {
+        const auto cta = sched_->nextCta(id_);
+        if (!cta)
+            break;
+        const bool started = sms_[sm]->tryStartCta(cur_kernel_, *cta);
+        carve_assert(started);
+        ++live_ctas_;
+    }
+    maybeFinishKernel();
+}
+
+void
+GpuNode::maybeFinishKernel()
+{
+    if (live_ctas_ == 0 && sched_ != nullptr &&
+        sched_->remaining(id_) == 0 && kernel_done_cb_) {
+        kernel_done_cb_(id_);
+    }
+}
+
+bool
+GpuNode::busy() const
+{
+    if (live_ctas_ > 0)
+        return true;
+    return sched_ != nullptr && sched_->remaining(id_) > 0;
+}
+
+std::uint64_t
+GpuNode::instsIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->instsIssued();
+    return total;
+}
+
+Cycle
+GpuNode::kernelBoundary()
+{
+    for (auto &sm : sms_)
+        sm->invalidateL1();
+
+    Cycle stall = 0;
+    const bool hw_coherent = rdc_ &&
+        (cfg_.rdc.coherence == RdcCoherence::HardwareVI ||
+         cfg_.rdc.coherence == RdcCoherence::None);
+    if (!hw_coherent) {
+        // Software coherence: the LLC's remote lines are stale.
+        l2_.invalidateRemote();
+    }
+    if (rdc_ && cfg_.rdc.coherence == RdcCoherence::Software)
+        stall += rdc_->kernelBoundarySwc();
+    return stall;
+}
+
+void
+GpuNode::serviceRemoteRead(Addr line, Callback done)
+{
+    mem_.access(line, AccessType::Read, std::move(done));
+}
+
+void
+GpuNode::serviceRemoteWrite(Addr line)
+{
+    mem_.access(line, AccessType::Write, Callback());
+}
+
+void
+GpuNode::invalidateLine(Addr line)
+{
+    ++hw_invalidations_in_;
+    l2_.invalidateLine(line);
+    if (rdc_)
+        rdc_->invalidateLine(line);
+    for (auto &sm : sms_)
+        sm->invalidateL1Line(line);
+}
+
+void
+GpuNode::accessFromSm(Addr line, AccessType type, Callback done)
+{
+    eq_.scheduleAfter(cfg_.core.l1_to_l2_latency,
+        [this, line, type, done = std::move(done)]() mutable {
+            if (isWrite(type)) {
+                handleWrite(line);
+                return;
+            }
+            if (l2_.readProbe(line)) {
+                eq_.scheduleAfter(l2_.hitLatency(), std::move(done));
+                return;
+            }
+            handleL2ReadMiss(line, std::move(done));
+        });
+}
+
+void
+GpuNode::handleL2ReadMiss(Addr line, Callback done)
+{
+    // A full MSHR file cannot merge a new line: hold the request and
+    // retry without losing its callback.
+    if (!l2_mshrs_.outstanding(line) && l2_mshrs_.full()) {
+        eq_.scheduleAfter(l2_mshr_retry_delay,
+            [this, line, done = std::move(done)]() mutable {
+                handleL2ReadMiss(line, std::move(done));
+            });
+        return;
+    }
+
+    const MshrOutcome out = l2_mshrs_.allocate(line, std::move(done));
+    carve_assert(out != MshrOutcome::Full);
+    if (out == MshrOutcome::NewEntry) {
+        // Tag check latency before the fill heads off-chip/to DRAM.
+        eq_.scheduleAfter(l2_.hitLatency(),
+                          [this, line] { startFill(line); });
+    }
+}
+
+void
+GpuNode::startFill(Addr line)
+{
+    Route route = pages_.route(line, id_, AccessType::Read);
+    if (route.bulk_transfer) {
+        fabric_.bulkTransfer(route.transfer_src, id_,
+                             pages_.table().pageSize());
+    }
+
+    auto launch = [this, line, route] {
+        if (route.service == id_) {
+            ++traffic_.local_reads;
+            fabric_.coherenceLocalAccess(id_, line, AccessType::Read);
+            mem_.access(line, AccessType::Read,
+                        [this, line] { finishFill(line, false); });
+        } else if (route.service == cpu_node) {
+            ++traffic_.cpu_reads;
+            fabric_.cpuRead(id_, line,
+                            [this, line] { finishFill(line, true); });
+        } else if (rdc_) {
+            // CARVE: the RDC fields the remote read. Classify by what
+            // actually happened (hit => local bandwidth).
+            const bool was_resident = rdc_->contains(line);
+            if (was_resident)
+                ++traffic_.rdc_hit_reads;
+            else
+                ++traffic_.remote_reads;
+            rdc_->read(route.service, line,
+                       [this, line] { finishFill(line, true); });
+        } else {
+            ++traffic_.remote_reads;
+            fabric_.remoteRead(id_, route.service, line,
+                               [this, line] { finishFill(line, true); });
+        }
+    };
+
+    if (route.stall > 0)
+        eq_.scheduleAfter(route.stall, std::move(launch));
+    else
+        launch();
+}
+
+void
+GpuNode::finishFill(Addr line, bool remote)
+{
+    if (!remote || cfg_.numa.llc_caches_remote)
+        l2_.fill(line, remote);
+    l2_mshrs_.complete(line);
+}
+
+void
+GpuNode::handleWrite(Addr line)
+{
+    // Write-through LLC: update a resident copy, then propagate to
+    // the service memory. Stores never block warps.
+    l2_.writeProbe(line, false);
+
+    Route route = pages_.route(line, id_, AccessType::Write);
+    if (route.bulk_transfer) {
+        fabric_.bulkTransfer(route.transfer_src, id_,
+                             pages_.table().pageSize());
+    }
+
+    auto deliver = [this, line, route] {
+        if (route.service == id_) {
+            ++traffic_.local_writes;
+            mem_.access(line, AccessType::Write, Callback());
+            fabric_.coherenceLocalAccess(id_, line, AccessType::Write);
+        } else if (route.service == cpu_node) {
+            ++traffic_.cpu_writes;
+            fabric_.cpuWrite(id_, line);
+        } else if (rdc_) {
+            ++traffic_.remote_writes;
+            rdc_->write(route.service, line);
+        } else {
+            ++traffic_.remote_writes;
+            fabric_.remoteWrite(id_, route.service, line);
+        }
+    };
+
+    if (route.stall > 0)
+        eq_.scheduleAfter(route.stall, std::move(deliver));
+    else
+        deliver();
+}
+
+} // namespace carve

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * One GPU node of the multi-GPU system: SMs + L1s, the shared L2/LLC
+ * with MSHRs, the TLB hierarchy, the local memory controller, the
+ * optional CARVE Remote Data Cache, and the post-LLC routing that
+ * consults the NUMA runtime and classifies traffic as local / remote /
+ * CPU — the counters behind Figure 8.
+ */
+
+#ifndef CARVE_GPU_GPU_HH
+#define CARVE_GPU_GPU_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dramcache/rdc_controller.hh"
+#include "gpu/cta_scheduler.hh"
+#include "gpu/fabric.hh"
+#include "gpu/sm.hh"
+#include "mem/memory_controller.hh"
+#include "numa/page_manager.hh"
+#include "tlb/tlb.hh"
+
+namespace carve {
+
+/** Per-GPU post-LLC traffic counters (Figure 8's raw data). */
+struct GpuTraffic
+{
+    std::uint64_t local_reads = 0;
+    std::uint64_t remote_reads = 0;   ///< left this GPU (RDC misses too)
+    std::uint64_t rdc_hit_reads = 0;  ///< serviced by the carve-out
+    std::uint64_t cpu_reads = 0;
+    std::uint64_t local_writes = 0;
+    std::uint64_t remote_writes = 0;
+    std::uint64_t cpu_writes = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return local_reads + remote_reads + rdc_hit_reads + cpu_reads +
+            local_writes + remote_writes + cpu_writes;
+    }
+
+    /** Fraction of post-LLC accesses that crossed a NUMA link. */
+    double fracRemote() const;
+};
+
+/**
+ * GPU node. Construction wires every SM's hooks; the system wires the
+ * fabric and drives kernels through startKernel()/kernelBoundary().
+ */
+class GpuNode
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param eq shared event queue
+     * @param cfg system configuration
+     * @param id this node's id
+     * @param pages shared NUMA runtime
+     * @param fabric off-chip services (remote memories, coherence)
+     */
+    GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
+            PageManager &pages, SystemFabric &fabric);
+
+    GpuNode(const GpuNode &) = delete;
+    GpuNode &operator=(const GpuNode &) = delete;
+
+    /** Select the trace source for subsequent kernels. */
+    void setWorkload(const Workload *wl);
+
+    /** Invoked when this GPU retires its last CTA of the kernel. */
+    void
+    setKernelDoneCallback(std::function<void(NodeId)> cb)
+    {
+        kernel_done_cb_ = std::move(cb);
+    }
+
+    /**
+     * Begin executing this GPU's batch of kernel @p k's CTAs, pulled
+     * from @p sched. A GPU with an empty batch reports completion on
+     * the next event.
+     */
+    void startKernel(KernelId k, CtaScheduler &sched);
+
+    /**
+     * Apply kernel-boundary software coherence: invalidate L1s,
+     * drop LLC remote lines (unless hardware coherence maintains
+     * them), and epoch-invalidate the RDC under CARVE-SWC.
+     * @return stall cycles the next launch must absorb
+     */
+    Cycle kernelBoundary();
+
+    /** Inbound read of @p line from this node's memory (home side). */
+    void serviceRemoteRead(Addr line, Callback done);
+    /** Inbound posted write of @p line to this node's memory. */
+    void serviceRemoteWrite(Addr line);
+    /** Inbound hardware write-invalidate. */
+    void invalidateLine(Addr line);
+
+    MemoryController &mem() { return mem_; }
+    RdcController *rdc() { return rdc_.get(); }
+    const RdcController *rdc() const { return rdc_.get(); }
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+    TlbHierarchy &tlb() { return tlb_; }
+    Sm &sm(unsigned i) { return *sms_[i]; }
+    unsigned numSms() const
+    {
+        return static_cast<unsigned>(sms_.size());
+    }
+
+    const GpuTraffic &traffic() const { return traffic_; }
+    NodeId id() const { return id_; }
+
+    /** True while warps are resident or CTAs remain unclaimed. */
+    bool busy() const;
+
+    /** Total warp instructions issued across this GPU's SMs. */
+    std::uint64_t instsIssued() const;
+
+  private:
+    void accessFromSm(Addr line, AccessType type, Callback done);
+    void handleL2ReadMiss(Addr line, Callback done);
+    void startFill(Addr line);
+    void finishFill(Addr line, bool remote);
+    void handleWrite(Addr line);
+    void onCtaRetired(SmId sm, CtaId cta);
+    void maybeFinishKernel();
+
+    EventQueue &eq_;
+    const SystemConfig &cfg_;
+    NodeId id_;
+    PageManager &pages_;
+    SystemFabric &fabric_;
+
+    std::vector<std::unique_ptr<Sm>> sms_;
+    Cache l2_;
+    MshrFile l2_mshrs_;
+    TlbHierarchy tlb_;
+    MemoryController mem_;
+    std::unique_ptr<RdcController> rdc_;
+
+    const Workload *wl_ = nullptr;
+    CtaScheduler *sched_ = nullptr;
+    KernelId cur_kernel_ = 0;
+    std::uint64_t live_ctas_ = 0;
+    std::function<void(NodeId)> kernel_done_cb_;
+
+    GpuTraffic traffic_;
+    stats::Scalar hw_invalidations_in_;
+};
+
+} // namespace carve
+
+#endif // CARVE_GPU_GPU_HH

@@ -1,0 +1,197 @@
+#include "gpu/sm.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+namespace {
+
+/** Cycles between retries when the L1 MSHR file is full. */
+constexpr Cycle mshr_retry_delay = 8;
+
+} // namespace
+
+Sm::Sm(EventQueue &eq, const SystemConfig &cfg, SmId id, Hooks hooks,
+       std::uint64_t jitter_seed)
+    : eq_(eq), cfg_(cfg), id_(id), hooks_(std::move(hooks)),
+      jitter_seed_(jitter_seed),
+      l1_("l1", cfg.l1, cfg.line_size),
+      l1_mshrs_(cfg.l1.mshrs),
+      warps_(cfg.core.max_warps_per_sm)
+{
+    carve_assert(hooks_.access_l2 && hooks_.record_access &&
+                 hooks_.translate && hooks_.cta_retired);
+}
+
+bool
+Sm::tryStartCta(KernelId k, CtaId cta)
+{
+    carve_assert(wl_ != nullptr);
+    const unsigned wpc = wl_->warpsPerCta();
+    carve_assert(wpc > 0 && wpc <= warps_.size());
+    if (freeWarpSlots() < wpc)
+        return false;
+
+    const std::uint64_t insts = wl_->instsPerWarp(k);
+    cta_live_warps_[cta] = wpc;
+    unsigned placed = 0;
+    for (unsigned slot = 0; slot < warps_.size() && placed < wpc;
+         ++slot) {
+        WarpContext &w = warps_[slot];
+        if (w.active)
+            continue;
+        w.active = true;
+        w.kernel = k;
+        w.cta = cta;
+        w.warp_in_cta = placed;
+        w.next_inst = 0;
+        w.insts_total = insts;
+        w.pending_lines = 0;
+        ++active_warps_;
+        ++placed;
+        // Defer the first issue with a small deterministic skew.
+        // Besides preventing a zero-length warp's retirement from
+        // re-entering CTA assignment mid-loop, the skew breaks the
+        // event-order tie on simultaneous first-touch races: real
+        // hardware distributes those wins uniformly across GPUs,
+        // whereas a deterministic event queue would hand every race
+        // to the lowest-numbered node.
+        std::uint64_t h = jitter_seed_ ^ (cta * 0x9e3779b97f4a7c15ull)
+            ^ (static_cast<std::uint64_t>(slot) << 32);
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 29;
+        eq_.schedule(eq_.now() + (h & 63),
+                     [this, slot] { issueWarp(slot); });
+    }
+    carve_assert(placed == wpc);
+    return true;
+}
+
+void
+Sm::issueWarp(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    if (w.next_inst >= w.insts_total) {
+        finishWarp(slot);
+        return;
+    }
+
+    // LSU arbitration: one warp memory instruction per cycle.
+    const Cycle at = std::max(eq_.now(), lsu_free_at_);
+    lsu_free_at_ = at + 1;
+    eq_.schedule(at, [this, slot] { execute(slot); });
+}
+
+void
+Sm::execute(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    wl_->instruction(w.kernel, w.cta, w.warp_in_cta, w.next_inst,
+                     w.cur);
+    ++w.next_inst;
+    ++insts_issued_;
+    carve_assert(w.cur.num_lines > 0 &&
+                 w.cur.num_lines <= max_lines_per_inst);
+    lines_ += w.cur.num_lines;
+
+    for (unsigned i = 0; i < w.cur.num_lines; ++i)
+        hooks_.record_access(w.cur.lines[i], w.cur.type);
+
+    const Cycle tlb_lat = hooks_.translate(id_, w.cur.lines[0]);
+
+    if (isWrite(w.cur.type)) {
+        ++write_insts_;
+        // Write-through, no-allocate L1; stores are posted and do not
+        // block the warp.
+        eq_.scheduleAfter(tlb_lat, [this, slot] {
+            WarpContext &wr = warps_[slot];
+            for (unsigned i = 0; i < wr.cur.num_lines; ++i) {
+                l1_.writeProbe(wr.cur.lines[i], false);
+                hooks_.access_l2(wr.cur.lines[i], AccessType::Write,
+                                 Callback());
+            }
+        });
+        eq_.scheduleAfter(tlb_lat + 1 + w.cur.compute_cycles,
+                          [this, slot] { issueWarp(slot); });
+        return;
+    }
+
+    ++read_insts_;
+    w.pending_lines = w.cur.num_lines;
+    eq_.scheduleAfter(tlb_lat, [this, slot] {
+        WarpContext &wr = warps_[slot];
+        // Take a snapshot: lineDone() may fire synchronously through
+        // an MSHR merge completing later, never within this loop, but
+        // cur is stable for the instruction's lifetime anyway.
+        for (unsigned i = 0; i < wr.cur.num_lines; ++i)
+            startRead(slot, wr.cur.lines[i]);
+    });
+}
+
+void
+Sm::startRead(unsigned slot, Addr line)
+{
+    if (l1_.readProbe(line)) {
+        eq_.scheduleAfter(l1_.hitLatency(),
+                          [this, slot] { lineDone(slot); });
+        return;
+    }
+    allocateMiss(slot, line);
+}
+
+void
+Sm::allocateMiss(unsigned slot, Addr line)
+{
+    const MshrOutcome out =
+        l1_mshrs_.allocate(line, [this, slot] { lineDone(slot); });
+    switch (out) {
+      case MshrOutcome::NewEntry:
+        hooks_.access_l2(line, AccessType::Read, [this, line] {
+            l1_.fill(line, false);
+            l1_mshrs_.complete(line);
+        });
+        break;
+      case MshrOutcome::Merged:
+        break;
+      case MshrOutcome::Full:
+        ++mshr_stalls_;
+        eq_.scheduleAfter(mshr_retry_delay, [this, slot, line] {
+            allocateMiss(slot, line);
+        });
+        break;
+    }
+}
+
+void
+Sm::lineDone(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    carve_assert(w.pending_lines > 0);
+    if (--w.pending_lines == 0) {
+        eq_.scheduleAfter(1 + w.cur.compute_cycles,
+                          [this, slot] { issueWarp(slot); });
+    }
+}
+
+void
+Sm::finishWarp(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    carve_assert(w.active);
+    w.active = false;
+    carve_assert(active_warps_ > 0);
+    --active_warps_;
+
+    auto it = cta_live_warps_.find(w.cta);
+    carve_assert(it != cta_live_warps_.end() && it->second > 0);
+    if (--it->second == 0) {
+        const CtaId cta = w.cta;
+        cta_live_warps_.erase(it);
+        hooks_.cta_retired(id_, cta);
+    }
+}
+
+} // namespace carve

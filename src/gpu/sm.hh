@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Streaming Multiprocessor model: 64 warp slots, an LSU that issues
+ * one warp memory instruction per cycle, a private write-through L1
+ * with MSHRs, and per-warp latency hiding — the Pascal-like core of
+ * Table III.
+ */
+
+#ifndef CARVE_GPU_SM_HH
+#define CARVE_GPU_SM_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "gpu/warp.hh"
+#include "workloads/workload.hh"
+
+namespace carve {
+
+/**
+ * One SM. All interaction with the rest of the GPU flows through the
+ * callback bundle, keeping the SM unit-testable in isolation.
+ */
+class Sm
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Hooks into the owning GPU node. */
+    struct Hooks
+    {
+        /** Forward an L1 miss / write-through to the L2 path.
+         * @p done fires when read data returns (empty for writes). */
+        std::function<void(Addr line, AccessType type, Callback done)>
+            access_l2;
+        /** Pre-L1 profiling + first-touch (page manager). */
+        std::function<void(Addr line, AccessType type)> record_access;
+        /** Translate @p addr for this SM; returns added latency. */
+        std::function<Cycle(SmId sm, Addr addr)> translate;
+        /** A CTA fully retired on this SM. */
+        std::function<void(SmId sm, CtaId cta)> cta_retired;
+    };
+
+    /**
+     * @param eq shared event queue
+     * @param cfg system configuration
+     * @param id SM index within the GPU
+     * @param hooks GPU-node plumbing
+     */
+    Sm(EventQueue &eq, const SystemConfig &cfg, SmId id, Hooks hooks,
+       std::uint64_t jitter_seed = 0);
+
+    Sm(const Sm &) = delete;
+    Sm &operator=(const Sm &) = delete;
+
+    /** Select the trace source (must precede tryStartCta). */
+    void setWorkload(const Workload *wl) { wl_ = wl; }
+
+    /**
+     * Try to occupy warp slots with CTA @p cta of kernel @p k.
+     * @return false when fewer than warpsPerCta() slots are free
+     */
+    bool tryStartCta(KernelId k, CtaId cta);
+
+    /** Warp slots currently free. */
+    unsigned
+    freeWarpSlots() const
+    {
+        return static_cast<unsigned>(warps_.size()) - active_warps_;
+    }
+
+    /** True when no warp is resident. */
+    bool idle() const { return active_warps_ == 0; }
+
+    /** Drop every L1 line (kernel-boundary software coherence). */
+    void invalidateL1() { l1_.invalidateAll(); }
+
+    /** Drop one L1 line (hardware coherence). */
+    bool invalidateL1Line(Addr line) { return l1_.invalidateLine(line); }
+
+    Cache &l1() { return l1_; }
+    const Cache &l1() const { return l1_; }
+
+    std::uint64_t instsIssued() const { return insts_issued_.value(); }
+    std::uint64_t readInsts() const { return read_insts_.value(); }
+    std::uint64_t writeInsts() const { return write_insts_.value(); }
+    std::uint64_t linesAccessed() const { return lines_.value(); }
+    std::uint64_t mshrStalls() const { return mshr_stalls_.value(); }
+
+    SmId id() const { return id_; }
+
+  private:
+    void issueWarp(unsigned slot);
+    void execute(unsigned slot);
+    void startRead(unsigned slot, Addr line);
+    void allocateMiss(unsigned slot, Addr line);
+    void lineDone(unsigned slot);
+    void finishWarp(unsigned slot);
+
+    EventQueue &eq_;
+    const SystemConfig &cfg_;
+    SmId id_;
+    Hooks hooks_;
+    std::uint64_t jitter_seed_;
+    const Workload *wl_ = nullptr;
+
+    Cache l1_;
+    MshrFile l1_mshrs_;
+    std::vector<WarpContext> warps_;
+    unsigned active_warps_ = 0;
+    Cycle lsu_free_at_ = 0;
+    /** Live warps per resident CTA. */
+    std::unordered_map<CtaId, unsigned> cta_live_warps_;
+
+    stats::Scalar insts_issued_;
+    stats::Scalar read_insts_;
+    stats::Scalar write_insts_;
+    stats::Scalar lines_;
+    stats::Scalar mshr_stalls_;
+};
+
+} // namespace carve
+
+#endif // CARVE_GPU_SM_HH

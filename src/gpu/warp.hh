@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Warp execution context: one hardware warp slot of an SM.
+ */
+
+#ifndef CARVE_GPU_WARP_HH
+#define CARVE_GPU_WARP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "workloads/workload.hh"
+
+namespace carve {
+
+/**
+ * State of one warp slot. A warp alternates between issuing one
+ * memory instruction (possibly spanning several cache lines) and a
+ * compute gap; reads block the warp until every line returns, writes
+ * are posted.
+ */
+struct WarpContext
+{
+    bool active = false;
+    KernelId kernel = 0;
+    CtaId cta = 0;
+    WarpId warp_in_cta = 0;
+    std::uint64_t next_inst = 0;     ///< next instruction index
+    std::uint64_t insts_total = 0;   ///< instructions in this kernel
+    unsigned pending_lines = 0;      ///< outstanding read lines
+    WarpInstruction cur;             ///< instruction in flight
+};
+
+} // namespace carve
+
+#endif // CARVE_GPU_WARP_HH

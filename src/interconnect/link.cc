@@ -1,0 +1,39 @@
+#include "interconnect/link.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+Link::Link(EventQueue &eq, std::string name, double bytes_per_cycle,
+           Cycle latency)
+    : eq_(eq), name_(std::move(name)),
+      bytes_per_cycle_(bytes_per_cycle), latency_(latency)
+{
+    if (bytes_per_cycle <= 0.0)
+        fatal("Link %s: non-positive bandwidth", name_.c_str());
+}
+
+void
+Link::send(std::uint64_t bytes, Callback delivered)
+{
+    carve_assert(bytes > 0);
+    const auto occupancy = static_cast<Cycle>(std::ceil(
+        static_cast<double>(bytes) / bytes_per_cycle_));
+
+    const Cycle now = eq_.now();
+    const Cycle start = std::max(now, wire_free_at_);
+    wire_free_at_ = start + occupancy;
+
+    bytes_sent_ += bytes;
+    ++packets_;
+    busy_cycles_ += occupancy;
+    queue_delay_.sample(static_cast<double>(start - now));
+
+    if (delivered)
+        eq_.schedule(wire_free_at_ + latency_, std::move(delivered));
+}
+
+} // namespace carve

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Uni-directional point-to-point link with a serialization-accurate
+ * bandwidth model (NVLink-style, Table III: 64 GB/s per direction
+ * between GPUs, 32 GB/s to the CPU).
+ */
+
+#ifndef CARVE_INTERCONNECT_LINK_HH
+#define CARVE_INTERCONNECT_LINK_HH
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/**
+ * One direction of one link. Transfers serialize on the wire: a packet
+ * occupies the link for size/bandwidth cycles and is delivered one hop
+ * latency after its last byte leaves. This makes the link the precise
+ * bandwidth bottleneck the paper's NUMA analysis revolves around.
+ */
+class Link
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param eq shared event queue
+     * @param name stat-reporting name
+     * @param bytes_per_cycle peak bandwidth
+     * @param latency one-way hop latency in cycles
+     */
+    Link(EventQueue &eq, std::string name, double bytes_per_cycle,
+         Cycle latency);
+
+    /**
+     * Transmit @p bytes; @p delivered fires at the receiver.
+     * @p delivered may be empty (posted control traffic).
+     */
+    void send(std::uint64_t bytes, Callback delivered);
+
+    /** Total payload bytes accepted. */
+    std::uint64_t bytesSent() const { return bytes_sent_.value(); }
+    /** Total packets accepted. */
+    std::uint64_t packets() const { return packets_.value(); }
+    /** Cycles the wire was occupied. */
+    std::uint64_t busyCycles() const { return busy_cycles_.value(); }
+    /** Mean cycles a packet waited for the wire. */
+    double meanQueueDelay() const { return queue_delay_.mean(); }
+
+    /** Utilization over @p elapsed cycles (0..1). */
+    double
+    utilization(Cycle elapsed) const
+    {
+        return elapsed == 0
+            ? 0.0
+            : static_cast<double>(busyCycles()) /
+                  static_cast<double>(elapsed);
+    }
+
+    const std::string &name() const { return name_; }
+    double bandwidth() const { return bytes_per_cycle_; }
+
+  private:
+    EventQueue &eq_;
+    std::string name_;
+    double bytes_per_cycle_;
+    Cycle latency_;
+    Cycle wire_free_at_ = 0;
+
+    stats::Scalar bytes_sent_;
+    stats::Scalar packets_;
+    stats::Scalar busy_cycles_;
+    stats::Average queue_delay_;
+};
+
+} // namespace carve
+
+#endif // CARVE_INTERCONNECT_LINK_HH

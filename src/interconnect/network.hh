@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-GPU interconnect fabric: a fully-connected mesh of
+ * uni-directional GPU<->GPU links plus one bi-directional CPU link per
+ * GPU, mirroring a DGX-style 4-GPU box (Figure 1 of the paper).
+ */
+
+#ifndef CARVE_INTERCONNECT_NETWORK_HH
+#define CARVE_INTERCONNECT_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "interconnect/link.hh"
+
+namespace carve {
+
+/**
+ * Owns every link in the system and routes by (src, dst) node pair.
+ * GPU ids are 0..num_gpus-1; the CPU is addressed via the dedicated
+ * cpu-link helpers.
+ */
+class Network
+{
+  public:
+    using Callback = Link::Callback;
+
+    /**
+     * @param eq shared event queue
+     * @param cfg link bandwidths/latency
+     * @param num_gpus GPU node count
+     */
+    Network(EventQueue &eq, const LinkConfig &cfg, unsigned num_gpus);
+
+    /**
+     * Send @p bytes from GPU @p src to GPU @p dst (src != dst);
+     * @p delivered fires at the destination.
+     */
+    void send(NodeId src, NodeId dst, std::uint64_t bytes,
+              Callback delivered);
+
+    /** Send from GPU @p gpu up to the CPU. */
+    void sendToCpu(NodeId gpu, std::uint64_t bytes, Callback delivered);
+
+    /** Send from the CPU down to GPU @p gpu. */
+    void sendFromCpu(NodeId gpu, std::uint64_t bytes,
+                     Callback delivered);
+
+    /** The link carrying src->dst traffic (tests and reporting). */
+    const Link &link(NodeId src, NodeId dst) const;
+
+    /** Aggregate GPU<->GPU payload bytes moved. */
+    std::uint64_t totalGpuGpuBytes() const;
+
+    /** Aggregate CPU<->GPU payload bytes moved. */
+    std::uint64_t totalCpuGpuBytes() const;
+
+    /** Size in bytes of a coherence control packet. */
+    unsigned ctrlPacketSize() const { return cfg_.ctrl_packet_size; }
+
+    unsigned numGpus() const { return num_gpus_; }
+
+  private:
+    std::size_t index(NodeId src, NodeId dst) const;
+
+    EventQueue &eq_;
+    const LinkConfig &cfg_;
+    unsigned num_gpus_;
+    /** gpu_links_[src * num_gpus + dst], diagonal unused. */
+    std::vector<std::unique_ptr<Link>> gpu_links_;
+    std::vector<std::unique_ptr<Link>> to_cpu_;
+    std::vector<std::unique_ptr<Link>> from_cpu_;
+};
+
+} // namespace carve
+
+#endif // CARVE_INTERCONNECT_NETWORK_HH

@@ -1,0 +1,36 @@
+#include "mem/address_mapping.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+AddressMapping::AddressMapping(std::uint64_t line_size, unsigned channels,
+                               unsigned banks_per_channel,
+                               std::uint64_t row_size)
+    : line_size_(line_size), channels_(channels),
+      banks_(banks_per_channel),
+      lines_per_row_(row_size / line_size)
+{
+    if (!isPowerOf2(line_size))
+        fatal("AddressMapping: line size must be a power of two");
+    if (channels == 0 || banks_per_channel == 0)
+        fatal("AddressMapping: need at least one channel and bank");
+    if (row_size < line_size)
+        fatal("AddressMapping: row smaller than a line");
+}
+
+DramCoord
+AddressMapping::decode(Addr addr) const
+{
+    const std::uint64_t line = addr / line_size_;
+    DramCoord c;
+    c.channel = static_cast<unsigned>(line % channels_);
+    const std::uint64_t in_channel = line / channels_;
+    const std::uint64_t row_run = in_channel / lines_per_row_;
+    c.bank = static_cast<unsigned>(row_run % banks_);
+    c.row = row_run / banks_;
+    return c;
+}
+
+} // namespace carve

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Single DRAM bank: open-row state plus row hit/miss accounting.
+ */
+
+#ifndef CARVE_MEM_DRAM_BANK_HH
+#define CARVE_MEM_DRAM_BANK_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/**
+ * Open-page bank model. The channel consults the bank for row-buffer
+ * status when ranking requests (FR-FCFS) and when computing access
+ * latency, and updates the open row after issuing.
+ */
+class DramBank
+{
+  public:
+    DramBank() = default;
+
+    /** True when @p row is currently latched in the row buffer. */
+    bool
+    isOpenRow(std::uint64_t row) const
+    {
+        return has_open_row_ && open_row_ == row;
+    }
+
+    /**
+     * Latch @p row (an access under open-page policy leaves the row
+     * open afterwards). Records a row hit or miss stat.
+     * @return true when the access was a row hit.
+     */
+    bool
+    access(std::uint64_t row)
+    {
+        const bool hit = isOpenRow(row);
+        if (hit) {
+            ++row_hits_;
+        } else {
+            ++row_misses_;
+            open_row_ = row;
+            has_open_row_ = true;
+        }
+        return hit;
+    }
+
+    /** Close the row buffer (e.g., refresh; unused by default). */
+    void
+    precharge()
+    {
+        has_open_row_ = false;
+    }
+
+    std::uint64_t rowHits() const { return row_hits_.value(); }
+    std::uint64_t rowMisses() const { return row_misses_.value(); }
+
+  private:
+    bool has_open_row_ = false;
+    std::uint64_t open_row_ = 0;
+    stats::Scalar row_hits_;
+    stats::Scalar row_misses_;
+};
+
+} // namespace carve
+
+#endif // CARVE_MEM_DRAM_BANK_HH

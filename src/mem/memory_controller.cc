@@ -1,0 +1,72 @@
+#include "mem/memory_controller.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace carve {
+
+MemoryController::MemoryController(EventQueue &eq,
+                                   const SystemConfig &cfg)
+    : eq_(eq),
+      mapping_(cfg.line_size, cfg.dram.channels,
+               cfg.dram.banks_per_channel, cfg.dram.row_size),
+      line_size_(cfg.line_size),
+      staged_(cfg.dram.channels)
+{
+    channels_.reserve(cfg.dram.channels);
+    for (unsigned i = 0; i < cfg.dram.channels; ++i) {
+        channels_.push_back(
+            std::make_unique<DramChannel>(eq, cfg.dram, cfg.line_size));
+        channels_.back()->setRetryCallback(
+            [this, i] { drainStaged(i); });
+    }
+}
+
+void
+MemoryController::access(Addr addr, AccessType type, Callback done)
+{
+    const DramCoord coord = mapping_.decode(addr);
+    if (isWrite(type))
+        ++writes_;
+    else
+        ++reads_;
+
+    DramRequest req;
+    req.bank = coord.bank;
+    req.row = coord.row;
+    req.type = type;
+    req.on_done = std::move(done);
+
+    auto &stage = staged_[coord.channel];
+    if (!stage.empty() || !channels_[coord.channel]->enqueue(req)) {
+        // Preserve arrival order behind already-staged requests.
+        stage.push_back(std::move(req));
+    }
+}
+
+void
+MemoryController::drainStaged(unsigned ch)
+{
+    auto &stage = staged_[ch];
+    while (!stage.empty()) {
+        if (!channels_[ch]->enqueue(stage.front()))
+            break;
+        stage.pop_front();
+    }
+}
+
+double
+MemoryController::rowHitRate() const
+{
+    double weighted = 0.0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        const std::uint64_t n = ch->readsIssued() + ch->writesIssued();
+        weighted += ch->rowHitRate() * static_cast<double>(n);
+        total += n;
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+} // namespace carve

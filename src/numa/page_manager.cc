@@ -1,0 +1,115 @@
+#include "numa/page_manager.hh"
+
+#include "common/logging.hh"
+
+namespace carve {
+
+PageManager::PageManager(const SystemConfig &cfg, bool track_pages,
+                         bool track_lines)
+    : cfg_(cfg), table_(cfg),
+      placement_(cfg.numa, cfg.num_gpus, cfg.seed),
+      profiler_(cfg.page_size, cfg.line_size, track_pages, track_lines),
+      migration_(cfg.numa, table_),
+      replication_(cfg.numa, table_),
+      um_(cfg.numa, table_)
+{
+}
+
+void
+PageManager::recordAccess(Addr addr, NodeId node, AccessType type)
+{
+    PageEntry &page = table_.entry(addr);
+    if (page.home == invalid_node) {
+        page.home = placement_.firstTouch(table_.pageOf(addr), node);
+        if (page.home != cpu_node)
+            table_.addHomedPage(page.home);
+        ++first_touches_;
+    }
+    page.touch_mask |= static_cast<std::uint16_t>(1u << node);
+    if (isWrite(type))
+        page.written = true;
+    profiler_.record(addr, node, type);
+}
+
+Route
+PageManager::route(Addr addr, NodeId node, AccessType type)
+{
+    PageEntry &page = table_.entry(addr);
+    carve_assert(page.home != invalid_node);
+    if (node < max_nodes)
+        ++page.access_counts[node];
+
+    Route r;
+
+    // Writes first: a store to a replicated read-only page collapses
+    // its replicas before anything else happens.
+    if (isWrite(type) &&
+        cfg_.numa.replication == ReplicationPolicy::ReadOnly &&
+        replication_.onWrite(page, node)) {
+        r.stall += cfg_.numa.migration_stall;
+    }
+
+    // CPU-resident (spilled) page: Unified Memory services it over
+    // the CPU link until it proves hot enough to migrate in.
+    if (page.home == cpu_node) {
+        if (um_.onAccess(page, node)) {
+            r.service = node;
+            r.bulk_transfer = true;
+            r.transfer_src = cpu_node;
+        } else {
+            r.service = cpu_node;
+        }
+        return r;
+    }
+
+    // Ideal replicate-all: every access is local at zero cost.
+    if (cfg_.numa.replication == ReplicationPolicy::All) {
+        if (!page.localAt(node))
+            replication_.maybeReplicate(page, node);
+        r.service = node;
+        return r;
+    }
+
+    if (page.localAt(node)) {
+        r.service = node;
+        return r;
+    }
+
+    // Remote access: the software toolbox gets a chance first.
+    const NodeId old_home = page.home;
+    if (!isWrite(type) && replication_.maybeReplicate(page, node)) {
+        // Replica created: this access still fetches remotely (it IS
+        // the copy traffic); subsequent accesses hit the replica.
+        r.bulk_transfer = true;
+        r.transfer_src = old_home;
+        r.service = old_home;
+        return r;
+    }
+
+    if (migration_.maybeMigrate(page, node)) {
+        r.service = node;  // page now lives here
+        r.stall += cfg_.numa.migration_stall;
+        r.bulk_transfer = true;
+        r.transfer_src = old_home;
+        return r;
+    }
+
+    r.service = page.home;
+    return r;
+}
+
+bool
+PageManager::isLocal(Addr addr, NodeId node) const
+{
+    const PageEntry *page = table_.find(addr);
+    return page != nullptr && page->localAt(node);
+}
+
+NodeId
+PageManager::homeOf(Addr addr) const
+{
+    const PageEntry *page = table_.find(addr);
+    return page == nullptr ? invalid_node : page->home;
+}
+
+} // namespace carve

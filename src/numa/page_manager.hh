@@ -1,0 +1,102 @@
+/**
+ * @file
+ * NUMA runtime facade: first-touch placement, sharing profiling,
+ * page migration, read-only replication, ideal replicate-all, and
+ * Unified-Memory spill handling behind two calls:
+ *
+ *  - recordAccess(): invoked for every post-coalescing access (the
+ *    page-fault / profiling path);
+ *  - route(): invoked for every post-LLC access, returns which node's
+ *    memory services it plus any policy side effects the caller must
+ *    charge (bulk page transfers, TLB-shootdown stalls).
+ */
+
+#ifndef CARVE_NUMA_PAGE_MANAGER_HH
+#define CARVE_NUMA_PAGE_MANAGER_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "numa/migration.hh"
+#include "numa/page_table.hh"
+#include "numa/placement.hh"
+#include "numa/replication.hh"
+#include "numa/sharing_profiler.hh"
+#include "numa/unified_memory.hh"
+
+namespace carve {
+
+/** Routing decision plus policy side effects for one post-LLC access. */
+struct Route
+{
+    /** Node whose memory services the access (may be cpu_node). */
+    NodeId service = invalid_node;
+    /** Synchronous stall the requester must absorb (shootdowns). */
+    Cycle stall = 0;
+    /** A page-sized bulk transfer from @ref transfer_src to the
+     * requester must be charged (migration / replication / UM). */
+    bool bulk_transfer = false;
+    NodeId transfer_src = invalid_node;
+};
+
+/**
+ * The software half of the paper's HW/SW combination.
+ */
+class PageManager
+{
+  public:
+    /**
+     * @param cfg system configuration (NUMA policies, geometry)
+     * @param track_pages profile sharing at page granularity
+     * @param track_lines profile sharing at line granularity
+     */
+    explicit PageManager(const SystemConfig &cfg,
+                         bool track_pages = true,
+                         bool track_lines = true);
+
+    /**
+     * First-touch mapping + sharing profiling for one access.
+     * Must precede route() for the same address.
+     */
+    void recordAccess(Addr addr, NodeId node, AccessType type);
+
+    /** Routing + policy actions for one post-LLC access. */
+    Route route(Addr addr, NodeId node, AccessType type);
+
+    /** True when @p node holds the page containing @p addr (home or
+     * replica) — i.e. the access would be serviced locally. */
+    bool isLocal(Addr addr, NodeId node) const;
+
+    /** Home node of the page containing @p addr (invalid_node when
+     * unmapped). */
+    NodeId homeOf(Addr addr) const;
+
+    PageTable &table() { return table_; }
+    const PageTable &table() const { return table_; }
+    SharingProfiler &profiler() { return profiler_; }
+    const SharingProfiler &profiler() const { return profiler_; }
+    const MigrationEngine &migration() const { return migration_; }
+    const ReplicationManager &replication() const
+    {
+        return replication_;
+    }
+    const UnifiedMemory &unifiedMemory() const { return um_; }
+
+    /** First-touch placements performed. */
+    std::uint64_t firstTouches() const { return first_touches_.value(); }
+
+  private:
+    const SystemConfig &cfg_;
+    PageTable table_;
+    Placement placement_;
+    SharingProfiler profiler_;
+    MigrationEngine migration_;
+    ReplicationManager replication_;
+    UnifiedMemory um_;
+
+    stats::Scalar first_touches_;
+};
+
+} // namespace carve
+
+#endif // CARVE_NUMA_PAGE_MANAGER_HH

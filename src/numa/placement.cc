@@ -1,0 +1,45 @@
+#include "numa/placement.hh"
+
+namespace carve {
+
+Placement::Placement(const NumaConfig &cfg, unsigned num_gpus,
+                     std::uint64_t seed)
+    : cfg_(cfg), num_gpus_(num_gpus), seed_(seed)
+{
+}
+
+double
+Placement::pageHash(Addr vpage) const
+{
+    std::uint64_t z = vpage ^ seed_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+NodeId
+Placement::firstTouch(Addr vpage, NodeId toucher)
+{
+    // Capacity-loss model: a deterministic pseudo-random subset of
+    // pages lives in CPU system memory under Unified Memory.
+    if (cfg_.spill_fraction > 0.0 &&
+        pageHash(vpage) < cfg_.spill_fraction) {
+        return cpu_node;
+    }
+
+    switch (cfg_.placement) {
+      case PlacementPolicy::FirstTouch:
+        return toucher;
+      case PlacementPolicy::RoundRobin: {
+        const NodeId home = next_rr_;
+        next_rr_ = (next_rr_ + 1) % num_gpus_;
+        return home;
+      }
+      case PlacementPolicy::LocalOnly:
+        return toucher;
+    }
+    return toucher;
+}
+
+} // namespace carve

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * First-touch / round-robin page placement, plus the deterministic
+ * "spill" assignment that models CARVE's GPU-memory capacity loss by
+ * pushing a configured fraction of pages into CPU system memory
+ * (Section V-C / Table V(b) of the paper).
+ */
+
+#ifndef CARVE_NUMA_PLACEMENT_HH
+#define CARVE_NUMA_PLACEMENT_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace carve {
+
+/** Decides the home node of a page on its first access. */
+class Placement
+{
+  public:
+    /**
+     * @param cfg placement policy and spill fraction
+     * @param num_gpus GPU node count
+     * @param seed spill-hash seed
+     */
+    Placement(const NumaConfig &cfg, unsigned num_gpus,
+              std::uint64_t seed);
+
+    /**
+     * Home node for page @p vpage first touched by @p toucher.
+     * May return cpu_node when the page spills to system memory.
+     */
+    NodeId firstTouch(Addr vpage, NodeId toucher);
+
+  private:
+    /** Deterministic uniform hash of a page address into [0,1). */
+    double pageHash(Addr vpage) const;
+
+    const NumaConfig &cfg_;
+    unsigned num_gpus_;
+    std::uint64_t seed_;
+    NodeId next_rr_ = 0;
+};
+
+} // namespace carve
+
+#endif // CARVE_NUMA_PLACEMENT_HH

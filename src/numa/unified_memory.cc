@@ -1,0 +1,29 @@
+#include "numa/unified_memory.hh"
+
+#include "common/logging.hh"
+
+namespace carve {
+
+UnifiedMemory::UnifiedMemory(const NumaConfig &cfg, PageTable &table)
+    : cfg_(cfg), table_(table)
+{
+}
+
+bool
+UnifiedMemory::onAccess(PageEntry &page, NodeId node)
+{
+    carve_assert(page.home == cpu_node);
+    ++page.cpu_accesses;
+    if (page.cpu_accesses < cfg_.um_migration_threshold)
+        return false;
+    if (!table_.hasFreeFrame(node))
+        return false;  // GPU memory full: the page stays spilled
+
+    page.home = node;
+    page.cpu_accesses = 0;
+    table_.addHomedPage(node);
+    ++migrations_;
+    return true;
+}
+
+} // namespace carve

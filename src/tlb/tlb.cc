@@ -1,0 +1,77 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+namespace {
+
+/**
+ * Model TLBs as TagArrays with one "line" per page. Small TLBs are
+ * fully associative; larger ones are capped at 16 ways (matching real
+ * STLB designs and keeping probes cheap).
+ */
+TagArray
+makeTlbArray(unsigned entries, std::uint64_t page_size)
+{
+    const unsigned ways = entries <= 32 ? entries : 16;
+    return TagArray(static_cast<std::uint64_t>(entries) * page_size,
+                    ways, page_size);
+}
+
+} // namespace
+
+TlbHierarchy::TlbHierarchy(const TlbConfig &cfg, unsigned num_sms,
+                           std::uint64_t page_size)
+    : cfg_(cfg), page_size_(page_size),
+      l2_(makeTlbArray(cfg.l2_entries, page_size))
+{
+    if (num_sms == 0)
+        fatal("TlbHierarchy: need at least one SM");
+    l1_.reserve(num_sms);
+    for (unsigned i = 0; i < num_sms; ++i)
+        l1_.push_back(makeTlbArray(cfg.l1_entries, page_size));
+}
+
+TlbResult
+TlbHierarchy::translate(SmId sm, Addr vaddr)
+{
+    carve_assert(sm < l1_.size());
+    const Addr vpage = alignDown(vaddr, page_size_);
+
+    TlbResult res{cfg_.l1_latency, true, false};
+    if (l1_[sm].lookup(vpage) != nullptr) {
+        ++l1_hits_;
+        return res;
+    }
+
+    res.l1_hit = false;
+    res.latency += cfg_.l2_latency;
+    if (l2_.lookup(vpage) != nullptr) {
+        ++l2_hits_;
+        res.l2_hit = true;
+    } else {
+        ++walks_;
+        res.latency += cfg_.walk_latency;
+        l2_.insert(vpage, false);
+    }
+    l1_[sm].insert(vpage, false);
+    return res;
+}
+
+std::uint64_t
+TlbHierarchy::shootdown(Addr vaddr)
+{
+    const Addr vpage = alignDown(vaddr, page_size_);
+    std::uint64_t dropped = 0;
+    for (auto &tlb : l1_) {
+        if (tlb.invalidate(vpage))
+            ++dropped;
+    }
+    if (l2_.invalidate(vpage))
+        ++dropped;
+    return dropped;
+}
+
+} // namespace carve

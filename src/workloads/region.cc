@@ -1,0 +1,20 @@
+#include "workloads/region.hh"
+
+namespace carve {
+
+const char *
+regionKindName(RegionKind k)
+{
+    switch (k) {
+      case RegionKind::PrivateStream: return "private-stream";
+      case RegionKind::InterleavedStream: return "interleaved-stream";
+      case RegionKind::SharedStream: return "shared-stream";
+      case RegionKind::Lookup: return "lookup";
+      case RegionKind::Halo: return "halo";
+      case RegionKind::Atomic: return "atomic";
+      case RegionKind::RandomGlobal: return "random-global";
+    }
+    return "?";
+}
+
+} // namespace carve

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Access-region model for synthetic workload generation.
+ *
+ * Each workload is a weighted mix of regions, each with a sharing/
+ * access archetype chosen to reproduce the paper's workload classes:
+ *
+ *  - PrivateStream:     contiguous per-CTA slices, streamed. With
+ *                       NUMA-GPU's contiguous CTA batches and
+ *                       first-touch placement these stay local
+ *                       (stream-triad and friends).
+ *  - InterleavedStream: per-CTA data interleaved line-by-line across
+ *                       CTAs (unstructured meshes, AMR, graph data).
+ *                       Lines are private to one CTA but every 2 MB
+ *                       page is touched by many CTAs on many GPUs:
+ *                       the paper's *false page sharing* generator.
+ *  - SharedStream:      identical read-only stream for all CTAs
+ *                       (DNN weights, broadcast operands).
+ *  - Lookup:            read-mostly random/Zipf gathers over a large
+ *                       table (XSBench grids, MC cross sections).
+ *  - Halo:              private slices plus reads of neighbouring
+ *                       CTAs' edges (stencils): true sharing at the
+ *                       slice boundaries.
+ *  - Atomic:            small hot region with read-write sharing at
+ *                       line granularity (reductions, work queues).
+ *  - RandomGlobal:      uniform random over the whole region with
+ *                       divergent (multi-line) accesses: RandAccess.
+ */
+
+#ifndef CARVE_WORKLOADS_REGION_HH
+#define CARVE_WORKLOADS_REGION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carve {
+
+/** Archetype of one address region. */
+enum class RegionKind : std::uint8_t {
+    PrivateStream,
+    InterleavedStream,
+    SharedStream,
+    Lookup,
+    Halo,
+    Atomic,
+    RandomGlobal,
+};
+
+/** Printable region-kind name. */
+const char *regionKindName(RegionKind k);
+
+/** One region of a synthetic workload's address space. */
+struct RegionSpec
+{
+    RegionKind kind = RegionKind::PrivateStream;
+    std::uint64_t bytes = 0;     ///< region footprint
+    double access_frac = 1.0;    ///< share of dynamic accesses
+    double write_frac = 0.0;     ///< store probability per access
+    double zipf = 0.0;           ///< Lookup skew (0 == uniform)
+    std::uint8_t lanes = 1;      ///< distinct lines per warp inst
+    double neighbor_frac = 0.25; ///< Halo: chance to read a neighbour
+};
+
+} // namespace carve
+
+#endif // CARVE_WORKLOADS_REGION_HH

@@ -1,0 +1,259 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+namespace {
+
+/**
+ * Scale a paper-sized region footprint. Regions of 32 MiB or less
+ * keep their original size: they are already cheap to simulate, and
+ * dividing them further would leave too few 2 MB pages for page
+ * placement, sharing classification and false-sharing behaviour to
+ * be meaningful.
+ */
+std::uint64_t
+scaleBytes(std::uint64_t bytes, unsigned scale)
+{
+    const std::uint64_t floor_bytes =
+        std::min<std::uint64_t>(bytes, 32 * MiB);
+    return std::max<std::uint64_t>(bytes / scale, floor_bytes);
+}
+
+RegionSpec
+region(RegionKind kind, std::uint64_t bytes, double access_frac,
+       double write_frac = 0.0, double zipf = 0.0,
+       std::uint8_t lanes = 1, double neighbor_frac = 0.25)
+{
+    RegionSpec r;
+    r.kind = kind;
+    r.bytes = bytes;
+    r.access_frac = access_frac;
+    r.write_frac = write_frac;
+    r.zipf = zipf;
+    r.lanes = lanes;
+    r.neighbor_frac = neighbor_frac;
+    return r;
+}
+
+/** Common trace shape: enough warps to fill 4 GPUs several times. */
+WorkloadParams
+shape(std::string name, unsigned kernels, std::uint64_t insts_per_warp,
+      std::uint16_t cmin, std::uint16_t cmax, bool iterative,
+      std::vector<RegionSpec> regions)
+{
+    WorkloadParams p;
+    p.name = std::move(name);
+    p.kernels = kernels;
+    p.ctas = 2048;
+    p.warps_per_cta = 8;
+    p.insts_per_warp = insts_per_warp;
+    p.compute_min = cmin;
+    p.compute_max = cmax;
+    p.iterative = iterative;
+    p.regions = std::move(regions);
+    return p;
+}
+
+std::vector<WorkloadParams>
+buildSuite()
+{
+    using RK = RegionKind;
+    std::vector<WorkloadParams> suite;
+
+    // ---- HPC ------------------------------------------------------
+    // AMG: large read-only interpolation/structure tables, private
+    // vectors. Fixed by read-only page replication.
+    suite.push_back(shape("AMG", 4, 10, 4, 12, true, {
+        region(RK::Lookup, 1536 * MiB, 0.50, 0.0, 0.7, 2),
+        region(RK::PrivateStream, 1700 * MiB, 0.50, 0.30),
+    }));
+
+    // HPGMG: iterative multigrid over an unstructured (interleaved)
+    // hierarchy -- page-level false sharing, needs CARVE-HWC.
+    suite.push_back(shape("HPGMG", 8, 6, 4, 12, true, {
+        region(RK::InterleavedStream, 1600 * MiB, 0.55, 0.03),
+        region(RK::SharedStream, 100 * MiB, 0.10),
+        region(RK::PrivateStream, 300 * MiB, 0.35, 0.45),
+    }));
+
+    // HPGMG-amry: the large proxy variant; shared set stresses even
+    // big RDCs (Table V).
+    suite.push_back(shape("HPGMG-amry", 8, 6, 4, 12, true, {
+        region(RK::InterleavedStream, 6000 * MiB, 0.60, 0.03),
+        region(RK::PrivateStream, 1700 * MiB, 0.40, 0.40),
+    }));
+
+    // Lulesh: small unstructured mesh, many short kernels; the
+    // paper's poster child for CARVE over replication.
+    suite.push_back(shape("Lulesh", 8, 6, 3, 10, true, {
+        region(RK::InterleavedStream, 16 * MiB, 0.70, 0.03),
+        region(RK::Atomic, 1 * MiB, 0.03, 0.50),
+        region(RK::PrivateStream, 8 * MiB, 0.27, 0.45),
+    }));
+
+    // Lulesh-s190: the large-problem variant.
+    suite.push_back(shape("Lulesh-s190", 8, 6, 3, 10, true, {
+        region(RK::InterleavedStream, 2800 * MiB, 0.70, 0.03),
+        region(RK::Atomic, 4 * MiB, 0.05, 0.50),
+        region(RK::PrivateStream, 900 * MiB, 0.25, 0.50),
+    }));
+
+    // CoMD: molecular dynamics; contiguous cells plus halo exchange.
+    suite.push_back(shape("CoMD", 4, 10, 8, 24, true, {
+        region(RK::PrivateStream, 700 * MiB, 0.60, 0.25),
+        region(RK::Halo, 200 * MiB, 0.35, 0.15, 0.0, 1, 0.30),
+        region(RK::Atomic, 2 * MiB, 0.05, 0.40),
+    }));
+
+    // MCB: Monte Carlo burnup; big low-skew cross-section lookups
+    // with occasional tally writes (false RW pages, real RO lines).
+    suite.push_back(shape("MCB", 4, 10, 6, 16, true, {
+        region(RK::Lookup, 200 * MiB, 0.70, 0.02, 0.3, 2),
+        region(RK::PrivateStream, 54 * MiB, 0.30, 0.30),
+    }));
+
+    // MiniAMR: block-structured AMR; mostly private blocks.
+    suite.push_back(shape("MiniAMR", 4, 10, 6, 16, true, {
+        region(RK::PrivateStream, 3600 * MiB, 0.85, 0.30),
+        region(RK::InterleavedStream, 800 * MiB, 0.15, 0.10),
+    }));
+
+    // Nekbone: spectral-element solve; private-dominated.
+    suite.push_back(shape("Nekbone", 4, 10, 8, 20, true, {
+        region(RK::PrivateStream, 800 * MiB, 0.80, 0.30),
+        region(RK::SharedStream, 200 * MiB, 0.20),
+    }));
+
+    // XSBench: huge unionized-energy-grid gathers; shared set larger
+    // than any LLC and stressing the RDC itself; rare flux writes
+    // make its pages read-write so replication cannot help.
+    suite.push_back(shape("XSBench", 2, 20, 4, 10, true, {
+        region(RK::Lookup, 4000 * MiB, 0.85, 0.01, 0.45, 2),
+        region(RK::PrivateStream, 400 * MiB, 0.15, 0.20),
+    }));
+
+    // Euler3D: unstructured CFD mesh, iterative.
+    suite.push_back(shape("Euler", 8, 6, 3, 10, true, {
+        region(RK::InterleavedStream, 14 * MiB, 0.65, 0.03),
+        region(RK::Halo, 4 * MiB, 0.15, 0.10, 0.0, 1, 0.30),
+        region(RK::PrivateStream, 8 * MiB, 0.20, 0.45),
+    }));
+
+    // SSSP: graph relaxation; interleaved edges, skewed distance
+    // lookups, atomic relax updates.
+    suite.push_back(shape("SSSP", 8, 6, 3, 10, true, {
+        region(RK::InterleavedStream, 32 * MiB, 0.52, 0.04, 0.0, 2),
+        region(RK::Lookup, 8 * MiB, 0.34, 0.10, 0.8),
+        region(RK::Atomic, 2 * MiB, 0.06, 0.60),
+        region(RK::PrivateStream, 8 * MiB, 0.08, 0.45),
+    }));
+
+    // bfs-road: road-network BFS; read-only adjacency dominates, so
+    // read-only replication recovers it.
+    suite.push_back(shape("bfs-road", 4, 10, 4, 12, true, {
+        region(RK::Lookup, 500 * MiB, 0.70, 0.0, 0.9, 2),
+        region(RK::PrivateStream, 90 * MiB, 0.30, 0.30),
+    }));
+
+    // ---- ML -------------------------------------------------------
+    // AlexNet: small broadcast weights + private activations,
+    // compute-bound.
+    suite.push_back(shape("AlexNet", 4, 10, 48, 112, false, {
+        region(RK::SharedStream, 48 * MiB, 0.40),
+        region(RK::PrivateStream, 48 * MiB, 0.60, 0.30),
+    }));
+
+    // GoogLeNet: weights exceed the LLC; read-only replication or
+    // CARVE both recover it.
+    suite.push_back(shape("GoogLeNet", 4, 10, 24, 56, false, {
+        region(RK::SharedStream, 800 * MiB, 0.50),
+        region(RK::PrivateStream, 400 * MiB, 0.50, 0.30),
+    }));
+
+    // OverFeat: like AlexNet.
+    suite.push_back(shape("OverFeat", 4, 10, 48, 112, false, {
+        region(RK::SharedStream, 44 * MiB, 0.40),
+        region(RK::PrivateStream, 44 * MiB, 0.60, 0.30),
+    }));
+
+    // ---- Other ----------------------------------------------------
+    // Bitcoin: hashing, almost pure compute over private state.
+    suite.push_back(shape("Bitcoin", 4, 10, 96, 192, false, {
+        region(RK::PrivateStream, 5500 * MiB, 0.95, 0.10),
+        region(RK::Lookup, 100 * MiB, 0.05, 0.0, 0.8),
+    }));
+
+    // Raytracing: BVH gathers with high reuse (cache-friendly).
+    suite.push_back(shape("Raytracing", 4, 10, 32, 80, false, {
+        region(RK::Lookup, 120 * MiB, 0.60, 0.0, 1.3, 2),
+        region(RK::PrivateStream, 30 * MiB, 0.40, 0.30),
+    }));
+
+    // stream-triad: the canonical private streaming kernel.
+    suite.push_back(shape("stream-triad", 4, 10, 2, 6, false, {
+        region(RK::PrivateStream, 3000 * MiB, 1.0, 0.33),
+    }));
+
+    // RandAccess: GUPS-style scattered updates over a huge table;
+    // the RDC miss-serialization outlier (Section IV-A).
+    {
+        WorkloadParams p = shape("RandAccess", 4, 10, 10, 30, false, {
+            region(RK::RandomGlobal, 12288 * MiB, 0.90, 0.25, 0.0, 2),
+            region(RK::PrivateStream, 3000 * MiB, 0.10, 0.30),
+        });
+        // Fewer resident warps: latency- rather than bandwidth-bound.
+        p.ctas = 1280;
+        suite.push_back(std::move(p));
+    }
+
+    return suite;
+}
+
+} // namespace
+
+std::vector<WorkloadParams>
+standardSuite(const SuiteOptions &opt)
+{
+    if (!isPowerOf2(opt.memory_scale))
+        fatal("standardSuite: memory_scale must be a power of two");
+    std::vector<WorkloadParams> suite = buildSuite();
+    for (auto &wl : suite) {
+        for (auto &r : wl.regions) {
+            // MCB's cross-section tables sit right at the RDC-size
+            // crossover the paper's Table V(a) reports; keep them at
+            // paper size so the sweep stays meaningful.
+            if (wl.name == "MCB" && r.kind == RegionKind::Lookup)
+                continue;
+            r.bytes = scaleBytes(r.bytes, opt.memory_scale);
+        }
+        if (opt.duration != 1.0)
+            wl = wl.withDurationScale(opt.duration);
+    }
+    return suite;
+}
+
+WorkloadParams
+suiteWorkload(const std::string &abbr, const SuiteOptions &opt)
+{
+    for (auto &wl : standardSuite(opt)) {
+        if (wl.name == abbr)
+            return wl;
+    }
+    fatal("suiteWorkload: unknown workload '%s'", abbr.c_str());
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &wl : buildSuite())
+        names.push_back(wl.name);
+    return names;
+}
+
+} // namespace carve

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The 20-workload suite of Table II, expressed as synthetic-workload
+ * parameter sets whose memory-behaviour classes reproduce the paper's
+ * figures: footprints, page- vs line-granularity sharing, read/write
+ * bias, arithmetic intensity and kernel structure.
+ *
+ * Memory sizes are stored at paper scale and divided by
+ * SuiteOptions::memory_scale (with a floor so small workloads keep a
+ * meaningful page count); the same factor must be applied to the
+ * hardware via SystemConfig::scaled() so all capacity *ratios* match
+ * the paper.
+ */
+
+#ifndef CARVE_WORKLOADS_SUITE_HH
+#define CARVE_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace carve {
+
+/** Scaling knobs applied to the whole suite. */
+struct SuiteOptions
+{
+    /** Divide all region footprints (and the matching hardware) by
+     * this power of two. 1 == paper-exact sizes. */
+    unsigned memory_scale = 8;
+    /** Multiply trace length; <1 for quick runs, >1 for long ones. */
+    double duration = 1.0;
+};
+
+/** All 20 Table II workloads in paper order. */
+std::vector<WorkloadParams> standardSuite(const SuiteOptions &opt = {});
+
+/** One workload by its Table II abbreviation (fatal if unknown). */
+WorkloadParams suiteWorkload(const std::string &abbr,
+                             const SuiteOptions &opt = {});
+
+/** Abbreviations of all suite workloads, in paper order. */
+std::vector<std::string> suiteNames();
+
+} // namespace carve
+
+#endif // CARVE_WORKLOADS_SUITE_HH

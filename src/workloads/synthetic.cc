@@ -1,0 +1,221 @@
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace carve {
+
+namespace {
+
+/** SplitMix-style 64-bit mixer. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+std::uint64_t
+hashIds(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+        std::uint64_t c, std::uint64_t d)
+{
+    std::uint64_t h = seed;
+    h = mix(h ^ a);
+    h = mix(h ^ b);
+    h = mix(h ^ c);
+    h = mix(h ^ d);
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+WorkloadParams::footprint() const
+{
+    std::uint64_t total = 0;
+    for (const auto &r : regions)
+        total += r.bytes;
+    return total;
+}
+
+WorkloadParams
+WorkloadParams::withDurationScale(double f) const
+{
+    WorkloadParams p = *this;
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(insts_per_warp) * f);
+    p.insts_per_warp = std::max<std::uint64_t>(2, scaled);
+    return p;
+}
+
+SyntheticWorkload::SyntheticWorkload(WorkloadParams params,
+                                     std::uint64_t line_size,
+                                     std::uint64_t seed)
+    : params_(std::move(params)), line_size_(line_size), seed_(seed)
+{
+    if (params_.regions.empty())
+        fatal("SyntheticWorkload %s: no regions",
+              params_.name.c_str());
+    if (params_.warps_per_cta == 0 || params_.ctas == 0)
+        fatal("SyntheticWorkload %s: degenerate trace shape",
+              params_.name.c_str());
+
+    // Mix the workload name into the seed so two same-seed workloads
+    // still draw distinct streams.
+    for (const char ch : params_.name)
+        seed_ = mix(seed_ ^ static_cast<std::uint64_t>(ch));
+
+    // Regions live in disjoint 64 GiB-aligned VA slots.
+    double cum = 0.0;
+    for (std::size_t i = 0; i < params_.regions.size(); ++i) {
+        const RegionSpec &r = params_.regions[i];
+        if (r.bytes < line_size)
+            fatal("SyntheticWorkload %s: region %zu smaller than a "
+                  "line", params_.name.c_str(), i);
+        base_.push_back((static_cast<Addr>(i) + 1) << 36);
+        lines_.push_back(r.bytes / line_size);
+        cum += r.access_frac;
+        cum_frac_.push_back(cum);
+    }
+    if (cum <= 0.0)
+        fatal("SyntheticWorkload %s: zero total access fraction",
+              params_.name.c_str());
+    // Normalize.
+    for (auto &c : cum_frac_)
+        c /= cum;
+}
+
+Addr
+SyntheticWorkload::streamLine(const RegionSpec &r, std::size_t ri,
+                              CtaId cta, WarpId w, std::uint64_t idx,
+                              std::uint64_t &line_index) const
+{
+    const std::uint64_t region_lines = lines_[ri];
+    const std::uint64_t pos =
+        w + static_cast<std::uint64_t>(params_.warps_per_cta) * idx;
+
+    switch (r.kind) {
+      case RegionKind::PrivateStream:
+      case RegionKind::Halo: {
+        const std::uint64_t slice =
+            std::max<std::uint64_t>(1, region_lines / params_.ctas);
+        line_index = (cta % params_.ctas) * slice + pos % slice;
+        break;
+      }
+      case RegionKind::InterleavedStream:
+        // Line i belongs to CTA (i % ctas): consecutive lines fan out
+        // across CTAs, so pages interleave ownership (false sharing).
+        line_index = (pos * params_.ctas + cta) % region_lines;
+        break;
+      case RegionKind::SharedStream:
+        line_index = pos % region_lines;
+        break;
+      default:
+        line_index = 0;
+        break;
+    }
+    if (line_index >= region_lines)
+        line_index %= region_lines;
+    return base_[ri] + line_index * line_size_;
+}
+
+void
+SyntheticWorkload::instruction(KernelId k, CtaId cta, WarpId w,
+                               std::uint64_t idx,
+                               WarpInstruction &out) const
+{
+    const std::uint64_t k_eff = params_.iterative ? 0 : k;
+    Rng rng(hashIds(seed_, k_eff, cta, w, idx));
+
+    // Pick the region this instruction targets.
+    const double u = rng.uniform();
+    std::size_t ri = 0;
+    while (ri + 1 < cum_frac_.size() && u > cum_frac_[ri])
+        ++ri;
+    const RegionSpec &r = params_.regions[ri];
+    const std::uint64_t region_lines = lines_[ri];
+
+    out.type = rng.chance(r.write_frac) ? AccessType::Write
+                                        : AccessType::Read;
+    const unsigned span =
+        static_cast<unsigned>(params_.compute_max) -
+        static_cast<unsigned>(params_.compute_min) + 1;
+    out.compute_cycles = static_cast<std::uint16_t>(
+        params_.compute_min + rng.below(span));
+
+    const std::uint8_t lanes = std::min<std::uint8_t>(
+        std::max<std::uint8_t>(r.lanes, 1), max_lines_per_inst);
+
+    switch (r.kind) {
+      case RegionKind::PrivateStream:
+      case RegionKind::InterleavedStream:
+      case RegionKind::SharedStream: {
+        std::uint64_t li = 0;
+        out.lines[0] = streamLine(r, ri, cta, w, idx, li);
+        out.num_lines = 1;
+        break;
+      }
+
+      case RegionKind::Halo: {
+        std::uint64_t li = 0;
+        if (!isWrite(out.type) && rng.chance(r.neighbor_frac)) {
+            // Read an edge line of a neighbouring CTA's slice.
+            const std::uint64_t slice = std::max<std::uint64_t>(
+                1, region_lines / params_.ctas);
+            const CtaId neighbor = rng.chance(0.5)
+                ? (cta + 1) % params_.ctas
+                : (cta + params_.ctas - 1) % params_.ctas;
+            const std::uint64_t edge_span =
+                std::min<std::uint64_t>(slice, 16);
+            const std::uint64_t edge = rng.chance(0.5)
+                ? rng.below(edge_span)               // leading edge
+                : slice - 1 - rng.below(edge_span);  // trailing edge
+            li = (neighbor * slice + edge) % region_lines;
+            out.lines[0] = base_[ri] + li * line_size_;
+        } else {
+            out.lines[0] = streamLine(r, ri, cta, w, idx, li);
+        }
+        out.num_lines = 1;
+        break;
+      }
+
+      case RegionKind::Atomic: {
+        out.lines[0] =
+            base_[ri] + rng.below(region_lines) * line_size_;
+        out.num_lines = 1;
+        break;
+      }
+
+      case RegionKind::Lookup:
+      case RegionKind::RandomGlobal: {
+        out.num_lines = 0;
+        for (unsigned j = 0; j < lanes; ++j) {
+            const std::uint64_t li = r.zipf > 0.0
+                ? rng.zipf(region_lines, r.zipf)
+                : rng.below(region_lines);
+            const Addr line = base_[ri] + li * line_size_;
+            bool dup = false;
+            for (unsigned q = 0; q < out.num_lines; ++q) {
+                if (out.lines[q] == line) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                out.lines[out.num_lines++] = line;
+        }
+        break;
+      }
+    }
+
+    carve_assert(out.num_lines >= 1);
+}
+
+} // namespace carve

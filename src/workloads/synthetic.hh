@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SyntheticWorkload: a deterministic Workload generated from a
+ * WorkloadParams description (region mix + trace shape).
+ */
+
+#ifndef CARVE_WORKLOADS_SYNTHETIC_HH
+#define CARVE_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace carve {
+
+/** Full description of a synthetic workload. */
+struct WorkloadParams
+{
+    std::string name;
+    unsigned kernels = 4;
+    std::uint64_t ctas = 1024;
+    unsigned warps_per_cta = 8;
+    std::uint64_t insts_per_warp = 24;
+    std::uint16_t compute_min = 4;   ///< min compute gap (cycles)
+    std::uint16_t compute_max = 20;  ///< max compute gap (cycles)
+    /** Iterative workloads re-touch the same addresses every kernel
+     * (solvers); non-iterative ones shift their access pattern. */
+    bool iterative = true;
+    std::vector<RegionSpec> regions;
+
+    /** Sum of region footprints. */
+    std::uint64_t footprint() const;
+
+    /** Multiply trace length (insts_per_warp) by @p f, min 2. */
+    WorkloadParams withDurationScale(double f) const;
+};
+
+/**
+ * Deterministic pure-function trace source over a WorkloadParams.
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param params workload description
+     * @param line_size cache line size in bytes
+     * @param seed base RNG seed (same seed == identical trace)
+     */
+    SyntheticWorkload(WorkloadParams params, std::uint64_t line_size,
+                      std::uint64_t seed = 1);
+
+    const std::string &name() const override { return params_.name; }
+    unsigned numKernels() const override { return params_.kernels; }
+    std::uint64_t
+    numCtas(KernelId) const override
+    {
+        return params_.ctas;
+    }
+    unsigned
+    warpsPerCta() const override
+    {
+        return params_.warps_per_cta;
+    }
+    std::uint64_t
+    instsPerWarp(KernelId) const override
+    {
+        return params_.insts_per_warp;
+    }
+
+    void instruction(KernelId k, CtaId cta, WarpId w,
+                     std::uint64_t idx,
+                     WarpInstruction &out) const override;
+
+    const WorkloadParams &params() const { return params_; }
+
+  private:
+    Addr streamLine(const RegionSpec &r, std::size_t ri, CtaId cta,
+                    WarpId w, std::uint64_t idx,
+                    std::uint64_t &line_index) const;
+
+    WorkloadParams params_;
+    std::uint64_t line_size_;
+    std::uint64_t seed_;
+    std::vector<Addr> base_;            ///< per-region base address
+    std::vector<std::uint64_t> lines_;  ///< per-region line count
+    std::vector<double> cum_frac_;      ///< cumulative access_frac
+};
+
+} // namespace carve
+
+#endif // CARVE_WORKLOADS_SYNTHETIC_HH

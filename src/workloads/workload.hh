@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace-source interface consumed by the GPU model.
+ *
+ * The paper drives its simulator with proprietary CUDA traces; this
+ * reproduction generates equivalent traces on the fly. A Workload is
+ * a *pure function* from (kernel, cta, warp, instruction-index) to a
+ * warp memory instruction, so traces need no storage, are perfectly
+ * reproducible, and are identical regardless of the GPU count or
+ * schedule — the property that makes cross-configuration speedup
+ * comparisons meaningful.
+ */
+
+#ifndef CARVE_WORKLOADS_WORKLOAD_HH
+#define CARVE_WORKLOADS_WORKLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace carve {
+
+/** Maximum distinct cache lines one warp instruction may touch. */
+inline constexpr unsigned max_lines_per_inst = 8;
+
+/**
+ * One warp-wide memory instruction after coalescing: up to
+ * max_lines_per_inst distinct line addresses plus the compute gap the
+ * warp spends before issuing its *next* memory instruction.
+ */
+struct WarpInstruction
+{
+    AccessType type = AccessType::Read;
+    std::uint16_t compute_cycles = 0;
+    std::uint8_t num_lines = 0;
+    std::array<Addr, max_lines_per_inst> lines{};
+};
+
+/**
+ * Abstract trace source. Implementations must be deterministic and
+ * stateless with respect to call order.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload display name. */
+    virtual const std::string &name() const = 0;
+
+    /** Number of kernel launches in the trace. */
+    virtual unsigned numKernels() const = 0;
+
+    /** CTA count of kernel @p k. */
+    virtual std::uint64_t numCtas(KernelId k) const = 0;
+
+    /** Warps per CTA (constant across kernels). */
+    virtual unsigned warpsPerCta() const = 0;
+
+    /** Memory instructions each warp executes in kernel @p k. */
+    virtual std::uint64_t instsPerWarp(KernelId k) const = 0;
+
+    /**
+     * Produce instruction @p idx of warp @p w of CTA @p cta in
+     * kernel @p k. Must be a pure function of its arguments.
+     */
+    virtual void instruction(KernelId k, CtaId cta, WarpId w,
+                             std::uint64_t idx,
+                             WarpInstruction &out) const = 0;
+
+    /** Total dynamic warp instructions across the whole trace. */
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t total = 0;
+        for (KernelId k = 0; k < numKernels(); ++k)
+            total += numCtas(k) * warpsPerCta() * instsPerWarp(k);
+        return total;
+    }
+};
+
+} // namespace carve
+
+#endif // CARVE_WORKLOADS_WORKLOAD_HH

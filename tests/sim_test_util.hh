@@ -1,0 +1,55 @@
+/** @file Shared helpers for system-level tests: a miniature (fast)
+ * 4-GPU configuration and small workload builders. */
+
+#ifndef CARVE_TESTS_SIM_TEST_UTIL_HH
+#define CARVE_TESTS_SIM_TEST_UTIL_HH
+
+#include "common/config.hh"
+#include "common/units.hh"
+#include "workloads/synthetic.hh"
+
+namespace carve {
+namespace test {
+
+/** A tiny 4-GPU system that runs full simulations in milliseconds. */
+inline SystemConfig
+miniConfig()
+{
+    SystemConfig cfg;
+    cfg.num_gpus = 4;
+    cfg.core.sms_per_gpu = 4;
+    cfg.core.max_warps_per_sm = 16;
+    cfg.core.kernel_launch_latency = 100;
+    cfg.l1 = CacheConfig{8 * KiB, 4, 10, 16};
+    cfg.l2 = CacheConfig{64 * KiB, 8, 40, 64};
+    cfg.tlb.l1_entries = 8;
+    cfg.tlb.l2_entries = 32;
+    cfg.dram.capacity = 256 * MiB;
+    cfg.dram.channels = 4;
+    cfg.dram.channel_bw = 64.0;
+    cfg.rdc.size = 16 * MiB;
+    return cfg;
+}
+
+/** Small workload over one configurable region. */
+inline WorkloadParams
+miniWorkload(RegionKind kind, double write_frac = 0.0,
+             unsigned kernels = 2, std::uint64_t region_bytes = 8 * MiB)
+{
+    WorkloadParams p;
+    p.name = "mini";
+    p.kernels = kernels;
+    p.ctas = 32;
+    p.warps_per_cta = 4;
+    p.insts_per_warp = 24;
+    p.compute_min = 2;
+    p.compute_max = 8;
+    p.iterative = true;
+    p.regions = {{kind, region_bytes, 1.0, write_frac, 0.4, 1, 0.25}};
+    return p;
+}
+
+} // namespace test
+} // namespace carve
+
+#endif // CARVE_TESTS_SIM_TEST_UTIL_HH

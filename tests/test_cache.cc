@@ -1,0 +1,247 @@
+/** @file Unit tests for tag arrays, replacement, the cache component
+ * and the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
+#include "common/config.hh"
+
+namespace carve {
+namespace {
+
+// ---- replacer -------------------------------------------------------
+
+TEST(Replacer, PrefersInvalidWays)
+{
+    Replacer r(ReplPolicy::LRU);
+    std::vector<std::uint8_t> valid{1, 1, 0, 1};
+    std::vector<std::uint64_t> use{10, 20, 0, 5};
+    EXPECT_EQ(r.victim(valid, use), 2u);
+}
+
+TEST(Replacer, LruPicksOldest)
+{
+    Replacer r(ReplPolicy::LRU);
+    std::vector<std::uint8_t> valid{1, 1, 1, 1};
+    std::vector<std::uint64_t> use{10, 3, 20, 5};
+    EXPECT_EQ(r.victim(valid, use), 1u);
+}
+
+TEST(Replacer, RandomStaysInRange)
+{
+    Replacer r(ReplPolicy::Random, 3);
+    std::vector<std::uint8_t> valid{1, 1, 1, 1};
+    std::vector<std::uint64_t> use{1, 1, 1, 1};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(r.victim(valid, use), 4u);
+}
+
+// ---- tag array ------------------------------------------------------
+
+TEST(TagArray, GeometryFromSize)
+{
+    TagArray t(8192, 4, 128);  // 16 sets x 4 ways
+    EXPECT_EQ(t.numSets(), 16u);
+    EXPECT_EQ(t.numWays(), 4u);
+}
+
+TEST(TagArray, MissThenHitAfterInsert)
+{
+    TagArray t(8192, 4, 128);
+    EXPECT_EQ(t.lookup(0x1000), nullptr);
+    t.insert(0x1000, false);
+    EXPECT_NE(t.lookup(0x1000), nullptr);
+    // Sub-line offsets resolve to the same line.
+    EXPECT_NE(t.lookup(0x1000 + 127), nullptr);
+    EXPECT_EQ(t.lookup(0x1000 + 128), nullptr);
+}
+
+TEST(TagArray, LruEvictionOrder)
+{
+    TagArray t(4 * 128, 4, 128);  // one set, 4 ways
+    t.insert(0 * 128, false);
+    t.insert(1 * 128, false);
+    t.insert(2 * 128, false);
+    t.insert(3 * 128, false);
+    // Touch line 0 so line 1 becomes LRU.
+    t.lookup(0);
+    auto ev = t.insert(4 * 128, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->line_addr, 1u * 128);
+    EXPECT_NE(t.lookup(0), nullptr);
+}
+
+TEST(TagArray, EvictionReportsDirtyAndRemote)
+{
+    TagArray t(128, 1, 128);  // a single line
+    t.insert(0, true);
+    t.lookup(0)->dirty = true;
+    auto ev = t.insert(128, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_TRUE(ev->remote);
+}
+
+TEST(TagArray, InvalidateSingleLine)
+{
+    TagArray t(8192, 4, 128);
+    t.insert(0x2000, false);
+    EXPECT_TRUE(t.invalidate(0x2000));
+    EXPECT_FALSE(t.invalidate(0x2000));
+    EXPECT_EQ(t.lookup(0x2000), nullptr);
+}
+
+TEST(TagArray, InvalidateRemoteKeepsLocalLines)
+{
+    TagArray t(8192, 4, 128);
+    t.insert(0x0000, false);
+    t.insert(0x1000, true);
+    t.insert(0x2000, true);
+    EXPECT_EQ(t.invalidateRemote(), 2u);
+    EXPECT_NE(t.lookup(0x0000), nullptr);
+    EXPECT_EQ(t.lookup(0x1000), nullptr);
+    EXPECT_EQ(t.validCount(), 1u);
+}
+
+TEST(TagArray, InvalidateAll)
+{
+    TagArray t(8192, 4, 128);
+    for (Addr a = 0; a < 20 * 128; a += 128)
+        t.insert(a, false);
+    EXPECT_EQ(t.invalidateAll(), 20u);
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(TagArray, ForEachDirtyVisitsOnlyDirty)
+{
+    TagArray t(8192, 4, 128);
+    t.insert(0, false);
+    t.insert(128, false);
+    t.lookup(128)->dirty = true;
+    unsigned visited = 0;
+    t.forEachDirty([&](CacheLine &line) {
+        ++visited;
+        line.dirty = false;
+    });
+    EXPECT_EQ(visited, 1u);
+    t.forEachDirty([&](CacheLine &) { ++visited; });
+    EXPECT_EQ(visited, 1u);
+}
+
+TEST(TagArrayDeathTest, DoubleInsertPanics)
+{
+    TagArray t(8192, 4, 128);
+    t.insert(0x1000, false);
+    EXPECT_DEATH(t.insert(0x1000, false), "assert");
+}
+
+// ---- cache ----------------------------------------------------------
+
+TEST(Cache, CountsHitsAndMisses)
+{
+    CacheConfig cc{8192, 4, 10, 8};
+    Cache c("l", cc, 128);
+    EXPECT_FALSE(c.readProbe(0));
+    c.fill(0, false);
+    EXPECT_TRUE(c.readProbe(0));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+    EXPECT_EQ(c.hitLatency(), 10u);
+}
+
+TEST(Cache, WriteProbeUpdatesWithoutAllocating)
+{
+    CacheConfig cc{8192, 4, 10, 8};
+    Cache c("l", cc, 128);
+    EXPECT_FALSE(c.writeProbe(0x100, false));  // miss: no allocate
+    EXPECT_FALSE(c.contains(0x100));
+    c.fill(0x100, false);
+    EXPECT_TRUE(c.writeProbe(0x100, true));
+    // Dirty was requested: the resident line carries it.
+    EXPECT_TRUE(c.tags().peek(0x100)->dirty);
+}
+
+TEST(Cache, DoubleFillIsIdempotent)
+{
+    CacheConfig cc{8192, 4, 10, 8};
+    Cache c("l", cc, 128);
+    c.fill(0x200, true);
+    auto ev = c.fill(0x200, true);  // racing MSHR fill
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_EQ(c.tags().validCount(), 1u);
+}
+
+TEST(Cache, EvictionCounter)
+{
+    CacheConfig cc{2 * 128, 2, 1, 8};  // one set, two ways
+    Cache c("l", cc, 128);
+    c.fill(0, false);
+    c.fill(128, false);
+    c.fill(256, false);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+// ---- mshr -----------------------------------------------------------
+
+TEST(Mshr, FirstAllocationIsNewEntry)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::NewEntry);
+    EXPECT_TRUE(m.outstanding(0x100));
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Mshr, SecondAllocationMerges)
+{
+    MshrFile m(4);
+    m.allocate(0x100, [] {});
+    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.merges(), 1u);
+}
+
+TEST(Mshr, FullRejectsNewLinesButMergesExisting)
+{
+    MshrFile m(2);
+    m.allocate(0x100, [] {});
+    m.allocate(0x200, [] {});
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(0x300, [] {}), MshrOutcome::Full);
+    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.rejections(), 1u);
+}
+
+TEST(Mshr, CompleteFiresAllWaitersInOrder)
+{
+    MshrFile m(4);
+    std::vector<int> order;
+    m.allocate(0x100, [&] { order.push_back(1); });
+    m.allocate(0x100, [&] { order.push_back(2); });
+    m.allocate(0x100, [&] { order.push_back(3); });
+    EXPECT_EQ(m.complete(0x100), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(m.outstanding(0x100));
+}
+
+TEST(Mshr, CallbackMayAllocateDuringComplete)
+{
+    MshrFile m(2);
+    m.allocate(0x100, [&] {
+        EXPECT_EQ(m.allocate(0x200, [] {}), MshrOutcome::NewEntry);
+    });
+    m.complete(0x100);
+    EXPECT_TRUE(m.outstanding(0x200));
+}
+
+TEST(MshrDeathTest, CompletingUntrackedLinePanics)
+{
+    MshrFile m(2);
+    EXPECT_DEATH(m.complete(0xDEAD), "untracked");
+}
+
+} // namespace
+} // namespace carve

@@ -1,0 +1,173 @@
+/** @file Unit tests for SystemConfig: Table III defaults, scaling,
+ * overrides and validation. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/units.hh"
+
+namespace carve {
+namespace {
+
+TEST(Config, TableIIIDefaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.num_gpus, 4u);
+    EXPECT_EQ(cfg.core.sms_per_gpu, 64u);          // 256 total
+    EXPECT_EQ(cfg.core.max_warps_per_sm, 64u);
+    EXPECT_EQ(cfg.page_size, 2 * MiB);
+    EXPECT_EQ(cfg.line_size, 128u);
+    EXPECT_EQ(cfg.l1.size, 128 * KiB);
+    EXPECT_EQ(cfg.l1.ways, 4u);
+    EXPECT_EQ(cfg.l2.size, 8 * MiB);               // 32 MB total
+    EXPECT_EQ(cfg.l2.ways, 16u);
+    EXPECT_EQ(cfg.dram.capacity, 32 * GiB);        // 128 GB total
+    EXPECT_DOUBLE_EQ(cfg.localDramBw(), 1024.0);   // 1 TB/s
+    EXPECT_DOUBLE_EQ(cfg.link.gpu_gpu_bw, 64.0);   // 64 GB/s
+    EXPECT_DOUBLE_EQ(cfg.link.cpu_gpu_bw, 32.0);   // 32 GB/s
+    EXPECT_EQ(cfg.rdc.size, 2 * GiB);
+    EXPECT_FALSE(cfg.rdc.enabled);
+}
+
+TEST(Config, DefaultsValidate)
+{
+    SystemConfig cfg;
+    cfg.validate();  // must not exit
+}
+
+TEST(Config, ScaledDividesCapacitiesOnly)
+{
+    SystemConfig cfg;
+    SystemConfig s = cfg.scaled(8);
+    EXPECT_EQ(s.l1.size, cfg.l1.size / 8);
+    EXPECT_EQ(s.l2.size, cfg.l2.size / 8);
+    EXPECT_EQ(s.rdc.size, cfg.rdc.size / 8);
+    EXPECT_EQ(s.dram.capacity, cfg.dram.capacity / 8);
+    // Bandwidths, counts and latencies untouched.
+    EXPECT_DOUBLE_EQ(s.link.gpu_gpu_bw, cfg.link.gpu_gpu_bw);
+    EXPECT_EQ(s.core.sms_per_gpu, cfg.core.sms_per_gpu);
+    EXPECT_EQ(s.page_size, cfg.page_size);
+    EXPECT_EQ(s.line_size, cfg.line_size);
+    s.validate();
+}
+
+TEST(Config, LinesPerPage)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.linesPerPage(), 2 * MiB / 128);
+}
+
+TEST(Config, ApplyOverrideNumeric)
+{
+    SystemConfig cfg;
+    cfg.applyOverride("num_gpus", "8");
+    cfg.applyOverride("rdc.size", "1073741824");
+    cfg.applyOverride("link.gpu_gpu_bw", "32.0");
+    EXPECT_EQ(cfg.num_gpus, 8u);
+    EXPECT_EQ(cfg.rdc.size, 1 * GiB);
+    EXPECT_DOUBLE_EQ(cfg.link.gpu_gpu_bw, 32.0);
+}
+
+TEST(Config, ApplyOverrideEnumsAndBools)
+{
+    SystemConfig cfg;
+    cfg.applyOverride("rdc.enabled", "true");
+    cfg.applyOverride("rdc.coherence", "software");
+    cfg.applyOverride("numa.replication", "readonly");
+    cfg.applyOverride("numa.placement", "roundrobin");
+    cfg.applyOverride("numa.migration", "on");
+    EXPECT_TRUE(cfg.rdc.enabled);
+    EXPECT_EQ(cfg.rdc.coherence, RdcCoherence::Software);
+    EXPECT_EQ(cfg.numa.replication, ReplicationPolicy::ReadOnly);
+    EXPECT_EQ(cfg.numa.placement, PlacementPolicy::RoundRobin);
+    EXPECT_TRUE(cfg.numa.migration);
+}
+
+TEST(ConfigDeathTest, UnknownOverrideKeyIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT(cfg.applyOverride("bogus.key", "1"),
+                ::testing::ExitedWithCode(1), "unknown override");
+}
+
+TEST(ConfigDeathTest, GarbageValueIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT(cfg.applyOverride("num_gpus", "four"),
+                ::testing::ExitedWithCode(1), "cannot parse");
+}
+
+TEST(ConfigDeathTest, ValidationCatchesBadGeometry)
+{
+    SystemConfig cfg;
+    cfg.line_size = 100;  // not a power of two
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "line_size");
+}
+
+TEST(ConfigDeathTest, ValidationCatchesOversizedRdc)
+{
+    SystemConfig cfg;
+    cfg.rdc.enabled = true;
+    cfg.rdc.size = cfg.dram.capacity;  // no room for OS memory
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "carve-out");
+}
+
+TEST(ConfigDeathTest, ValidationCatchesBadSpill)
+{
+    SystemConfig cfg;
+    cfg.numa.spill_fraction = 1.5;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "spill_fraction");
+}
+
+TEST(ConfigDeathTest, ScaledRequiresPowerOfTwo)
+{
+    SystemConfig cfg;
+    EXPECT_EXIT((void)cfg.scaled(3), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+class PolicyParseTest
+    : public ::testing::TestWithParam<
+          std::pair<const char *, ReplicationPolicy>>
+{
+};
+
+TEST_P(PolicyParseTest, ParsesAliases)
+{
+    EXPECT_EQ(parseReplicationPolicy(GetParam().first),
+              GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aliases, PolicyParseTest,
+    ::testing::Values(
+        std::make_pair("none", ReplicationPolicy::None),
+        std::make_pair("readonly", ReplicationPolicy::ReadOnly),
+        std::make_pair("read-only", ReplicationPolicy::ReadOnly),
+        std::make_pair("RO", ReplicationPolicy::ReadOnly),
+        std::make_pair("all", ReplicationPolicy::All),
+        std::make_pair("IDEAL", ReplicationPolicy::All)));
+
+TEST(Config, ParsePlacementAliases)
+{
+    EXPECT_EQ(parsePlacementPolicy("ft"), PlacementPolicy::FirstTouch);
+    EXPECT_EQ(parsePlacementPolicy("first-touch"),
+              PlacementPolicy::FirstTouch);
+    EXPECT_EQ(parsePlacementPolicy("rr"), PlacementPolicy::RoundRobin);
+    EXPECT_EQ(parsePlacementPolicy("local"),
+              PlacementPolicy::LocalOnly);
+}
+
+TEST(Config, ParseCoherenceAliases)
+{
+    EXPECT_EQ(parseRdcCoherence("none"), RdcCoherence::None);
+    EXPECT_EQ(parseRdcCoherence("swc"), RdcCoherence::Software);
+    EXPECT_EQ(parseRdcCoherence("hwvi"), RdcCoherence::HardwareVI);
+    EXPECT_EQ(parseRdcCoherence("hardware"), RdcCoherence::HardwareVI);
+}
+
+} // namespace
+} // namespace carve

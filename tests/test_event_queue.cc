@@ -1,0 +1,134 @@
+/** @file Unit tests for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace carve {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, EqualTickEventsFireInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelativeToNow)
+{
+    EventQueue eq;
+    Cycle seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    for (Cycle t = 0; t < 10; ++t)
+        eq.schedule(t, [] {});
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunWhilePredicateStopsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Cycle t = 0; t < 10; ++t)
+        eq.schedule(t, [&] { ++fired; });
+    eq.runWhile([&] { return fired < 3; });
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ExecutedCountsLifetimeEvents)
+{
+    EventQueue eq;
+    for (Cycle t = 0; t < 5; ++t)
+        eq.schedule(t, [] {});
+    eq.run();
+    for (Cycle t = 0; t < 3; ++t)
+        eq.schedule(eq.now() + t, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 8u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(10, [&] {
+        eq.schedule(eq.now(), [&] { fired = true; });
+    });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+} // namespace
+} // namespace carve

@@ -1,0 +1,291 @@
+/** @file Unit tests for GpuNode with a scripted SystemFabric mock:
+ * post-LLC routing, traffic classification, home-side servicing,
+ * hardware invalidation fan-in and kernel-boundary coherence. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/system_preset.hh"
+#include "gpu/gpu.hh"
+#include "sim_test_util.hh"
+
+namespace carve {
+namespace {
+
+/** Records every off-chip request; services reads after a fixed
+ * latency. */
+class MockFabric : public SystemFabric
+{
+  public:
+    explicit MockFabric(EventQueue &eq) : eq_(eq) {}
+
+    void
+    remoteRead(NodeId src, NodeId home, Addr line,
+               Callback done) override
+    {
+        remote_reads.push_back({src, home, line});
+        eq_.scheduleAfter(400, std::move(done));
+    }
+
+    void
+    remoteWrite(NodeId src, NodeId home, Addr line) override
+    {
+        remote_writes.push_back({src, home, line});
+    }
+
+    void
+    cpuRead(NodeId src, Addr line, Callback done) override
+    {
+        cpu_reads.push_back({src, cpu_node, line});
+        eq_.scheduleAfter(700, std::move(done));
+    }
+
+    void
+    cpuWrite(NodeId src, Addr line) override
+    {
+        cpu_writes.push_back({src, cpu_node, line});
+    }
+
+    void
+    bulkTransfer(NodeId, NodeId, std::uint64_t bytes) override
+    {
+        bulk_bytes += bytes;
+    }
+
+    void
+    coherenceLocalAccess(NodeId, Addr, AccessType type) override
+    {
+        if (isWrite(type))
+            ++local_write_coherence;
+    }
+
+    struct Req
+    {
+        NodeId src;
+        NodeId home;
+        Addr line;
+    };
+
+    EventQueue &eq_;
+    std::vector<Req> remote_reads, remote_writes, cpu_reads,
+        cpu_writes;
+    std::uint64_t bulk_bytes = 0;
+    unsigned local_write_coherence = 0;
+};
+
+/** Trivial workload: one read or write per instruction at scripted
+ * addresses. */
+class OneLineWorkload : public Workload
+{
+  public:
+    std::string nm = "oneline";
+    std::vector<Addr> addrs{0x1000};
+    AccessType type = AccessType::Read;
+
+    const std::string &name() const override { return nm; }
+    unsigned numKernels() const override { return 1; }
+    std::uint64_t numCtas(KernelId) const override { return 1; }
+    unsigned warpsPerCta() const override { return 1; }
+    std::uint64_t
+    instsPerWarp(KernelId) const override
+    {
+        return addrs.size();
+    }
+
+    void
+    instruction(KernelId, CtaId, WarpId, std::uint64_t idx,
+                WarpInstruction &out) const override
+    {
+        out.type = type;
+        out.compute_cycles = 1;
+        out.num_lines = 1;
+        out.lines[0] = addrs[idx % addrs.size()];
+    }
+};
+
+struct GpuNodeFixture : public ::testing::Test
+{
+    GpuNodeFixture()
+        : cfg(makePreset(Preset::CarveHwc, test::miniConfig()))
+    {
+    }
+
+    void
+    build()
+    {
+        pages = std::make_unique<PageManager>(cfg);
+        fabric = std::make_unique<MockFabric>(eq);
+        node = std::make_unique<GpuNode>(eq, cfg, 0, *pages,
+                                         *fabric);
+        node->setWorkload(&wl);
+        node->setKernelDoneCallback([this](NodeId) { done = true; });
+        sched = std::make_unique<CtaScheduler>(1);
+    }
+
+    void
+    runKernel()
+    {
+        sched->launchKernel(wl.numCtas(0));
+        node->startKernel(0, *sched);
+        eq.run();
+        EXPECT_TRUE(done);
+    }
+
+    EventQueue eq;
+    SystemConfig cfg;
+    OneLineWorkload wl;
+    std::unique_ptr<PageManager> pages;
+    std::unique_ptr<MockFabric> fabric;
+    std::unique_ptr<GpuNode> node;
+    std::unique_ptr<CtaScheduler> sched;
+    bool done = false;
+};
+
+TEST_F(GpuNodeFixture, LocalReadNeverLeavesTheNode)
+{
+    build();
+    runKernel();  // first touch by node 0 => local
+    EXPECT_TRUE(fabric->remote_reads.empty());
+    EXPECT_EQ(node->traffic().local_reads, 1u);
+    EXPECT_EQ(node->traffic().remote_reads, 0u);
+}
+
+TEST_F(GpuNodeFixture, RemoteReadGoesThroughRdcThenHits)
+{
+    build();
+    // Pre-map the page at node 1 so node 0's access is remote.
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    wl.addrs = {0x1000, 0x1000, 0x1000};
+    runKernel();
+    // Exactly one RDC-miss fetch; the repeats hit the carve-out or
+    // merge behind the fetch.
+    EXPECT_EQ(fabric->remote_reads.size(), 1u);
+    EXPECT_EQ(fabric->remote_reads[0].home, 1u);
+    ASSERT_NE(node->rdc(), nullptr);
+    EXPECT_TRUE(node->rdc()->contains(
+        alignDown(Addr{0x1000}, cfg.line_size)));
+}
+
+TEST_F(GpuNodeFixture, RemoteWriteIsWrittenThrough)
+{
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    wl.type = AccessType::Write;
+    runKernel();
+    EXPECT_EQ(fabric->remote_writes.size(), 1u);
+    EXPECT_EQ(node->traffic().remote_writes, 1u);
+}
+
+TEST_F(GpuNodeFixture, LocalWriteTriggersCoherenceHook)
+{
+    build();
+    wl.type = AccessType::Write;
+    runKernel();
+    EXPECT_EQ(fabric->local_write_coherence, 1u);
+    EXPECT_EQ(node->traffic().local_writes, 1u);
+}
+
+TEST_F(GpuNodeFixture, HomeSideServicingTouchesLocalDram)
+{
+    build();
+    const std::uint64_t reads_before = node->mem().reads();
+    bool served = false;
+    node->serviceRemoteRead(0x2000, [&] { served = true; });
+    node->serviceRemoteWrite(0x3000);
+    eq.run();
+    EXPECT_TRUE(served);
+    EXPECT_EQ(node->mem().reads(), reads_before + 1);
+    EXPECT_EQ(node->mem().writes(), 1u);
+}
+
+TEST_F(GpuNodeFixture, InvalidateLineSweepsAllStructures)
+{
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    runKernel();  // line now in L1, L2 and RDC
+    const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
+    EXPECT_TRUE(node->l2().contains(line));
+    EXPECT_TRUE(node->rdc()->contains(line));
+    node->invalidateLine(line);
+    EXPECT_FALSE(node->l2().contains(line));
+    EXPECT_FALSE(node->rdc()->contains(line));
+    EXPECT_FALSE(node->sm(0).l1().contains(line));
+}
+
+TEST_F(GpuNodeFixture, BoundaryKeepsRemoteLinesUnderHwCoherence)
+{
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    runKernel();
+    const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
+    EXPECT_EQ(node->kernelBoundary(), 0u);
+    EXPECT_TRUE(node->l2().contains(line));   // HWC retains the LLC
+    EXPECT_TRUE(node->rdc()->contains(line)); // and the carve-out
+    EXPECT_FALSE(node->sm(0).l1().contains(line));  // L1 always drops
+}
+
+TEST_F(GpuNodeFixture, BoundaryDropsEverythingUnderSwCoherence)
+{
+    cfg.rdc.coherence = RdcCoherence::Software;
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    runKernel();
+    const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
+    node->kernelBoundary();
+    EXPECT_FALSE(node->l2().contains(line));
+    EXPECT_FALSE(node->rdc()->contains(line));  // stale epoch
+}
+
+TEST_F(GpuNodeFixture, CpuResidentPageUsesCpuPath)
+{
+    cfg.numa.spill_fraction = 0.999;
+    cfg.numa.um_migration_threshold = 1u << 30;
+    build();
+    wl.addrs = {0x1000, 0x5000000};
+    runKernel();
+    EXPECT_EQ(fabric->cpu_reads.size(), 2u);
+    EXPECT_EQ(node->traffic().cpu_reads, 2u);
+    EXPECT_TRUE(fabric->remote_reads.empty());
+}
+
+TEST_F(GpuNodeFixture, NoRdcFallsBackToDirectRemoteReads)
+{
+    cfg = makePreset(Preset::NumaGpu, test::miniConfig());
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    runKernel();
+    EXPECT_EQ(node->rdc(), nullptr);
+    EXPECT_EQ(fabric->remote_reads.size(), 1u);
+    // Remote line cached in the LLC (NUMA-GPU baseline behaviour).
+    EXPECT_TRUE(node->l2().contains(
+        alignDown(Addr{0x1000}, cfg.line_size)));
+}
+
+TEST_F(GpuNodeFixture, LlcRemoteCachingCanBeDisabled)
+{
+    cfg = makePreset(Preset::NumaGpu, test::miniConfig());
+    cfg.numa.llc_caches_remote = false;
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    wl.addrs = {0x1000, 0x1000};
+    runKernel();
+    // Both accesses fetched remotely: no LLC allocation for remote
+    // lines (L1 still captures the second in some interleavings, so
+    // assert on the LLC only).
+    EXPECT_FALSE(node->l2().contains(
+        alignDown(Addr{0x1000}, cfg.line_size)));
+}
+
+TEST_F(GpuNodeFixture, InstsIssuedAggregatesAcrossSms)
+{
+    build();
+    wl.addrs = {0x1000, 0x2000, 0x3000};
+    runKernel();
+    EXPECT_EQ(node->instsIssued(), 3u);
+    EXPECT_FALSE(node->busy());
+}
+
+} // namespace
+} // namespace carve

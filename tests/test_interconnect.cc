@@ -1,0 +1,132 @@
+/** @file Unit tests for links and the multi-GPU network fabric. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "interconnect/link.hh"
+#include "interconnect/network.hh"
+
+namespace carve {
+namespace {
+
+TEST(Link, DeliveryAfterSerializationPlusLatency)
+{
+    EventQueue eq;
+    Link link(eq, "l", 64.0, 100);
+    Cycle done = 0;
+    link.send(128, [&] { done = eq.now(); });
+    eq.run();
+    // 128B at 64 B/cyc = 2 cycles on the wire + 100 latency.
+    EXPECT_EQ(done, 102u);
+    EXPECT_EQ(link.bytesSent(), 128u);
+    EXPECT_EQ(link.packets(), 1u);
+    EXPECT_EQ(link.busyCycles(), 2u);
+}
+
+TEST(Link, PacketsSerializeOnTheWire)
+{
+    EventQueue eq;
+    Link link(eq, "l", 64.0, 0);
+    std::vector<Cycle> done;
+    for (int i = 0; i < 4; ++i)
+        link.send(128, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], 2u);
+    EXPECT_EQ(done[1], 4u);
+    EXPECT_EQ(done[2], 6u);
+    EXPECT_EQ(done[3], 8u);
+    EXPECT_DOUBLE_EQ(link.utilization(8), 1.0);
+}
+
+TEST(Link, QueueDelayObserved)
+{
+    EventQueue eq;
+    Link link(eq, "l", 1.0, 0);  // 1 B/cyc: slow
+    link.send(100, {});
+    link.send(100, {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(link.meanQueueDelay(), 50.0);  // (0 + 100) / 2
+}
+
+TEST(Link, SmallControlPacketsRoundUpToOneCycle)
+{
+    EventQueue eq;
+    Link link(eq, "l", 64.0, 0);
+    link.send(16, {});
+    eq.run();
+    EXPECT_EQ(link.busyCycles(), 1u);
+}
+
+TEST(LinkDeathTest, NonPositiveBandwidthIsFatal)
+{
+    EventQueue eq;
+    EXPECT_EXIT(Link(eq, "bad", 0.0, 1),
+                ::testing::ExitedWithCode(1), "bandwidth");
+}
+
+TEST(Network, DistinctDirectionalLinksPerPair)
+{
+    EventQueue eq;
+    LinkConfig cfg;
+    Network net(eq, cfg, 4);
+    net.send(0, 1, 128, {});
+    net.send(1, 0, 256, {});
+    EXPECT_EQ(net.link(0, 1).bytesSent(), 128u);
+    EXPECT_EQ(net.link(1, 0).bytesSent(), 256u);
+    EXPECT_EQ(net.link(2, 3).bytesSent(), 0u);
+    EXPECT_EQ(net.totalGpuGpuBytes(), 384u);
+}
+
+TEST(Network, DeliveryCallbackFires)
+{
+    EventQueue eq;
+    LinkConfig cfg;
+    cfg.latency = 50;
+    Network net(eq, cfg, 2);
+    Cycle at = 0;
+    net.send(0, 1, 128, [&] { at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at, 2u + 50u);
+}
+
+TEST(Network, CpuLinksAreSeparate)
+{
+    EventQueue eq;
+    LinkConfig cfg;
+    Network net(eq, cfg, 2);
+    bool up = false, down = false;
+    net.sendToCpu(0, 128, [&] { up = true; });
+    net.sendFromCpu(1, 128, [&] { down = true; });
+    eq.run();
+    EXPECT_TRUE(up);
+    EXPECT_TRUE(down);
+    EXPECT_EQ(net.totalCpuGpuBytes(), 256u);
+    EXPECT_EQ(net.totalGpuGpuBytes(), 0u);
+}
+
+TEST(Network, CpuLinkIsSlowerThanGpuLink)
+{
+    EventQueue eq;
+    LinkConfig cfg;  // 64 vs 32 B/cyc
+    cfg.latency = 0;
+    Network net(eq, cfg, 2);
+    Cycle gpu_done = 0, cpu_done = 0;
+    net.send(0, 1, 1024, [&] { gpu_done = eq.now(); });
+    net.sendToCpu(0, 1024, [&] { cpu_done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(gpu_done, 16u);
+    EXPECT_EQ(cpu_done, 32u);
+}
+
+TEST(NetworkDeathTest, SelfSendIsABug)
+{
+    EventQueue eq;
+    LinkConfig cfg;
+    Network net(eq, cfg, 2);
+    EXPECT_DEATH(net.send(1, 1, 128, {}), "assert");
+}
+
+} // namespace
+} // namespace carve

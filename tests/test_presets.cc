@@ -1,0 +1,86 @@
+/** @file Unit tests for the named system presets. */
+
+#include <gtest/gtest.h>
+
+#include "core/system_preset.hh"
+
+namespace carve {
+namespace {
+
+TEST(Presets, BaselineNumaGpu)
+{
+    const SystemConfig cfg = makePreset(Preset::NumaGpu,
+                                        SystemConfig{});
+    EXPECT_FALSE(cfg.rdc.enabled);
+    EXPECT_EQ(cfg.numa.placement, PlacementPolicy::FirstTouch);
+    EXPECT_EQ(cfg.numa.replication, ReplicationPolicy::None);
+    EXPECT_FALSE(cfg.numa.migration);
+    EXPECT_TRUE(cfg.numa.llc_caches_remote);
+    cfg.validate();
+}
+
+TEST(Presets, SingleGpu)
+{
+    const SystemConfig cfg = makePreset(Preset::SingleGpu,
+                                        SystemConfig{});
+    EXPECT_EQ(cfg.num_gpus, 1u);
+    cfg.validate();
+}
+
+TEST(Presets, CarveVariantsEnableRdcWithRightCoherence)
+{
+    EXPECT_EQ(makePreset(Preset::CarveNoCoherence, SystemConfig{})
+                  .rdc.coherence,
+              RdcCoherence::None);
+    EXPECT_EQ(makePreset(Preset::CarveSwc, SystemConfig{})
+                  .rdc.coherence,
+              RdcCoherence::Software);
+    EXPECT_EQ(makePreset(Preset::CarveHwc, SystemConfig{})
+                  .rdc.coherence,
+              RdcCoherence::HardwareVI);
+    for (Preset p : {Preset::CarveNoCoherence, Preset::CarveSwc,
+                     Preset::CarveHwc}) {
+        EXPECT_TRUE(makePreset(p, SystemConfig{}).rdc.enabled);
+    }
+}
+
+TEST(Presets, SoftwarePolicies)
+{
+    EXPECT_TRUE(makePreset(Preset::NumaGpuMigration, SystemConfig{})
+                    .numa.migration);
+    EXPECT_EQ(makePreset(Preset::NumaGpuReplRO, SystemConfig{})
+                  .numa.replication,
+              ReplicationPolicy::ReadOnly);
+    EXPECT_EQ(makePreset(Preset::Ideal, SystemConfig{})
+                  .numa.replication,
+              ReplicationPolicy::All);
+}
+
+TEST(Presets, GeometryInheritedFromBase)
+{
+    SystemConfig base;
+    base = base.scaled(8);
+    base.link.gpu_gpu_bw = 32.0;
+    const SystemConfig cfg = makePreset(Preset::CarveHwc, base);
+    EXPECT_EQ(cfg.l2.size, base.l2.size);
+    EXPECT_EQ(cfg.rdc.size, base.rdc.size);
+    EXPECT_DOUBLE_EQ(cfg.link.gpu_gpu_bw, 32.0);
+}
+
+TEST(Presets, NamesAreStable)
+{
+    EXPECT_STREQ(presetName(Preset::NumaGpu), "NUMA-GPU");
+    EXPECT_STREQ(presetName(Preset::CarveHwc), "CARVE-HWC");
+    EXPECT_STREQ(presetName(Preset::Ideal), "Ideal-NUMA-GPU");
+}
+
+TEST(Presets, ComparisonListCoversFigureOrder)
+{
+    const auto all = comparisonPresets();
+    EXPECT_EQ(all.size(), 7u);
+    EXPECT_EQ(all.front(), Preset::NumaGpu);
+    EXPECT_EQ(all.back(), Preset::Ideal);
+}
+
+} // namespace
+} // namespace carve

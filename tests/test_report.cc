@@ -1,0 +1,109 @@
+/** @file Unit tests for reporting helpers, traffic math and logging
+ * controls. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/report.hh"
+
+namespace carve {
+namespace {
+
+TEST(Traffic, FracRemoteCountsGpuLinksOnly)
+{
+    GpuTraffic t;
+    t.local_reads = 30;
+    t.rdc_hit_reads = 30;
+    t.remote_reads = 20;
+    t.remote_writes = 10;
+    t.local_writes = 10;
+    EXPECT_EQ(t.total(), 100u);
+    EXPECT_DOUBLE_EQ(t.fracRemote(), 0.3);
+}
+
+TEST(Traffic, EmptyTrafficIsZeroRemote)
+{
+    GpuTraffic t;
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_DOUBLE_EQ(t.fracRemote(), 0.0);
+}
+
+TEST(Traffic, RdcHitsCountAsLocal)
+{
+    // The Figure 8 accounting: a carve-out hit never crosses a link.
+    GpuTraffic with_rdc;
+    with_rdc.rdc_hit_reads = 90;
+    with_rdc.remote_reads = 10;
+    EXPECT_DOUBLE_EQ(with_rdc.fracRemote(), 0.1);
+}
+
+TEST(Report, IpcComputation)
+{
+    SimResult r;
+    r.warp_insts = 1000;
+    r.cycles = 500;
+    EXPECT_DOUBLE_EQ(r.ipc(), 2.0);
+    r.cycles = 0;
+    EXPECT_DOUBLE_EQ(r.ipc(), 0.0);
+}
+
+TEST(Report, PrintSummaryContainsKeyFields)
+{
+    SimResult r;
+    r.workload = "Lulesh";
+    r.preset = "CARVE-HWC";
+    r.cycles = 12345;
+    r.warp_insts = 1000;
+    r.frac_remote = 0.25;
+    r.rdc_hits = 75;
+    r.rdc_misses = 25;
+    std::ostringstream os;
+    printSummary(os, r);
+    const std::string line = os.str();
+    EXPECT_NE(line.find("Lulesh"), std::string::npos);
+    EXPECT_NE(line.find("CARVE-HWC"), std::string::npos);
+    EXPECT_NE(line.find("12345"), std::string::npos);
+    EXPECT_NE(line.find("25.0%"), std::string::npos);
+    EXPECT_NE(line.find("rdchit=75"), std::string::npos);
+}
+
+TEST(ReportDeathTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+TEST(ReportDeathTest, SpeedupRejectsZeroCycles)
+{
+    SimResult a, b;
+    a.cycles = 10;
+    b.cycles = 0;
+    EXPECT_EXIT(speedupOver(a, b), ::testing::ExitedWithCode(1),
+                "zero-cycle");
+}
+
+TEST(Logging, QuietModeSuppressesInform)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    inform("this should not appear");
+    warn("neither should this");
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+} // namespace
+} // namespace carve

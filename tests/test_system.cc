@@ -1,0 +1,327 @@
+/** @file Integration tests: whole-system simulations on a miniature
+ * 4-GPU machine, checking the paper's qualitative orderings. */
+
+#include <gtest/gtest.h>
+
+#include "core/multi_gpu_system.hh"
+#include "core/report.hh"
+#include "core/simulator.hh"
+#include "core/system_preset.hh"
+#include "sim_test_util.hh"
+
+namespace carve {
+namespace {
+
+using test::miniConfig;
+using test::miniWorkload;
+
+RunOptions
+fastOpts()
+{
+    RunOptions opt;
+    opt.max_cycles = 50'000'000;
+    return opt;
+}
+
+TEST(System, CompletesAndIssuesEveryInstruction)
+{
+    const WorkloadParams p = miniWorkload(RegionKind::PrivateStream);
+    const SimResult r = runPreset(Preset::NumaGpu, miniConfig(), p,
+                                  fastOpts());
+    EXPECT_EQ(r.warp_insts,
+              p.kernels * p.ctas * p.warps_per_cta * p.insts_per_warp);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.2);
+    const SimResult a = runPreset(Preset::CarveHwc, miniConfig(), p,
+                                  fastOpts());
+    const SimResult b = runPreset(Preset::CarveHwc, miniConfig(), p,
+                                  fastOpts());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.traffic.remote_reads, b.traffic.remote_reads);
+    EXPECT_EQ(a.hw_invalidates, b.hw_invalidates);
+}
+
+TEST(System, SingleGpuHasNoRemoteTraffic)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.3);
+    const SimResult r = runPreset(Preset::SingleGpu, miniConfig(), p,
+                                  fastOpts());
+    EXPECT_EQ(r.traffic.remote_reads, 0u);
+    EXPECT_EQ(r.traffic.remote_writes, 0u);
+    EXPECT_EQ(r.gpu_gpu_bytes, 0u);
+    EXPECT_DOUBLE_EQ(r.frac_remote, 0.0);
+}
+
+TEST(System, IdealHasNoRemoteTrafficOnFourGpus)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.3);
+    const SimResult r = runPreset(Preset::Ideal, miniConfig(), p,
+                                  fastOpts());
+    EXPECT_EQ(r.traffic.remote_reads, 0u);
+    EXPECT_EQ(r.traffic.remote_writes, 0u);
+}
+
+TEST(System, MultiGpuBeatsSingleGpu)
+{
+    const WorkloadParams p = miniWorkload(RegionKind::PrivateStream,
+                                          0.2);
+    const SimResult one = runPreset(Preset::SingleGpu, miniConfig(),
+                                    p, fastOpts());
+    const SimResult four = runPreset(Preset::Ideal, miniConfig(), p,
+                                     fastOpts());
+    EXPECT_GT(speedupOver(one, four), 1.5);
+}
+
+TEST(System, IdealFastestNumaSlowestCarveBetween)
+{
+    // The headline ordering of Figures 9/13 on a falsely-shared
+    // iterative workload.
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.1, 4);
+    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+                                     fastOpts());
+    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+                                      p, fastOpts());
+    const SimResult ideal = runPreset(Preset::Ideal, miniConfig(), p,
+                                      fastOpts());
+    EXPECT_LT(ideal.cycles, carve.cycles);
+    EXPECT_LT(carve.cycles, numa.cycles);
+}
+
+TEST(System, CarveSlashesRemoteTrafficOnIterativeSharing)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.05, 4);
+    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+                                     fastOpts());
+    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+                                      p, fastOpts());
+    EXPECT_GT(numa.frac_remote, 0.3);
+    EXPECT_LT(carve.frac_remote, numa.frac_remote / 2.0);
+    EXPECT_GT(carve.rdc_hits, 0u);
+}
+
+TEST(System, ReplicationFixesReadOnlySharing)
+{
+    const WorkloadParams p = miniWorkload(RegionKind::Lookup, 0.0, 2);
+    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+                                     fastOpts());
+    const SimResult repl = runPreset(Preset::NumaGpuReplRO,
+                                     miniConfig(), p, fastOpts());
+    EXPECT_GT(repl.replications, 0u);
+    EXPECT_EQ(repl.collapses, 0u);
+    EXPECT_LT(repl.frac_remote, numa.frac_remote);
+    EXPECT_LT(repl.cycles, numa.cycles);
+    EXPECT_GT(repl.capacity_pressure, 1.0);
+}
+
+TEST(System, ReplicationFailsOnReadWriteSharing)
+{
+    // Writes poison the pages: replication must do roughly nothing.
+    const WorkloadParams p = miniWorkload(RegionKind::Lookup, 0.2, 2);
+    const SimResult repl = runPreset(Preset::NumaGpuReplRO,
+                                     miniConfig(), p, fastOpts());
+    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+                                      p, fastOpts());
+    EXPECT_LT(carve.cycles, repl.cycles);
+}
+
+TEST(System, SoftwareCoherenceForfeitsInterKernelLocality)
+{
+    // Iterative workload: CARVE-SWC flushes the RDC every boundary,
+    // CARVE-HWC retains it (Figure 11).
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.05, 6);
+    const SimResult swc = runPreset(Preset::CarveSwc, miniConfig(), p,
+                                    fastOpts());
+    const SimResult hwc = runPreset(Preset::CarveHwc, miniConfig(), p,
+                                    fastOpts());
+    const SimResult noc = runPreset(Preset::CarveNoCoherence,
+                                    miniConfig(), p, fastOpts());
+    EXPECT_GT(swc.cycles, hwc.cycles);
+    // Hardware coherence performs close to the free-coherence bound.
+    EXPECT_LT(static_cast<double>(hwc.cycles),
+              1.15 * static_cast<double>(noc.cycles));
+    // And the RDC hit rate difference is the mechanism.
+    const double swc_hit = static_cast<double>(swc.rdc_hits) /
+        static_cast<double>(swc.rdc_hits + swc.rdc_misses);
+    const double hwc_hit = static_cast<double>(hwc.rdc_hits) /
+        static_cast<double>(hwc.rdc_hits + hwc.rdc_misses);
+    EXPECT_GT(hwc_hit, swc_hit);
+}
+
+TEST(System, HardwareCoherenceSendsInvalidatesOnTrueSharing)
+{
+    const WorkloadParams p = miniWorkload(RegionKind::Atomic, 0.5, 2,
+                                          256 * KiB);
+    const SimResult r = runPreset(Preset::CarveHwc, miniConfig(), p,
+                                  fastOpts());
+    EXPECT_GT(r.hw_invalidates, 0u);
+}
+
+TEST(System, MigrationMovesPrivateRemotePages)
+{
+    // Round-robin placement guarantees remote private pages, which
+    // migration then repatriates.
+    SystemConfig cfg = makePreset(Preset::NumaGpuMigration,
+                                  miniConfig());
+    cfg.numa.placement = PlacementPolicy::RoundRobin;
+    cfg.numa.migration_threshold = 8;
+    const WorkloadParams p =
+        miniWorkload(RegionKind::PrivateStream, 0.2, 3);
+    const SimResult r =
+        runSimulation(cfg, p, "mig", fastOpts());
+    EXPECT_GT(r.migrations, 0u);
+}
+
+TEST(System, SpillSlowsDownWhenGpuMemoryIsFull)
+{
+    // Table V(b) scenario: the application fills GPU memory, so
+    // pages spilled by the carve-out cannot migrate back in and are
+    // serviced over the 32 GB/s CPU link for the whole run.
+    SystemConfig cfg = makePreset(Preset::CarveHwc, miniConfig());
+    cfg.numa.um_migration_threshold = 1u << 30;  // memory "full"
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.1, 3);
+    const SimResult base = runSimulation(cfg, p, "base", fastOpts());
+    cfg.numa.spill_fraction = 0.4;
+    const SimResult spill = runSimulation(cfg, p, "spill", fastOpts());
+    EXPECT_GT(spill.cycles, base.cycles);
+    EXPECT_GT(spill.traffic.cpu_reads + spill.traffic.cpu_writes, 0u);
+    EXPECT_GT(spill.cpu_gpu_bytes, 0u);
+}
+
+TEST(System, UnifiedMemoryMigratesHotSpilledPagesWhenRoomExists)
+{
+    SystemConfig cfg = makePreset(Preset::CarveHwc, miniConfig());
+    cfg.numa.spill_fraction = 0.4;
+    cfg.numa.um_migration_threshold = 8;
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.1, 3);
+    const SimResult r = runSimulation(cfg, p, "um", fastOpts());
+    EXPECT_GT(r.um_migrations, 0u);
+}
+
+TEST(System, SharingProfileSeesFalseSharing)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.15, 2);
+    const SimResult r = runPreset(Preset::NumaGpu, miniConfig(), p,
+                                  fastOpts());
+    // Pages overwhelmingly read-write shared; lines overwhelmingly
+    // private (Figure 4).
+    EXPECT_GT(r.page_sharing.fracReadWriteShared(), 0.8);
+    EXPECT_GT(r.line_sharing.fracPrivate(), 0.8);
+    EXPECT_GT(r.shared_page_footprint, r.shared_line_footprint);
+}
+
+TEST(System, LinkBandwidthSensitivity)
+{
+    // NUMA-GPU tracks link bandwidth; CARVE barely notices (Fig 14).
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.05, 4);
+    SystemConfig slow = miniConfig();
+    slow.link.gpu_gpu_bw = 4.0;
+    SystemConfig fast = miniConfig();
+    fast.link.gpu_gpu_bw = 256.0;
+
+    const SimResult numa_slow =
+        runSimulation(makePreset(Preset::NumaGpu, slow), p, "ns",
+                      fastOpts());
+    const SimResult numa_fast =
+        runSimulation(makePreset(Preset::NumaGpu, fast), p, "nf",
+                      fastOpts());
+    const SimResult carve_slow =
+        runSimulation(makePreset(Preset::CarveHwc, slow), p, "cs",
+                      fastOpts());
+    const SimResult carve_fast =
+        runSimulation(makePreset(Preset::CarveHwc, fast), p, "cf",
+                      fastOpts());
+
+    const double numa_gain = speedupOver(numa_slow, numa_fast);
+    const double carve_gain = speedupOver(carve_slow, carve_fast);
+    EXPECT_GT(numa_gain, 1.2);
+    EXPECT_LT(carve_gain, numa_gain);
+}
+
+TEST(System, RdcSizeSweepIsMonotoneOnBigWorkingSets)
+{
+    const WorkloadParams p = miniWorkload(RegionKind::Lookup, 0.02, 2,
+                                          32 * MiB);
+    SystemConfig small = makePreset(Preset::CarveHwc, miniConfig());
+    small.rdc.size = 2 * MiB;
+    SystemConfig big = makePreset(Preset::CarveHwc, miniConfig());
+    big.rdc.size = 64 * MiB;
+    const SimResult rs = runSimulation(small, p, "s", fastOpts());
+    const SimResult rb = runSimulation(big, p, "b", fastOpts());
+    const double small_hit = static_cast<double>(rs.rdc_hits) /
+        static_cast<double>(rs.rdc_hits + rs.rdc_misses);
+    const double big_hit = static_cast<double>(rb.rdc_hits) /
+        static_cast<double>(rb.rdc_hits + rb.rdc_misses);
+    EXPECT_GT(big_hit, small_hit);
+    EXPECT_LE(rb.cycles, rs.cycles);
+}
+
+TEST(System, WriteThroughTracksWriteBackClosely)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.1, 4);
+    SystemConfig wt = makePreset(Preset::CarveHwc, miniConfig());
+    SystemConfig wb = wt;
+    wb.rdc.write_policy = RdcWritePolicy::WriteBack;
+    const SimResult rwt = runSimulation(wt, p, "wt", fastOpts());
+    const SimResult rwb = runSimulation(wb, p, "wb", fastOpts());
+    const double ratio = static_cast<double>(rwt.cycles) /
+        static_cast<double>(rwb.cycles);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(System, ReportCollectsConsistentTotals)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::InterleavedStream, 0.1, 2);
+    SyntheticWorkload wl(p, 128, 1);
+    const SystemConfig cfg = makePreset(Preset::CarveHwc,
+                                        miniConfig());
+    MultiGpuSystem sys(cfg, wl);
+    sys.run();
+    EXPECT_TRUE(sys.finished());
+    const SimResult r = collectResult(sys, "mini", "CARVE-HWC");
+    EXPECT_EQ(r.warp_insts, wl.totalInstructions());
+    EXPECT_GT(r.traffic.total(), 0u);
+    EXPECT_GE(r.frac_remote, 0.0);
+    EXPECT_LE(r.frac_remote, 1.0);
+    EXPECT_EQ(r.cycles, sys.finishTime());
+}
+
+TEST(System, GeomeanAndSpeedupHelpers)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    SimResult a, b;
+    a.cycles = 200;
+    b.cycles = 100;
+    EXPECT_DOUBLE_EQ(speedupOver(a, b), 2.0);
+}
+
+TEST(SystemDeathTest, MaxCyclesGuardTrips)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::PrivateStream, 0.0, 2);
+    SyntheticWorkload wl(p, 128, 1);
+    MultiGpuSystem sys(miniConfig(), wl);
+    EXPECT_EXIT(sys.run(10), ::testing::ExitedWithCode(1),
+                "did not converge");
+}
+
+} // namespace
+} // namespace carve

@@ -1,0 +1,88 @@
+/** @file Unit tests for the two-level TLB hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "tlb/tlb.hh"
+
+namespace carve {
+namespace {
+
+struct TlbFixture : public ::testing::Test
+{
+    TlbFixture()
+    {
+        cfg.l1_entries = 4;
+        cfg.l2_entries = 32;
+        cfg.l1_latency = 1;
+        cfg.l2_latency = 20;
+        cfg.walk_latency = 200;
+    }
+
+    TlbConfig cfg;
+    static constexpr std::uint64_t page = 2 * 1024 * 1024;
+};
+
+TEST_F(TlbFixture, ColdAccessWalks)
+{
+    TlbHierarchy tlb(cfg, 2, page);
+    const TlbResult r = tlb.translate(0, 0x1000);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_FALSE(r.l2_hit);
+    EXPECT_EQ(r.latency, 1u + 20u + 200u);
+    EXPECT_EQ(tlb.walks(), 1u);
+}
+
+TEST_F(TlbFixture, RepeatAccessHitsL1)
+{
+    TlbHierarchy tlb(cfg, 2, page);
+    tlb.translate(0, 0x1000);
+    const TlbResult r = tlb.translate(0, 0x2000);  // same 2MB page
+    EXPECT_TRUE(r.l1_hit);
+    EXPECT_EQ(r.latency, 1u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+}
+
+TEST_F(TlbFixture, OtherSmHitsSharedL2)
+{
+    TlbHierarchy tlb(cfg, 2, page);
+    tlb.translate(0, 0x1000);
+    const TlbResult r = tlb.translate(1, 0x1000);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_TRUE(r.l2_hit);
+    EXPECT_EQ(r.latency, 1u + 20u);
+    EXPECT_EQ(tlb.l2Hits(), 1u);
+}
+
+TEST_F(TlbFixture, CapacityEvictionCausesRewalk)
+{
+    TlbHierarchy tlb(cfg, 1, page);
+    // Blow out the 4-entry L1 and the 32-entry L2.
+    for (Addr p = 0; p < 40; ++p)
+        tlb.translate(0, p * page);
+    const std::uint64_t walks_before = tlb.walks();
+    tlb.translate(0, 0);  // long evicted from both levels
+    EXPECT_EQ(tlb.walks(), walks_before + 1);
+}
+
+TEST_F(TlbFixture, ShootdownDropsAllCopies)
+{
+    TlbHierarchy tlb(cfg, 3, page);
+    tlb.translate(0, 0x1000);
+    tlb.translate(1, 0x1000);
+    tlb.translate(2, 0x1000);
+    // Copies: 3 L1s + 1 shared L2.
+    EXPECT_EQ(tlb.shootdown(0x1000), 4u);
+    const TlbResult r = tlb.translate(0, 0x1000);
+    EXPECT_FALSE(r.l1_hit);
+    EXPECT_FALSE(r.l2_hit);
+}
+
+TEST_F(TlbFixture, ShootdownOfUnmappedPageIsZero)
+{
+    TlbHierarchy tlb(cfg, 1, page);
+    EXPECT_EQ(tlb.shootdown(0xABC00000), 0u);
+}
+
+} // namespace
+} // namespace carve

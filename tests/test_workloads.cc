@@ -1,0 +1,340 @@
+/** @file Unit and property tests for the synthetic workload
+ * generators and the 20-workload Table II suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/units.hh"
+#include "workloads/suite.hh"
+#include "workloads/synthetic.hh"
+
+namespace carve {
+namespace {
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.name = "tiny";
+    p.kernels = 2;
+    p.ctas = 16;
+    p.warps_per_cta = 4;
+    p.insts_per_warp = 32;
+    p.regions = {
+        {RegionKind::PrivateStream, 4 * MiB, 0.5, 0.3, 0.0, 1, 0.25},
+        {RegionKind::Lookup, 8 * MiB, 0.5, 0.0, 0.7, 2, 0.25},
+    };
+    return p;
+}
+
+TEST(Synthetic, PureFunctionOfIds)
+{
+    SyntheticWorkload a(tinyParams(), 128, 9);
+    SyntheticWorkload b(tinyParams(), 128, 9);
+    WarpInstruction x, y;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        a.instruction(1, i % 16, i % 4, i, x);
+        b.instruction(1, i % 16, i % 4, i, y);
+        EXPECT_EQ(x.type, y.type);
+        EXPECT_EQ(x.num_lines, y.num_lines);
+        EXPECT_EQ(x.compute_cycles, y.compute_cycles);
+        for (unsigned l = 0; l < x.num_lines; ++l)
+            EXPECT_EQ(x.lines[l], y.lines[l]);
+    }
+}
+
+TEST(Synthetic, CallOrderIndependence)
+{
+    SyntheticWorkload wl(tinyParams(), 128, 9);
+    WarpInstruction fwd, rev;
+    wl.instruction(0, 3, 2, 17, fwd);
+    // Interleave other queries, then repeat.
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        WarpInstruction scratch;
+        wl.instruction(0, i % 16, i % 4, i, scratch);
+    }
+    wl.instruction(0, 3, 2, 17, rev);
+    EXPECT_EQ(fwd.lines[0], rev.lines[0]);
+    EXPECT_EQ(fwd.type, rev.type);
+}
+
+TEST(Synthetic, SeedsChangeTheTrace)
+{
+    SyntheticWorkload a(tinyParams(), 128, 1);
+    SyntheticWorkload b(tinyParams(), 128, 2);
+    unsigned diff = 0;
+    WarpInstruction x, y;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        a.instruction(0, 0, 0, i, x);
+        b.instruction(0, 0, 0, i, y);
+        if (x.lines[0] != y.lines[0])
+            ++diff;
+    }
+    EXPECT_GT(diff, 50u);
+}
+
+TEST(Synthetic, AddressesStayInsideDeclaredRegions)
+{
+    const WorkloadParams p = tinyParams();
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction inst;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        wl.instruction(0, i % 16, i % 4, i / 16, inst);
+        for (unsigned l = 0; l < inst.num_lines; ++l) {
+            const Addr a = inst.lines[l];
+            const Addr slot = a >> 36;
+            ASSERT_GE(slot, 1u);
+            ASSERT_LE(slot, p.regions.size());
+            const Addr base = slot << 36;
+            EXPECT_LT(a - base, p.regions[slot - 1].bytes);
+            EXPECT_EQ(a % 128, 0u);  // line-aligned
+        }
+    }
+}
+
+TEST(Synthetic, AccessFractionsApproximatelyHonored)
+{
+    const WorkloadParams p = tinyParams();
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction inst;
+    unsigned region0 = 0;
+    const unsigned n = 10000;
+    for (unsigned i = 0; i < n; ++i) {
+        wl.instruction(0, i % 16, i % 4, i, inst);
+        if ((inst.lines[0] >> 36) == 1)
+            ++region0;
+    }
+    EXPECT_NEAR(static_cast<double>(region0) / n, 0.5, 0.03);
+}
+
+TEST(Synthetic, WriteFractionApproximatelyHonored)
+{
+    WorkloadParams p = tinyParams();
+    p.regions = {{RegionKind::PrivateStream, 4 * MiB, 1.0, 0.25, 0.0,
+                  1, 0.25}};
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction inst;
+    unsigned writes = 0;
+    const unsigned n = 10000;
+    for (unsigned i = 0; i < n; ++i) {
+        wl.instruction(0, i % 16, i % 4, i, inst);
+        writes += isWrite(inst.type) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.03);
+}
+
+TEST(Synthetic, ComputeGapWithinConfiguredBounds)
+{
+    WorkloadParams p = tinyParams();
+    p.compute_min = 10;
+    p.compute_max = 20;
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction inst;
+    for (unsigned i = 0; i < 1000; ++i) {
+        wl.instruction(0, i % 16, i % 4, i, inst);
+        EXPECT_GE(inst.compute_cycles, 10u);
+        EXPECT_LE(inst.compute_cycles, 20u);
+    }
+}
+
+TEST(Synthetic, PrivateStreamIsDisjointAcrossCtas)
+{
+    WorkloadParams p = tinyParams();
+    p.regions = {{RegionKind::PrivateStream, 4 * MiB, 1.0, 0.0, 0.0,
+                  1, 0.25}};
+    SyntheticWorkload wl(p, 128, 5);
+    std::unordered_map<Addr, CtaId> owner;
+    WarpInstruction inst;
+    for (CtaId cta = 0; cta < 16; ++cta) {
+        for (WarpId w = 0; w < 4; ++w) {
+            for (std::uint64_t idx = 0; idx < 32; ++idx) {
+                wl.instruction(0, cta, w, idx, inst);
+                auto [it, fresh] = owner.emplace(inst.lines[0], cta);
+                if (!fresh)
+                    EXPECT_EQ(it->second, cta);
+            }
+        }
+    }
+}
+
+TEST(Synthetic, InterleavedStreamIsDisjointAcrossCtasButDense)
+{
+    WorkloadParams p = tinyParams();
+    p.regions = {{RegionKind::InterleavedStream, 4 * MiB, 1.0, 0.0,
+                  0.0, 1, 0.25}};
+    SyntheticWorkload wl(p, 128, 5);
+    std::unordered_map<Addr, CtaId> owner;
+    WarpInstruction inst;
+    for (CtaId cta = 0; cta < 16; ++cta) {
+        for (WarpId w = 0; w < 4; ++w) {
+            for (std::uint64_t idx = 0; idx < 8; ++idx) {
+                wl.instruction(0, cta, w, idx, inst);
+                auto [it, fresh] = owner.emplace(inst.lines[0], cta);
+                if (!fresh)
+                    EXPECT_EQ(it->second, cta);
+            }
+        }
+    }
+    // Consecutive CTAs touch adjacent lines at the same position:
+    // the false-sharing property.
+    WarpInstruction a, b;
+    wl.instruction(0, 2, 0, 0, a);
+    wl.instruction(0, 3, 0, 0, b);
+    EXPECT_EQ(b.lines[0] - a.lines[0], 128u);
+}
+
+TEST(Synthetic, SharedStreamIsIdenticalAcrossCtas)
+{
+    WorkloadParams p = tinyParams();
+    p.regions = {{RegionKind::SharedStream, 4 * MiB, 1.0, 0.0, 0.0, 1,
+                  0.25}};
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction a, b;
+    wl.instruction(0, 0, 1, 5, a);
+    wl.instruction(0, 9, 1, 5, b);
+    EXPECT_EQ(a.lines[0], b.lines[0]);
+}
+
+TEST(Synthetic, IterativeWorkloadRepeatsAcrossKernels)
+{
+    WorkloadParams p = tinyParams();
+    p.iterative = true;
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction k0, k1;
+    wl.instruction(0, 3, 1, 7, k0);
+    wl.instruction(1, 3, 1, 7, k1);
+    EXPECT_EQ(k0.lines[0], k1.lines[0]);
+
+    p.iterative = false;
+    SyntheticWorkload wl2(p, 128, 5);
+    unsigned diff = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        wl2.instruction(0, 3, 1, i, k0);
+        wl2.instruction(1, 3, 1, i, k1);
+        diff += k0.lines[0] != k1.lines[0] ? 1 : 0;
+    }
+    EXPECT_GT(diff, 0u);
+}
+
+TEST(Synthetic, LookupLanesAreDistinct)
+{
+    WorkloadParams p = tinyParams();
+    p.regions = {{RegionKind::Lookup, 8 * MiB, 1.0, 0.0, 0.6, 4,
+                  0.25}};
+    SyntheticWorkload wl(p, 128, 5);
+    WarpInstruction inst;
+    for (unsigned i = 0; i < 500; ++i) {
+        wl.instruction(0, i % 16, i % 4, i, inst);
+        std::set<Addr> uniq(inst.lines.begin(),
+                            inst.lines.begin() + inst.num_lines);
+        EXPECT_EQ(uniq.size(), inst.num_lines);
+    }
+}
+
+TEST(Synthetic, TotalInstructionsAccounting)
+{
+    const WorkloadParams p = tinyParams();
+    SyntheticWorkload wl(p, 128, 5);
+    EXPECT_EQ(wl.totalInstructions(), 2ull * 16 * 4 * 32);
+}
+
+TEST(Synthetic, DurationScaleAdjustsTraceLength)
+{
+    const WorkloadParams p = tinyParams();
+    EXPECT_EQ(p.withDurationScale(0.5).insts_per_warp, 16u);
+    EXPECT_EQ(p.withDurationScale(4.0).insts_per_warp, 128u);
+    EXPECT_EQ(p.withDurationScale(0.0).insts_per_warp, 2u);  // floor
+}
+
+TEST(SyntheticDeathTest, RejectsEmptyRegions)
+{
+    WorkloadParams p = tinyParams();
+    p.regions.clear();
+    EXPECT_EXIT(SyntheticWorkload(p, 128, 1),
+                ::testing::ExitedWithCode(1), "regions");
+}
+
+// ---- suite ----------------------------------------------------------
+
+TEST(Suite, HasAllTwentyTableIIWorkloads)
+{
+    const auto names = suiteNames();
+    EXPECT_EQ(names.size(), 20u);
+    const std::set<std::string> set(names.begin(), names.end());
+    for (const char *expected :
+         {"AMG", "HPGMG", "HPGMG-amry", "Lulesh", "Lulesh-s190",
+          "CoMD", "MCB", "MiniAMR", "Nekbone", "XSBench", "Euler",
+          "SSSP", "bfs-road", "AlexNet", "GoogLeNet", "OverFeat",
+          "Bitcoin", "Raytracing", "stream-triad", "RandAccess"}) {
+        EXPECT_TRUE(set.contains(expected)) << expected;
+    }
+}
+
+TEST(Suite, PaperScaleFootprintsMatchTableII)
+{
+    SuiteOptions opt;
+    opt.memory_scale = 1;
+    // Spot-check representative Table II memory footprints (within
+    // a factor accounting for region rounding).
+    const auto near = [&](const char *name, double gib) {
+        const auto wl = suiteWorkload(name, opt);
+        const double f =
+            static_cast<double>(wl.footprint()) / (1024.0 * MiB);
+        EXPECT_GT(f, gib * 0.7) << name;
+        EXPECT_LT(f, gib * 1.4) << name;
+    };
+    near("AMG", 3.2);
+    near("XSBench", 4.3);
+    near("RandAccess", 15.0);
+    near("Lulesh", 0.024);
+    near("stream-triad", 2.9);
+}
+
+TEST(Suite, ScalingShrinksLargeAndPreservesSmall)
+{
+    SuiteOptions paper{1, 1.0};
+    SuiteOptions scaled{8, 1.0};
+    const auto big_paper = suiteWorkload("XSBench", paper);
+    const auto big_scaled = suiteWorkload("XSBench", scaled);
+    EXPECT_LT(big_scaled.footprint(), big_paper.footprint());
+
+    const auto small_paper = suiteWorkload("Lulesh", paper);
+    const auto small_scaled = suiteWorkload("Lulesh", scaled);
+    EXPECT_EQ(small_scaled.footprint(), small_paper.footprint());
+}
+
+TEST(Suite, DurationOptionScalesEveryWorkload)
+{
+    SuiteOptions half{8, 0.5};
+    SuiteOptions full{8, 1.0};
+    for (const auto &name : suiteNames()) {
+        EXPECT_LE(suiteWorkload(name, half).insts_per_warp,
+                  suiteWorkload(name, full).insts_per_warp)
+            << name;
+    }
+}
+
+TEST(Suite, AllWorkloadsConstructAndGenerate)
+{
+    for (const auto &params : standardSuite()) {
+        SyntheticWorkload wl(params, 128, 3);
+        WarpInstruction inst;
+        for (unsigned i = 0; i < 64; ++i) {
+            wl.instruction(i % params.kernels, i % params.ctas,
+                           i % params.warps_per_cta, i, inst);
+            ASSERT_GE(inst.num_lines, 1u) << params.name;
+        }
+    }
+}
+
+TEST(SuiteDeathTest, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(suiteWorkload("NoSuchBench"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
+} // namespace carve
