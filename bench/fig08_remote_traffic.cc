@@ -1,5 +1,8 @@
 /** @file Figure 8: fraction of post-LLC memory accesses serviced by
- * remote GPU memory, NUMA-GPU vs NUMA-GPU + CARVE. */
+ * remote GPU memory, NUMA-GPU vs NUMA-GPU + CARVE.
+ *
+ * Runs on the parallel experiment harness (CARVE_BENCH_THREADS
+ * workers); printed output matches the historical serial loop. */
 
 #include "bench_util.hh"
 
@@ -18,17 +21,23 @@ main()
     std::printf("%-14s %10s %10s %12s\n", "workload", "NUMA-GPU",
                 "CARVE", "rdc-hitrate");
 
+    const std::vector<Preset> presets = {Preset::NumaGpu,
+                                         Preset::CarveHwc};
+    const auto workloads = benchWorkloads(ctx);
+    const auto grid = runGrid(ctx, presets, workloads);
+
     double sum_numa = 0.0, sum_carve = 0.0;
     unsigned n = 0;
-    for (const auto &wl : benchWorkloads(ctx)) {
-        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
-        const SimResult carve = run(ctx, Preset::CarveHwc, wl);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const SimResult &numa = grid[w][0];
+        const SimResult &carve = grid[w][1];
         const double rdc_hr = carve.rdc_hits + carve.rdc_misses
             ? static_cast<double>(carve.rdc_hits) /
                 static_cast<double>(carve.rdc_hits + carve.rdc_misses)
             : 0.0;
         std::printf("%-14s %9.1f%% %9.1f%% %11.1f%%\n",
-                    wl.name.c_str(), 100.0 * numa.frac_remote,
+                    workloads[w].name.c_str(),
+                    100.0 * numa.frac_remote,
                     100.0 * carve.frac_remote, 100.0 * rdc_hr);
         sum_numa += numa.frac_remote;
         sum_carve += carve.frac_remote;

@@ -1,6 +1,10 @@
 /** @file Figure 13: end-to-end speedup over a single GPU for
  * NUMA-GPU, NUMA-GPU + read-only replication, NUMA-GPU + CARVE, and
- * the ideal replicate-all system. */
+ * the ideal replicate-all system.
+ *
+ * Runs the whole preset x workload grid through the parallel
+ * experiment harness (CARVE_BENCH_THREADS workers); the printed table
+ * is identical to the historical serial loop. */
 
 #include "bench_util.hh"
 
@@ -19,20 +23,22 @@ main()
     std::printf("%-14s %9s %9s %9s %9s\n", "workload", "NUMA-GPU",
                 "+Repl-RO", "CARVE", "Ideal");
 
+    const std::vector<Preset> presets = {
+        Preset::SingleGpu, Preset::NumaGpu, Preset::NumaGpuReplRO,
+        Preset::CarveHwc, Preset::Ideal};
+    const auto workloads = benchWorkloads(ctx);
+    const auto grid = runGrid(ctx, presets, workloads);
+
     std::vector<double> vn, vr, vc, vi;
-    for (const auto &wl : benchWorkloads(ctx)) {
-        const SimResult one = run(ctx, Preset::SingleGpu, wl);
-        const SimResult numa = run(ctx, Preset::NumaGpu, wl);
-        const SimResult repl = run(ctx, Preset::NumaGpuReplRO, wl);
-        const SimResult carve = run(ctx, Preset::CarveHwc, wl);
-        const SimResult ideal = run(ctx, Preset::Ideal, wl);
-        vn.push_back(speedupOver(one, numa));
-        vr.push_back(speedupOver(one, repl));
-        vc.push_back(speedupOver(one, carve));
-        vi.push_back(speedupOver(one, ideal));
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const SimResult &one = grid[w][0];
+        vn.push_back(speedupOver(one, grid[w][1]));
+        vr.push_back(speedupOver(one, grid[w][2]));
+        vc.push_back(speedupOver(one, grid[w][3]));
+        vi.push_back(speedupOver(one, grid[w][4]));
         std::printf("%-14s %8.2fx %8.2fx %8.2fx %8.2fx\n",
-                    wl.name.c_str(), vn.back(), vr.back(), vc.back(),
-                    vi.back());
+                    workloads[w].name.c_str(), vn.back(), vr.back(),
+                    vc.back(), vi.back());
     }
     std::printf("%-14s %8.2fx %8.2fx %8.2fx %8.2fx\n", "geomean",
                 geomean(vn), geomean(vr), geomean(vc), geomean(vi));

@@ -5,7 +5,11 @@
  * To keep the sweep tractable this bench uses a representative
  * subset of workloads by default (override with
  * CARVE_BENCH_WORKLOADS to choose your own, or set it to a list
- * containing all names for the full suite). */
+ * containing all names for the full suite).
+ *
+ * Every (bandwidth, preset, workload) cell is an independent
+ * simulation, so the whole figure is submitted to the experiment
+ * harness as one sweep (CARVE_BENCH_THREADS workers). */
 
 #include "bench_util.hh"
 
@@ -24,29 +28,46 @@ main()
 
     // Representative mix: heavy false sharing, RO-shared, huge
     // lookup, private streaming, irregular.
-    if (!std::getenv("CARVE_BENCH_WORKLOADS")) {
-        setenv("CARVE_BENCH_WORKLOADS",
-               "Lulesh,HPGMG,bfs-road,XSBench,stream-triad,SSSP", 1);
-    }
-    const auto workloads = benchWorkloads(ctx);
+    const auto workloads = benchWorkloads(
+        ctx, "Lulesh,HPGMG,bfs-road,XSBench,stream-triad,SSSP");
     std::printf("workloads: ");
     for (const auto &wl : workloads)
         std::printf("%s ", wl.name.c_str());
     std::printf("\n\n%-10s %10s %10s %10s\n", "link GB/s", "NUMA-GPU",
                 "+Repl-RO", "CARVE");
 
-    for (const double bw : {16.0, 64.0, 256.0}) {
-        ctx.base.link.gpu_gpu_bw = bw;
-        std::vector<double> vn, vr, vc;
+    const std::vector<double> bandwidths = {16.0, 64.0, 256.0};
+    const std::vector<Preset> presets = {
+        Preset::SingleGpu, Preset::NumaGpu, Preset::NumaGpuReplRO,
+        Preset::CarveHwc};
+
+    // One flat sweep over bandwidth x workload x preset, plus the
+    // link-independent ideal bound per workload at the end.
+    std::vector<harness::RunSpec> specs;
+    for (const double bw : bandwidths) {
+        BenchContext point = ctx;
+        point.base.link.gpu_gpu_bw = bw;
         for (const auto &wl : workloads) {
-            const SimResult one = run(ctx, Preset::SingleGpu, wl);
-            vn.push_back(
-                speedupOver(one, run(ctx, Preset::NumaGpu, wl)));
-            vr.push_back(
-                speedupOver(one, run(ctx, Preset::NumaGpuReplRO,
-                                     wl)));
-            vc.push_back(
-                speedupOver(one, run(ctx, Preset::CarveHwc, wl)));
+            for (const Preset p : presets)
+                specs.push_back(makeSpec(point, p, wl));
+        }
+    }
+    for (const auto &wl : workloads) {
+        specs.push_back(makeSpec(ctx, Preset::SingleGpu, wl));
+        specs.push_back(makeSpec(ctx, Preset::Ideal, wl));
+    }
+
+    const std::vector<SimResult> flat = runSpecs(specs);
+
+    std::size_t i = 0;
+    for (const double bw : bandwidths) {
+        std::vector<double> vn, vr, vc;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const SimResult &one = flat[i];
+            vn.push_back(speedupOver(one, flat[i + 1]));
+            vr.push_back(speedupOver(one, flat[i + 2]));
+            vc.push_back(speedupOver(one, flat[i + 3]));
+            i += presets.size();
         }
         std::printf("%-10.0f %9.2fx %9.2fx %9.2fx\n", bw,
                     geomean(vn), geomean(vr), geomean(vc));
@@ -54,9 +75,9 @@ main()
 
     // The ideal bound is link-independent: report it once.
     std::vector<double> vi;
-    for (const auto &wl : workloads) {
-        const SimResult one = run(ctx, Preset::SingleGpu, wl);
-        vi.push_back(speedupOver(one, run(ctx, Preset::Ideal, wl)));
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        vi.push_back(speedupOver(flat[i], flat[i + 1]));
+        i += 2;
     }
     std::printf("%-10s %9s %9s %8.2fx  (ideal, any bandwidth)\n",
                 "inf", "-", "-", geomean(vi));

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -8,7 +9,14 @@ namespace carve {
 
 namespace {
 
-bool quiet_flag = false;
+// Read from every simulation thread once the harness runs sweeps in
+// parallel, hence atomic (relaxed: it is a pure on/off switch).
+std::atomic<bool> quiet_flag{false};
+
+// Capture state is per thread: one worker's panic must not divert
+// another worker's (or the main thread's) error handling.
+thread_local unsigned capture_depth = 0;
+thread_local std::string captured_message;
 
 const char *
 levelPrefix(LogLevel level)
@@ -22,18 +30,50 @@ levelPrefix(LogLevel level)
     return "?";
 }
 
+std::string
+formatMessage(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
 } // namespace
+
+ScopedErrorCapture::ScopedErrorCapture()
+{
+    ++capture_depth;
+}
+
+ScopedErrorCapture::~ScopedErrorCapture()
+{
+    --capture_depth;
+    if (capture_depth == 0)
+        captured_message.clear();
+}
+
+bool
+errorCaptureActive()
+{
+    return capture_depth > 0;
+}
 
 void
 setLogQuiet(bool quiet)
 {
-    quiet_flag = quiet;
+    quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -41,24 +81,39 @@ namespace detail {
 void
 logMessage(LogLevel level, const char *fmt, ...)
 {
-    if (quiet_flag &&
-        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+    const bool error = (level == LogLevel::Fatal ||
+                        level == LogLevel::Panic);
+    if (!error && logQuiet())
         return;
-    }
-    std::FILE *out =
-        (level == LogLevel::Inform) ? stdout : stderr;
-    std::fprintf(out, "%s: ", levelPrefix(level));
+
     std::va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(out, fmt, ap);
+    const std::string msg = formatMessage(fmt, ap);
     va_end(ap);
-    std::fprintf(out, "\n");
+
+    if (error && capture_depth > 0) {
+        // Divert into the upcoming SimAbortError instead of printing:
+        // failed runs report through their RunResult.
+        captured_message = msg;
+        return;
+    }
+
+    // Assemble the full line first so concurrent threads cannot
+    // interleave fragments of each other's messages.
+    std::string line = levelPrefix(level);
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
     std::fflush(out);
 }
 
 void
 terminate(LogLevel level)
 {
+    if (capture_depth > 0)
+        throw SimAbortError(level, captured_message);
     if (level == LogLevel::Panic)
         std::abort();
     std::exit(1);

@@ -6,6 +6,12 @@
  * fatal()  -- user error (bad configuration etc.); exits with code 1.
  * warn()   -- questionable but survivable condition.
  * inform() -- plain status output.
+ *
+ * The experiment harness (src/harness/) runs many simulations inside
+ * one process, so a single bad run must not take the whole sweep
+ * down. ScopedErrorCapture converts panic()/fatal() on the *current
+ * thread* into a SimAbortError exception instead of terminating the
+ * process; the harness catches it and reports the run as failed.
  */
 
 #ifndef CARVE_COMMON_LOGGING_HH
@@ -13,6 +19,7 @@
 
 #include <cstdarg>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace carve {
@@ -25,6 +32,26 @@ enum class LogLevel {
     Panic,
 };
 
+/**
+ * Thrown in place of process termination when the calling thread has
+ * an active ScopedErrorCapture. Carries the formatted panic()/fatal()
+ * message and its severity.
+ */
+class SimAbortError : public std::runtime_error
+{
+  public:
+    SimAbortError(LogLevel level, const std::string &message)
+        : std::runtime_error(message), level_(level)
+    {
+    }
+
+    /** LogLevel::Panic or LogLevel::Fatal. */
+    LogLevel level() const { return level_; }
+
+  private:
+    LogLevel level_;
+};
+
 namespace detail {
 
 /** Emit one formatted message at the given level (printf semantics). */
@@ -34,6 +61,24 @@ void logMessage(LogLevel level, const char *fmt, ...);
 [[noreturn]] void terminate(LogLevel level);
 
 } // namespace detail
+
+/**
+ * While alive, panic()/fatal() on the constructing thread throw
+ * SimAbortError instead of aborting/exiting, and their message is
+ * diverted into the exception rather than printed. Nests safely.
+ */
+class ScopedErrorCapture
+{
+  public:
+    ScopedErrorCapture();
+    ~ScopedErrorCapture();
+
+    ScopedErrorCapture(const ScopedErrorCapture &) = delete;
+    ScopedErrorCapture &operator=(const ScopedErrorCapture &) = delete;
+};
+
+/** True when the current thread has an active ScopedErrorCapture. */
+bool errorCaptureActive();
 
 /** Globally silence inform()/warn() output (used by tests). */
 void setLogQuiet(bool quiet);

@@ -1,11 +1,19 @@
 #include "core/multi_gpu_system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.hh"
 
 namespace carve {
+
+namespace {
+
+/** Events between wall-clock watchdog polls. */
+constexpr std::uint64_t kClockCheckInterval = 8192;
+
+} // namespace
 
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
                                const Workload &wl, bool profile_lines)
@@ -40,23 +48,38 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
 }
 
 Cycle
-MultiGpuSystem::run(Cycle max_cycles)
+MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
 {
     carve_assert(!finished_);
     launchKernel(0);
+
+    // The wall-clock guard catches livelocks that make simulated time
+    // advance arbitrarily slowly; polling the clock on every event
+    // would dominate the hot loop, so amortize it.
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(
+            max_wall_seconds > 0.0 ? max_wall_seconds : 0.0);
+    std::uint64_t until_clock_check = kClockCheckInterval;
+    const auto wall_ok = [&]() -> bool {
+        if (max_wall_seconds <= 0.0)
+            return true;
+        if (--until_clock_check > 0)
+            return true;
+        until_clock_check = kClockCheckInterval;
+        return std::chrono::steady_clock::now() < deadline;
+    };
+
     if (max_cycles == 0) {
-        eq_.runWhile([this] { return !finished_; });
+        eq_.runWhile([this, &wall_ok] {
+            return !finished_ && wall_ok();
+        });
     } else {
-        eq_.runWhile([this, max_cycles] {
-            return !finished_ && eq_.now() <= max_cycles;
+        eq_.runWhile([this, max_cycles, &wall_ok] {
+            return !finished_ && eq_.now() <= max_cycles && wall_ok();
         });
     }
-    if (!finished_)
-        fatal("MultiGpuSystem: simulation did not converge "
-              "(deadlock or max_cycles=%llu reached at %llu)",
-              static_cast<unsigned long long>(max_cycles),
-              static_cast<unsigned long long>(eq_.now()));
-    return finish_time_;
+    watchdog_tripped_ = !finished_;
+    return finished_ ? finish_time_ : eq_.now();
 }
 
 void

@@ -45,13 +45,24 @@ class MultiGpuSystem : public SystemFabric
 
     /**
      * Execute the whole trace.
-     * @param max_cycles safety abort (0 == unlimited)
-     * @return total cycles from first launch to last kernel's end
+     *
+     * Stops early when a watchdog fires: after @p max_cycles of
+     * simulated time (0 == unlimited) or @p max_wall_seconds of host
+     * wall-clock time (0 == unlimited; checked every few thousand
+     * events, so livelocked simulations are caught too). A tripped
+     * watchdog leaves finished() false and watchdogTripped() true —
+     * callers decide whether that is fatal (see runSimulation()).
+     *
+     * @return total cycles from first launch to last kernel's end,
+     *         or the abort time when a watchdog tripped
      */
-    Cycle run(Cycle max_cycles = 0);
+    Cycle run(Cycle max_cycles = 0, double max_wall_seconds = 0.0);
 
     /** True once every kernel has completed. */
     bool finished() const { return finished_; }
+
+    /** True when the last run() stopped on a watchdog. */
+    bool watchdogTripped() const { return watchdog_tripped_; }
 
     /** End-to-end runtime (valid after run()). */
     Cycle finishTime() const { return finish_time_; }
@@ -113,6 +124,7 @@ class MultiGpuSystem : public SystemFabric
     KernelId cur_kernel_ = 0;
     unsigned gpus_done_ = 0;
     bool finished_ = false;
+    bool watchdog_tripped_ = false;
     Cycle finish_time_ = 0;
     std::uint64_t bulk_bytes_ = 0;
 };

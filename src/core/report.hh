@@ -26,6 +26,9 @@ struct SimResult
     std::string preset;
     Cycle cycles = 0;
     std::uint64_t warp_insts = 0;
+    /** True when the run was cut short by a cycle or wall-clock
+     * watchdog (see RunOptions); stats below are then partial. */
+    bool watchdog_tripped = false;
 
     /** Post-LLC traffic summed over all GPUs. */
     GpuTraffic traffic;

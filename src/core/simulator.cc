@@ -1,5 +1,6 @@
 #include "core/simulator.hh"
 
+#include "common/logging.hh"
 #include "core/multi_gpu_system.hh"
 
 namespace carve {
@@ -10,8 +11,18 @@ runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
 {
     SyntheticWorkload wl(params, cfg.line_size, opt.seed);
     MultiGpuSystem sys(cfg, wl, opt.profile_lines);
-    sys.run(opt.max_cycles);
-    return collectResult(sys, params.name, preset_label);
+    sys.run(opt.max_cycles, opt.max_wall_seconds);
+    if (sys.watchdogTripped() && !opt.tolerate_watchdog) {
+        fatal("MultiGpuSystem: simulation did not converge "
+              "(deadlock or watchdog: max_cycles=%llu, "
+              "max_wall_seconds=%.1f, stopped at cycle %llu)",
+              static_cast<unsigned long long>(opt.max_cycles),
+              opt.max_wall_seconds,
+              static_cast<unsigned long long>(sys.now()));
+    }
+    SimResult r = collectResult(sys, params.name, preset_label);
+    r.watchdog_tripped = sys.watchdogTripped();
+    return r;
 }
 
 SimResult

@@ -20,12 +20,20 @@ namespace carve {
 /** Options for a single simulation run. */
 struct RunOptions
 {
-    /** Safety abort; 0 == unlimited. */
+    /** Safety abort in simulated cycles; 0 == unlimited. */
     Cycle max_cycles = 0;
+    /** Safety abort in host wall-clock seconds; 0 == unlimited.
+     * Catches livelocks where simulated time barely advances. */
+    double max_wall_seconds = 0.0;
     /** Line-granularity sharing profiling (memory-hungry). */
     bool profile_lines = true;
     /** Trace RNG seed. */
     std::uint64_t seed = 1;
+    /** When a watchdog trips: false (default) keeps the historical
+     * fatal() behaviour; true returns the partial result with
+     * SimResult::watchdog_tripped set so batch drivers can mark the
+     * run failed without killing sibling runs. */
+    bool tolerate_watchdog = false;
 };
 
 /**

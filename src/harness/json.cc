@@ -1,0 +1,478 @@
+#include "harness/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace carve {
+namespace json {
+
+namespace {
+
+const Value null_value{};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        return "null";
+    }
+    // Shortest representation that round-trips exactly: deterministic
+    // across runs and thread counts, unlike printf("%g").
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string s(buf, res.ptr);
+    // Ensure the token stays a double on re-parse ("1" -> "1.0").
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+bool
+Value::asBool() const
+{
+    carve_assert(kind_ == Kind::Bool);
+    return bool_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    carve_assert(kind_ == Kind::Int);
+    return int_;
+}
+
+double
+Value::asDouble() const
+{
+    carve_assert(isNumber());
+    return kind_ == Kind::Int ? static_cast<double>(int_) : dbl_;
+}
+
+const std::string &
+Value::asString() const
+{
+    carve_assert(kind_ == Kind::String);
+    return str_;
+}
+
+const Array &
+Value::asArray() const
+{
+    carve_assert(kind_ == Kind::Array);
+    return arr_;
+}
+
+const Members &
+Value::asObject() const
+{
+    carve_assert(kind_ == Kind::Object);
+    return obj_;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    if (kind_ == Kind::Object) {
+        for (const auto &[k, v] : obj_) {
+            if (k == key)
+                return v;
+        }
+    }
+    return null_value;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return kind_ == Kind::Object && !at(key).isNull();
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    carve_assert(kind_ == Kind::Object || kind_ == Kind::Null);
+    kind_ = Kind::Object;
+    obj_.emplace_back(std::move(key), std::move(v));
+}
+
+void
+Value::push(Value v)
+{
+    carve_assert(kind_ == Kind::Array || kind_ == Kind::Null);
+    kind_ = Kind::Array;
+    arr_.push_back(std::move(v));
+}
+
+void
+Value::dumpTo(std::string &out, unsigned indent, unsigned depth) const
+{
+    const auto newline = [&](unsigned d) {
+        if (indent == 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[24];
+        const auto res =
+            std::to_chars(buf, buf + sizeof(buf), int_);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Double:
+        out += formatDouble(dbl_);
+        break;
+      case Kind::String:
+        appendEscaped(out, str_);
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, obj_[i].first);
+            out += indent ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(unsigned indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over the whole input string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &what)
+        : text_(text), what_(what)
+    {
+    }
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *why)
+    {
+        fatal("%s: JSON parse error at offset %zu: %s",
+              what_.c_str(), pos_, why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Value(string());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Value(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Value(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Value(nullptr);
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Members members;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            members.emplace_back(std::move(key), value());
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return Value(std::move(members));
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Array elems;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(elems));
+        }
+        while (true) {
+            elems.push_back(value());
+            skipWs();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return Value(std::move(elems));
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("bad \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Results files only ever contain ASCII; encode the
+                // BMP code point as UTF-8 for robustness anyway.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        const std::size_t start = pos_;
+        bool is_double = false;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_double = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        if (!is_double) {
+            std::int64_t iv = 0;
+            const auto res = std::from_chars(first, last, iv);
+            if (res.ec == std::errc() && res.ptr == last)
+                return Value(iv);
+        }
+        double dv = 0.0;
+        const auto res = std::from_chars(first, last, dv);
+        if (res.ec != std::errc() || res.ptr != last)
+            fail("malformed number");
+        return Value(dv);
+    }
+
+    const std::string &text_;
+    const std::string &what_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text, const std::string &what)
+{
+    Parser p(text, what);
+    return p.document();
+}
+
+} // namespace json
+} // namespace carve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal JSON document model for the experiment harness: enough to
+ * write sweep results deterministically and read them back for
+ * baseline comparison. Not a general-purpose library — no comments,
+ * no \u escapes beyond pass-through, objects keep insertion order so
+ * serialisation is byte-stable.
+ */
+
+#ifndef CARVE_HARNESS_JSON_HH
+#define CARVE_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace carve {
+namespace json {
+
+class Value;
+
+/** Insertion-ordered key/value list (JSON objects). */
+using Members = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/** One JSON value of any type. */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Int,      ///< exact 64-bit integers (counters)
+        Double,   ///< everything else numeric
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(std::nullptr_t) : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Value(std::uint64_t v)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(v))
+    {
+    }
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::Int), int_(v) {}
+    Value(double v) : kind_(Kind::Double), dbl_(v) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(Array a) : kind_(Kind::Array), arr_(std::move(a)) {}
+    Value(Members m) : kind_(Kind::Object), obj_(std::move(m)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+
+    /** Typed accessors; wrong-kind access is a caller bug (asserted). */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;   ///< Int converts implicitly
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Members &asObject() const;
+
+    /** Object member by key, or null Value when absent/non-object. */
+    const Value &at(const std::string &key) const;
+    /** True when this is an object containing @p key. */
+    bool has(const std::string &key) const;
+
+    /** Append a member (object) — keeps insertion order. */
+    void set(std::string key, Value v);
+    /** Append an element (array). */
+    void push(Value v);
+
+    /**
+     * Serialise. @p indent > 0 pretty-prints with that many spaces;
+     * 0 emits compact one-line output. Output is deterministic:
+     * identical documents always produce identical bytes.
+     */
+    std::string dump(unsigned indent = 2) const;
+
+  private:
+    void dumpTo(std::string &out, unsigned indent,
+                unsigned depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Members obj_;
+};
+
+/**
+ * Parse a JSON document. fatal() on malformed input, with @p what
+ * naming the source (file name) in the message.
+ */
+Value parse(const std::string &text, const std::string &what = "json");
+
+/** Render a double exactly as dump() does (shortest round-trip form). */
+std::string formatDouble(double v);
+
+} // namespace json
+} // namespace carve
+
+#endif // CARVE_HARNESS_JSON_HH

@@ -1,0 +1,366 @@
+#include "harness/results_io.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace carve {
+namespace harness {
+
+namespace {
+
+json::Value
+trafficToJson(const GpuTraffic &t)
+{
+    json::Value o{json::Members{}};
+    o.set("local_reads", t.local_reads);
+    o.set("remote_reads", t.remote_reads);
+    o.set("rdc_hit_reads", t.rdc_hit_reads);
+    o.set("cpu_reads", t.cpu_reads);
+    o.set("local_writes", t.local_writes);
+    o.set("remote_writes", t.remote_writes);
+    o.set("cpu_writes", t.cpu_writes);
+    return o;
+}
+
+GpuTraffic
+trafficFromJson(const json::Value &v)
+{
+    GpuTraffic t;
+    t.local_reads =
+        static_cast<std::uint64_t>(v.at("local_reads").asInt());
+    t.remote_reads =
+        static_cast<std::uint64_t>(v.at("remote_reads").asInt());
+    t.rdc_hit_reads =
+        static_cast<std::uint64_t>(v.at("rdc_hit_reads").asInt());
+    t.cpu_reads =
+        static_cast<std::uint64_t>(v.at("cpu_reads").asInt());
+    t.local_writes =
+        static_cast<std::uint64_t>(v.at("local_writes").asInt());
+    t.remote_writes =
+        static_cast<std::uint64_t>(v.at("remote_writes").asInt());
+    t.cpu_writes =
+        static_cast<std::uint64_t>(v.at("cpu_writes").asInt());
+    return t;
+}
+
+json::Value
+sharingToJson(const SharingBreakdown &s)
+{
+    json::Value o{json::Members{}};
+    o.set("private", s.private_accesses);
+    o.set("read_only_shared", s.read_only_shared);
+    o.set("read_write_shared", s.read_write_shared);
+    return o;
+}
+
+SharingBreakdown
+sharingFromJson(const json::Value &v)
+{
+    SharingBreakdown s;
+    s.private_accesses =
+        static_cast<std::uint64_t>(v.at("private").asInt());
+    s.read_only_shared =
+        static_cast<std::uint64_t>(v.at("read_only_shared").asInt());
+    s.read_write_shared =
+        static_cast<std::uint64_t>(v.at("read_write_shared").asInt());
+    return s;
+}
+
+std::uint64_t
+u64At(const json::Value &v, const char *key)
+{
+    return static_cast<std::uint64_t>(v.at(key).asInt());
+}
+
+} // namespace
+
+std::string
+gitDescribe()
+{
+    // Not part of the determinism contract (same tree -> same
+    // string); purely provenance for humans reading result files.
+    std::FILE *p = popen(
+        "git describe --always --dirty 2>/dev/null", "r");
+    if (!p)
+        return "unknown";
+    char buf[128];
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), p))
+        out += buf;
+    pclose(p);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+json::Value
+resultToJson(const RunResult &r)
+{
+    json::Value o{json::Members{}};
+    o.set("preset", r.preset);
+    o.set("workload", r.workload);
+    o.set("seed", r.seed);
+    o.set("status", runStatusName(r.status));
+    if (!r.error.empty())
+        o.set("error", r.error);
+    if (r.status == RunStatus::Failed)
+        return o;  // no meaningful stats to record
+
+    json::Value stats{json::Members{}};
+    const SimResult &s = r.sim;
+    stats.set("cycles", s.cycles);
+    stats.set("warp_insts", s.warp_insts);
+    stats.set("ipc", s.ipc());
+    stats.set("frac_remote", s.frac_remote);
+    stats.set("traffic", trafficToJson(s.traffic));
+    stats.set("gpu_gpu_bytes", s.gpu_gpu_bytes);
+    stats.set("cpu_gpu_bytes", s.cpu_gpu_bytes);
+    stats.set("rdc_hits", s.rdc_hits);
+    stats.set("rdc_misses", s.rdc_misses);
+    stats.set("hw_invalidates", s.hw_invalidates);
+    stats.set("migrations", s.migrations);
+    stats.set("replications", s.replications);
+    stats.set("collapses", s.collapses);
+    stats.set("um_migrations", s.um_migrations);
+    stats.set("capacity_pressure", s.capacity_pressure);
+    stats.set("l2_hit_rate", s.l2_hit_rate);
+    stats.set("page_sharing", sharingToJson(s.page_sharing));
+    stats.set("line_sharing", sharingToJson(s.line_sharing));
+    stats.set("shared_page_footprint", s.shared_page_footprint);
+    stats.set("shared_line_footprint", s.shared_line_footprint);
+    stats.set("total_page_footprint", s.total_page_footprint);
+    o.set("stats", std::move(stats));
+    return o;
+}
+
+RunResult
+resultFromJson(const json::Value &v)
+{
+    RunResult r;
+    r.preset = v.at("preset").asString();
+    r.workload = v.at("workload").asString();
+    r.seed = static_cast<std::uint64_t>(v.at("seed").asInt());
+    r.status = parseRunStatus(v.at("status").asString());
+    if (v.has("error"))
+        r.error = v.at("error").asString();
+    if (!v.has("stats"))
+        return r;
+
+    const json::Value &s = v.at("stats");
+    r.sim.workload = r.workload;
+    r.sim.preset = r.preset;
+    r.sim.cycles = u64At(s, "cycles");
+    r.sim.warp_insts = u64At(s, "warp_insts");
+    r.sim.frac_remote = s.at("frac_remote").asDouble();
+    r.sim.traffic = trafficFromJson(s.at("traffic"));
+    r.sim.gpu_gpu_bytes = u64At(s, "gpu_gpu_bytes");
+    r.sim.cpu_gpu_bytes = u64At(s, "cpu_gpu_bytes");
+    r.sim.rdc_hits = u64At(s, "rdc_hits");
+    r.sim.rdc_misses = u64At(s, "rdc_misses");
+    r.sim.hw_invalidates = u64At(s, "hw_invalidates");
+    r.sim.migrations = u64At(s, "migrations");
+    r.sim.replications = u64At(s, "replications");
+    r.sim.collapses = u64At(s, "collapses");
+    r.sim.um_migrations = u64At(s, "um_migrations");
+    r.sim.capacity_pressure = s.at("capacity_pressure").asDouble();
+    r.sim.l2_hit_rate = s.at("l2_hit_rate").asDouble();
+    r.sim.page_sharing = sharingFromJson(s.at("page_sharing"));
+    r.sim.line_sharing = sharingFromJson(s.at("line_sharing"));
+    r.sim.shared_page_footprint = u64At(s, "shared_page_footprint");
+    r.sim.shared_line_footprint = u64At(s, "shared_line_footprint");
+    r.sim.total_page_footprint = u64At(s, "total_page_footprint");
+    r.sim.watchdog_tripped = r.status == RunStatus::Watchdog;
+    return r;
+}
+
+json::Value
+sweepToJson(const SweepMeta &meta,
+            const std::vector<RunResult> &results)
+{
+    json::Value cfg{json::Members{}};
+    cfg.set("memory_scale", meta.memory_scale);
+    cfg.set("duration", meta.duration);
+    if (!meta.overrides.empty()) {
+        json::Value ov{json::Array{}};
+        for (const auto &o : meta.overrides)
+            ov.push(o);
+        cfg.set("overrides", std::move(ov));
+    }
+
+    json::Value runs{json::Array{}};
+    for (const auto &r : results)
+        runs.push(resultToJson(r));
+
+    json::Value doc{json::Members{}};
+    doc.set("schema", kResultsSchema);
+    doc.set("generator", "carve-sweep");
+    doc.set("git", meta.git_version.empty() ? gitDescribe()
+                                            : meta.git_version);
+    doc.set("config", std::move(cfg));
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+void
+writeResultsFile(const std::string &path, const json::Value &doc)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    os << doc.dump();
+    if (!os.good())
+        fatal("write to '%s' failed", path.c_str());
+}
+
+json::Value
+readResultsFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open results file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    json::Value doc = json::parse(ss.str(), path);
+    if (!doc.isObject() ||
+        doc.at("schema").asString() != kResultsSchema) {
+        fatal("'%s' is not a %s file", path.c_str(),
+              kResultsSchema);
+    }
+    return doc;
+}
+
+std::vector<RunResult>
+resultsFromJson(const json::Value &doc)
+{
+    std::vector<RunResult> out;
+    for (const auto &r : doc.at("runs").asArray())
+        out.push_back(resultFromJson(r));
+    return out;
+}
+
+CompareReport
+compareResults(const std::vector<RunResult> &baseline,
+               const std::vector<RunResult> &candidate,
+               double tolerance)
+{
+    std::unordered_map<std::string, const RunResult *> cand;
+    for (const auto &r : candidate)
+        cand.emplace(r.key(), &r);
+
+    CompareReport rep;
+    const auto add = [&](MetricDelta d) {
+        rep.deltas.push_back(std::move(d));
+    };
+
+    for (const auto &base : baseline) {
+        const auto it = cand.find(base.key());
+        if (it == cand.end()) {
+            MetricDelta d;
+            d.key = base.key();
+            d.metric = "missing";
+            d.regression = true;
+            add(std::move(d));
+            continue;
+        }
+        const RunResult &c = *it->second;
+        ++rep.compared_runs;
+
+        if (c.status != base.status) {
+            MetricDelta d;
+            d.key = base.key();
+            d.metric = "status";
+            // Any change away from a clean baseline gates; a
+            // previously-broken run turning Ok is an improvement.
+            d.regression = base.status == RunStatus::Ok;
+            add(std::move(d));
+            if (base.status != RunStatus::Ok || !c.ok())
+                continue;
+        }
+        if (base.status != RunStatus::Ok)
+            continue;  // no trustworthy numbers to compare
+
+        // (metric, baseline, candidate, higher_is_worse)
+        const struct
+        {
+            const char *name;
+            double b, c;
+            bool higher_is_worse;
+        } metrics[] = {
+            {"cycles", static_cast<double>(base.sim.cycles),
+             static_cast<double>(c.sim.cycles), true},
+            {"ipc", base.sim.ipc(), c.sim.ipc(), false},
+        };
+        for (const auto &m : metrics) {
+            if (m.b == 0.0)
+                continue;
+            const double rel = (m.c - m.b) / m.b;
+            const double worse = m.higher_is_worse ? rel : -rel;
+            if (std::abs(rel) <= tolerance)
+                continue;
+            MetricDelta d;
+            d.key = base.key();
+            d.metric = m.name;
+            d.baseline = m.b;
+            d.candidate = m.c;
+            d.relative = worse;
+            d.regression = worse > 0.0;
+            add(std::move(d));
+        }
+    }
+
+    std::stable_sort(rep.deltas.begin(), rep.deltas.end(),
+                     [](const MetricDelta &a, const MetricDelta &b) {
+                         return a.regression > b.regression;
+                     });
+    return rep;
+}
+
+std::string
+formatCompareReport(const CompareReport &report, double tolerance)
+{
+    const auto pct = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", v * 100.0);
+        return std::string(buf);
+    };
+    std::ostringstream os;
+    unsigned regressions = 0;
+    for (const auto &d : report.deltas)
+        regressions += d.regression;
+
+    os << "baseline comparison: " << report.compared_runs
+       << " runs compared, tolerance " << pct(tolerance) << "%\n";
+    for (const auto &d : report.deltas) {
+        os << (d.regression ? "  REGRESSION " : "  improvement ")
+           << d.key << " " << d.metric;
+        if (d.metric == "missing") {
+            os << " (run absent from candidate)\n";
+            continue;
+        }
+        if (d.metric == "status") {
+            os << " (status changed)\n";
+            continue;
+        }
+        os << ": " << json::formatDouble(d.baseline) << " -> "
+           << json::formatDouble(d.candidate) << " (";
+        if (d.relative > 0.0)
+            os << "+" << pct(d.relative) << "% worse)\n";
+        else
+            os << pct(-d.relative) << "% better)\n";
+    }
+    os << (regressions
+               ? "FAIL: " + std::to_string(regressions) +
+                     " regression(s) beyond tolerance\n"
+               : std::string("PASS: no regressions beyond "
+                             "tolerance\n"));
+    return os.str();
+}
+
+} // namespace harness
+} // namespace carve

@@ -1,0 +1,78 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "common/logging.hh"
+#include "harness/thread_pool.hh"
+
+namespace carve {
+namespace harness {
+
+RunResult
+executeRun(const RunSpec &spec)
+{
+    RunResult res;
+    res.preset = presetName(spec.preset);
+    res.workload = spec.workload.name;
+    res.seed = spec.opts.seed;
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Capture panic()/fatal() on this thread for the duration of the
+    // run: a bad configuration or a simulator invariant violation
+    // becomes a Failed result instead of taking the process down.
+    RunOptions opts = spec.opts;
+    opts.tolerate_watchdog = true;
+    try {
+        ScopedErrorCapture capture;
+        res.sim = runSimulation(makePreset(spec.preset, spec.base),
+                                spec.workload,
+                                presetName(spec.preset), opts);
+        res.status = res.sim.watchdog_tripped ? RunStatus::Watchdog
+                                              : RunStatus::Ok;
+        if (res.status == RunStatus::Watchdog)
+            res.error = "watchdog tripped (max_cycles/max_wall)";
+    } catch (const SimAbortError &e) {
+        res.status = RunStatus::Failed;
+        res.error = e.what();
+    } catch (const std::exception &e) {
+        res.status = RunStatus::Failed;
+        res.error = std::string("exception: ") + e.what();
+    }
+
+    res.wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return res;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<RunSpec> &specs, const SweepOptions &opt)
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    std::atomic<std::size_t> done{0};
+    const auto run_one = [&](std::size_t i) {
+        // Index-addressed writes keep result order equal to spec
+        // order no matter which worker finishes when.
+        results[i] = executeRun(specs[i]);
+        const std::size_t d =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opt.on_progress)
+            opt.on_progress(d, specs.size(), results[i]);
+    };
+
+    parallelFor(specs.size(), opt.threads == 0
+                    ? ThreadPool::hardwareThreads()
+                    : opt.threads,
+                run_one);
+    return results;
+}
+
+} // namespace harness
+} // namespace carve

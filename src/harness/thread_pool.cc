@@ -1,0 +1,111 @@
+#include "harness/thread_pool.hh"
+
+#include <atomic>
+
+namespace carve {
+namespace harness {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back(
+            [this](std::stop_token st) { workerLoop(st); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    for (auto &w : workers_)
+        w.request_stop();
+    work_cv_.notify_all();
+    // jthread joins in its destructor.
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] {
+        return queue_.empty() && in_flight_ == 0;
+    });
+}
+
+void
+ThreadPool::workerLoop(std::stop_token st)
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, st,
+                          [this] { return !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop requested and nothing left to do
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        job();
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t count, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (threads > count)
+        threads = static_cast<unsigned>(count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Dynamic index distribution: simulation run times vary by an
+    // order of magnitude across the suite, so static slicing would
+    // leave workers idle behind one long run.
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        pool.submit([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace harness
+} // namespace carve

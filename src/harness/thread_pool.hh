@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment harness. Simulations are
+ * embarrassingly parallel CPU-bound jobs, so the pool is deliberately
+ * simple: a locked queue of std::function jobs drained by N
+ * std::jthread workers, plus a parallelFor convenience that the sweep
+ * executor uses for index-addressed work.
+ */
+
+#ifndef CARVE_HARNESS_THREAD_POOL_HH
+#define CARVE_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carve {
+namespace harness {
+
+/**
+ * N worker threads draining a FIFO job queue. Destruction requests
+ * stop, drains any still-queued jobs, and joins. Jobs must not
+ * throw — wrap fallible work in its own try/catch.
+ */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** @param threads worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. */
+    void submit(Job job);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop(std::stop_token st);
+
+    std::mutex mutex_;
+    std::condition_variable_any work_cv_;  ///< queue became non-empty
+    std::condition_variable idle_cv_;      ///< a job finished
+    std::deque<Job> queue_;
+    std::size_t in_flight_ = 0;
+    std::vector<std::jthread> workers_;
+};
+
+/**
+ * Run fn(i) for every i in [0, count) on up to @p threads workers
+ * (clamped to count; <= 1 executes inline on the caller). Blocks
+ * until all iterations finish. @p fn must not throw.
+ */
+void parallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace harness
+} // namespace carve
+
+#endif // CARVE_HARNESS_THREAD_POOL_HH

@@ -1,0 +1,291 @@
+/** @file Tests for the experiment harness: JSON model, parallel
+ * sweep determinism, per-run failure isolation, watchdog surfacing,
+ * and the baseline regression gate. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/logging.hh"
+#include "harness/json.hh"
+#include "harness/results_io.hh"
+#include "harness/sweep.hh"
+#include "harness/thread_pool.hh"
+#include "sim_test_util.hh"
+
+namespace carve {
+namespace harness {
+namespace {
+
+using test::miniConfig;
+using test::miniWorkload;
+
+class HarnessTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+    void TearDown() override { setLogQuiet(false); }
+};
+
+RunSpec
+miniSpec(Preset preset, const std::string &name,
+         std::uint64_t seed = 1)
+{
+    RunSpec s;
+    s.preset = preset;
+    s.workload = miniWorkload(RegionKind::SharedStream, 0.1);
+    s.workload.name = name;
+    s.base = miniConfig();
+    s.opts.seed = seed;
+    s.opts.max_cycles = 50'000'000;
+    return s;
+}
+
+std::vector<RunSpec>
+miniGrid()
+{
+    std::vector<RunSpec> specs;
+    for (const Preset p :
+         {Preset::SingleGpu, Preset::NumaGpu, Preset::CarveHwc}) {
+        for (const std::uint64_t seed : {1ull, 7ull})
+            specs.push_back(miniSpec(p, "wl", seed));
+    }
+    return specs;
+}
+
+// ---- json ----------------------------------------------------------
+
+TEST_F(HarnessTest, JsonRoundTrip)
+{
+    json::Value o{json::Members{}};
+    o.set("str", "a \"quoted\"\nline");
+    o.set("int", std::int64_t{-42});
+    o.set("big", std::uint64_t{1} << 53);
+    o.set("dbl", 0.1);
+    o.set("flag", true);
+    o.set("nothing", nullptr);
+    json::Value arr{json::Array{}};
+    arr.push(1);
+    arr.push(2.5);
+    o.set("arr", std::move(arr));
+
+    const std::string text = o.dump();
+    const json::Value back = json::parse(text, "test");
+    EXPECT_EQ(back.at("str").asString(), "a \"quoted\"\nline");
+    EXPECT_EQ(back.at("int").asInt(), -42);
+    EXPECT_EQ(back.at("big").asInt(), std::int64_t{1} << 53);
+    EXPECT_DOUBLE_EQ(back.at("dbl").asDouble(), 0.1);
+    EXPECT_TRUE(back.at("flag").asBool());
+    EXPECT_TRUE(back.at("nothing").isNull());
+    EXPECT_EQ(back.at("arr").asArray().size(), 2u);
+    // Deterministic serialisation: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(back.dump(), text);
+}
+
+TEST_F(HarnessTest, JsonParseErrorsAreCatchable)
+{
+    ScopedErrorCapture capture;
+    EXPECT_THROW(json::parse("{\"a\": }", "bad"), SimAbortError);
+    EXPECT_THROW(json::parse("[1, 2", "bad"), SimAbortError);
+    EXPECT_THROW(json::parse("true false", "bad"), SimAbortError);
+}
+
+TEST_F(HarnessTest, PresetNameParsing)
+{
+    EXPECT_EQ(parsePresetName("CARVE-HWC"), Preset::CarveHwc);
+    EXPECT_EQ(parsePresetName("carvehwc"), Preset::CarveHwc);
+    EXPECT_EQ(parsePresetName("carve"), Preset::CarveHwc);
+    EXPECT_EQ(parsePresetName("1-GPU"), Preset::SingleGpu);
+    EXPECT_EQ(parsePresetName("Ideal-NUMA-GPU"), Preset::Ideal);
+    ScopedErrorCapture capture;
+    EXPECT_THROW(parsePresetName("nonsense"), SimAbortError);
+}
+
+// ---- thread pool ---------------------------------------------------
+
+TEST_F(HarnessTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(hits.size(), 4,
+                [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+// ---- sweep determinism (satellite a) -------------------------------
+
+TEST_F(HarnessTest, SerialAndParallelSweepsProduceIdenticalJson)
+{
+    const std::vector<RunSpec> specs = miniGrid();
+
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+
+    const auto r1 = runSweep(specs, serial);
+    const auto r4 = runSweep(specs, parallel);
+    ASSERT_EQ(r1.size(), specs.size());
+    ASSERT_EQ(r4.size(), specs.size());
+
+    SweepMeta meta;
+    meta.git_version = "test";  // pin so the docs are comparable
+    const std::string j1 = sweepToJson(meta, r1).dump();
+    const std::string j4 = sweepToJson(meta, r4).dump();
+    EXPECT_EQ(j1, j4) << "parallel sweep must serialise "
+                         "byte-identically to serial";
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(r1[i].key(), specs[i].key())
+            << "results must keep spec order";
+        EXPECT_EQ(r1[i].status, RunStatus::Ok);
+        EXPECT_GT(r1[i].sim.cycles, 0u);
+    }
+}
+
+// ---- failure isolation (satellite b) -------------------------------
+
+TEST_F(HarnessTest, PanickingRunIsIsolatedAndSiblingsComplete)
+{
+    std::vector<RunSpec> specs = miniGrid();
+    // Inject a run whose configuration fails validation deep inside
+    // MultiGpuSystem construction: fatal() must become a Failed
+    // result, not process death.
+    RunSpec bad = miniSpec(Preset::CarveHwc, "bad");
+    bad.base.line_size = 100;  // not a power of two -> validate() fatals
+    specs.insert(specs.begin() + 2, bad);
+
+    SweepOptions opt;
+    opt.threads = 4;
+    const auto results = runSweep(specs, opt);
+    ASSERT_EQ(results.size(), specs.size());
+
+    EXPECT_EQ(results[2].status, RunStatus::Failed);
+    EXPECT_FALSE(results[2].error.empty());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_EQ(results[i].status, RunStatus::Ok)
+            << "sibling run " << i << " must be unaffected";
+        EXPECT_GT(results[i].sim.cycles, 0u);
+    }
+}
+
+TEST_F(HarnessTest, WatchdogTripIsSurfacedNotFatal)
+{
+    RunSpec spec = miniSpec(Preset::NumaGpu, "slow");
+    spec.opts.max_cycles = 200;  // far too few to finish
+    const RunResult r = executeRun(spec);
+    EXPECT_EQ(r.status, RunStatus::Watchdog);
+    EXPECT_TRUE(r.sim.watchdog_tripped);
+    EXPECT_FALSE(r.error.empty());
+}
+
+// ---- baseline compare (satellite c) --------------------------------
+
+std::vector<RunResult>
+syntheticResults()
+{
+    std::vector<RunResult> out;
+    for (int i = 0; i < 3; ++i) {
+        RunResult r;
+        r.preset = "CARVE-HWC";
+        r.workload = "wl" + std::to_string(i);
+        r.seed = 1;
+        r.status = RunStatus::Ok;
+        r.sim.cycles = 100'000 + 10'000 * i;
+        r.sim.warp_insts = 1'000'000;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+TEST_F(HarnessTest, BaselineCompareFlagsRegressionBeyondTolerance)
+{
+    const auto base = syntheticResults();
+    auto cand = base;
+    // 10% slowdown on one run: must gate at 5% tolerance.
+    cand[1].sim.cycles =
+        static_cast<Cycle>(cand[1].sim.cycles * 1.10);
+
+    const CompareReport rep = compareResults(base, cand, 0.05);
+    EXPECT_TRUE(rep.hasRegression());
+    ASSERT_FALSE(rep.deltas.empty());
+    EXPECT_TRUE(rep.deltas.front().regression);
+    EXPECT_EQ(rep.deltas.front().key, "CARVE-HWC/wl1/s1");
+    EXPECT_EQ(rep.compared_runs, 3u);
+}
+
+TEST_F(HarnessTest, BaselineComparePassesWithinTolerance)
+{
+    const auto base = syntheticResults();
+    auto cand = base;
+    // 3% movement stays under a 5% gate.
+    cand[0].sim.cycles =
+        static_cast<Cycle>(cand[0].sim.cycles * 1.03);
+
+    const CompareReport rep = compareResults(base, cand, 0.05);
+    EXPECT_FALSE(rep.hasRegression());
+    EXPECT_EQ(rep.compared_runs, 3u);
+}
+
+TEST_F(HarnessTest, BaselineCompareFlagsImprovementWithoutGating)
+{
+    const auto base = syntheticResults();
+    auto cand = base;
+    cand[0].sim.cycles =
+        static_cast<Cycle>(cand[0].sim.cycles * 0.80);
+
+    const CompareReport rep = compareResults(base, cand, 0.05);
+    EXPECT_FALSE(rep.hasRegression());
+    bool saw_improvement = false;
+    for (const auto &d : rep.deltas)
+        saw_improvement |= !d.regression;
+    EXPECT_TRUE(saw_improvement);
+}
+
+TEST_F(HarnessTest, BaselineCompareFlagsMissingAndFailedRuns)
+{
+    const auto base = syntheticResults();
+
+    auto missing = base;
+    missing.pop_back();
+    EXPECT_TRUE(compareResults(base, missing, 0.05).hasRegression());
+
+    auto failed = base;
+    failed[0].status = RunStatus::Failed;
+    EXPECT_TRUE(compareResults(base, failed, 0.05).hasRegression());
+}
+
+// ---- results file round trip ---------------------------------------
+
+TEST_F(HarnessTest, ResultsSurviveJsonRoundTrip)
+{
+    RunSpec spec = miniSpec(Preset::CarveHwc, "round");
+    const RunResult r = executeRun(spec);
+    ASSERT_EQ(r.status, RunStatus::Ok);
+
+    SweepMeta meta;
+    meta.memory_scale = 4;
+    meta.duration = 0.5;
+    meta.git_version = "test";
+    const json::Value doc = sweepToJson(meta, {r});
+    const auto back =
+        resultsFromJson(json::parse(doc.dump(), "roundtrip"));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].key(), r.key());
+    EXPECT_EQ(back[0].sim.cycles, r.sim.cycles);
+    EXPECT_EQ(back[0].sim.rdc_hits, r.sim.rdc_hits);
+    EXPECT_DOUBLE_EQ(back[0].sim.frac_remote, r.sim.frac_remote);
+    EXPECT_EQ(back[0].sim.traffic.remote_reads,
+              r.sim.traffic.remote_reads);
+
+    // Round-tripped results must compare clean against themselves.
+    const CompareReport rep =
+        compareResults({r}, back, 0.0);
+    EXPECT_FALSE(rep.hasRegression());
+}
+
+} // namespace
+} // namespace harness
+} // namespace carve

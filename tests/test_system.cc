@@ -317,10 +317,31 @@ TEST(SystemDeathTest, MaxCyclesGuardTrips)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::PrivateStream, 0.0, 2);
+    RunOptions opt;
+    opt.max_cycles = 10;
+    // Historical contract: a watchdog trip is fatal by default.
+    EXPECT_EXIT(runSimulation(miniConfig(), p, "t", opt),
+                ::testing::ExitedWithCode(1), "did not converge");
+}
+
+TEST(System, MaxCyclesGuardSurfacesWhenTolerated)
+{
+    const WorkloadParams p =
+        miniWorkload(RegionKind::PrivateStream, 0.0, 2);
+
+    // The system itself reports rather than terminates...
     SyntheticWorkload wl(p, 128, 1);
     MultiGpuSystem sys(miniConfig(), wl);
-    EXPECT_EXIT(sys.run(10), ::testing::ExitedWithCode(1),
-                "did not converge");
+    sys.run(10);
+    EXPECT_FALSE(sys.finished());
+    EXPECT_TRUE(sys.watchdogTripped());
+
+    // ...and batch drivers can opt into a partial result.
+    RunOptions opt;
+    opt.max_cycles = 10;
+    opt.tolerate_watchdog = true;
+    const SimResult r = runSimulation(miniConfig(), p, "t", opt);
+    EXPECT_TRUE(r.watchdog_tripped);
 }
 
 } // namespace

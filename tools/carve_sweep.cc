@@ -1,0 +1,356 @@
+/**
+ * @file
+ * carve-sweep: expand a preset x workload x seed grid, execute it on
+ * the parallel experiment harness, write structured JSON results, and
+ * optionally gate against a baseline results file.
+ *
+ * Examples:
+ *   carve-sweep --fig13 --threads 4 --out fig13.json
+ *   carve-sweep --presets NUMA-GPU,CARVE-HWC --workloads Lulesh,HPGMG
+ *   carve-sweep --baseline old.json --compare new.json --tolerance 0.03
+ *
+ * Exit status: 0 on success; 1 when any run failed/tripped its
+ * watchdog or the baseline comparison found a regression; fatal
+ * errors (bad flags, unreadable files) also exit 1.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "harness/results_io.hh"
+#include "harness/sweep.hh"
+#include "harness/thread_pool.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace carve;
+using namespace carve::harness;
+
+struct CliOptions
+{
+    std::vector<std::string> presets;
+    std::vector<std::string> workloads;
+    std::vector<std::uint64_t> seeds{1};
+    unsigned scale = 8;
+    double duration = 0.2;
+    unsigned threads = 0;  ///< 0 == all hardware threads
+    Cycle max_cycles = 1'000'000'000;
+    double max_wall_seconds = 0.0;
+    bool profile_lines = false;
+    std::vector<std::string> overrides;
+    std::string out_path;
+    std::string baseline_path;
+    std::string compare_path;
+    double tolerance = 0.05;
+    bool quiet = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: carve-sweep [options]\n"
+        "\n"
+        "grid selection:\n"
+        "  --presets a,b,... | all   presets to run (default: the\n"
+        "                            Figure 13 set)\n"
+        "  --fig13                   alias for the Figure 13 preset\n"
+        "                            grid (1-GPU, NUMA-GPU, +Repl-RO,\n"
+        "                            CARVE-HWC, Ideal)\n"
+        "  --workloads a,b,... | all workloads (default: all 20)\n"
+        "  --seeds n,m,...           trace seeds (default: 1)\n"
+        "\n"
+        "configuration:\n"
+        "  --scale N                 capacity divisor (default 8)\n"
+        "  --duration X              trace-length multiplier\n"
+        "                            (default 0.2)\n"
+        "  --set key=value           config override (repeatable)\n"
+        "  --profile-lines           line-granularity sharing stats\n"
+        "\n"
+        "execution:\n"
+        "  --threads N               worker threads (0 = all cores;\n"
+        "                            default 0)\n"
+        "  --max-cycles N            per-run cycle watchdog\n"
+        "                            (default 1e9; 0 = unlimited)\n"
+        "  --max-wall-seconds S      per-run wall watchdog\n"
+        "                            (default off)\n"
+        "\n"
+        "results:\n"
+        "  --out FILE                write JSON results\n"
+        "  --baseline FILE           gate against FILE; candidate is\n"
+        "                            this sweep, or --compare FILE\n"
+        "  --compare FILE            diff --baseline vs FILE without\n"
+        "                            running anything\n"
+        "  --tolerance T             relative gate (default 0.05)\n"
+        "\n"
+        "misc:\n"
+        "  --list                    list presets and workloads\n"
+        "  --quiet                   suppress per-run progress\n"
+        "  --help                    this text\n");
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::string tok = s.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!tok.empty())
+            out.push_back(tok);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &v)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t out = std::stoull(v, &used);
+        if (used == v.size())
+            return out;
+    } catch (...) {
+    }
+    fatal("%s: expected an unsigned integer, got '%s'",
+          flag.c_str(), v.c_str());
+}
+
+double
+parseDouble(const std::string &flag, const std::string &v)
+{
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(v, &used);
+        if (used == v.size())
+            return out;
+    } catch (...) {
+    }
+    fatal("%s: expected a number, got '%s'", flag.c_str(),
+          v.c_str());
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions cli;
+    const auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("%s requires an argument", flag);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--presets") {
+            cli.presets = splitList(need(i, "--presets"));
+        } else if (a == "--fig13") {
+            cli.presets = {"1-GPU", "NUMA-GPU", "NUMA-GPU+Repl-RO",
+                           "CARVE-HWC", "Ideal-NUMA-GPU"};
+        } else if (a == "--workloads") {
+            cli.workloads = splitList(need(i, "--workloads"));
+        } else if (a == "--seeds") {
+            cli.seeds.clear();
+            for (const auto &s : splitList(need(i, "--seeds")))
+                cli.seeds.push_back(parseU64("--seeds", s));
+            if (cli.seeds.empty())
+                fatal("--seeds: empty list");
+        } else if (a == "--scale") {
+            cli.scale = static_cast<unsigned>(
+                parseU64("--scale", need(i, "--scale")));
+        } else if (a == "--duration") {
+            cli.duration =
+                parseDouble("--duration", need(i, "--duration"));
+        } else if (a == "--threads") {
+            cli.threads = static_cast<unsigned>(
+                parseU64("--threads", need(i, "--threads")));
+        } else if (a == "--max-cycles") {
+            cli.max_cycles =
+                parseU64("--max-cycles", need(i, "--max-cycles"));
+        } else if (a == "--max-wall-seconds") {
+            cli.max_wall_seconds = parseDouble(
+                "--max-wall-seconds", need(i, "--max-wall-seconds"));
+        } else if (a == "--set") {
+            cli.overrides.push_back(need(i, "--set"));
+        } else if (a == "--profile-lines") {
+            cli.profile_lines = true;
+        } else if (a == "--out") {
+            cli.out_path = need(i, "--out");
+        } else if (a == "--baseline") {
+            cli.baseline_path = need(i, "--baseline");
+        } else if (a == "--compare") {
+            cli.compare_path = need(i, "--compare");
+        } else if (a == "--tolerance") {
+            cli.tolerance =
+                parseDouble("--tolerance", need(i, "--tolerance"));
+        } else if (a == "--list") {
+            cli.list = true;
+        } else if (a == "--quiet") {
+            cli.quiet = true;
+        } else {
+            fatal("unknown flag '%s' (see --help)", a.c_str());
+        }
+    }
+    return cli;
+}
+
+int
+compareMode(const CliOptions &cli)
+{
+    const auto baseline =
+        resultsFromJson(readResultsFile(cli.baseline_path));
+    const auto candidate =
+        resultsFromJson(readResultsFile(cli.compare_path));
+    const CompareReport rep =
+        compareResults(baseline, candidate, cli.tolerance);
+    std::fputs(formatCompareReport(rep, cli.tolerance).c_str(),
+               stdout);
+    return rep.hasRegression() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli = parseArgs(argc, argv);
+
+    if (cli.list) {
+        std::puts("presets:");
+        for (const Preset p : allPresets())
+            std::printf("  %s\n", presetName(p));
+        std::puts("workloads:");
+        for (const auto &n : suiteNames())
+            std::printf("  %s\n", n.c_str());
+        return 0;
+    }
+
+    if (!cli.compare_path.empty()) {
+        if (cli.baseline_path.empty())
+            fatal("--compare requires --baseline");
+        return compareMode(cli);
+    }
+
+    // ---- build the grid -------------------------------------------
+    SuiteOptions suite;
+    suite.memory_scale = cli.scale;
+    suite.duration = cli.duration;
+
+    std::vector<Preset> presets;
+    if (cli.presets.empty() ||
+        (cli.presets.size() == 1 && cli.presets[0] == "all")) {
+        if (cli.presets.empty()) {
+            // Default: the Figure 13 headline grid.
+            presets = {Preset::SingleGpu, Preset::NumaGpu,
+                       Preset::NumaGpuReplRO, Preset::CarveHwc,
+                       Preset::Ideal};
+        } else {
+            presets = allPresets();
+        }
+    } else {
+        for (const auto &name : cli.presets)
+            presets.push_back(parsePresetName(name));
+    }
+
+    std::vector<WorkloadParams> workloads;
+    if (cli.workloads.empty() ||
+        (cli.workloads.size() == 1 && cli.workloads[0] == "all")) {
+        workloads = standardSuite(suite);
+    } else {
+        for (const auto &name : cli.workloads)
+            workloads.push_back(suiteWorkload(name, suite));
+    }
+
+    SystemConfig base = SystemConfig{}.scaled(cli.scale);
+    for (const auto &ov : cli.overrides) {
+        const std::size_t eq = ov.find('=');
+        if (eq == std::string::npos)
+            fatal("--set: expected key=value, got '%s'", ov.c_str());
+        base.applyOverride(ov.substr(0, eq), ov.substr(eq + 1));
+    }
+
+    RunOptions opts;
+    opts.max_cycles = cli.max_cycles;
+    opts.max_wall_seconds = cli.max_wall_seconds;
+    opts.profile_lines = cli.profile_lines;
+
+    const std::vector<RunSpec> specs =
+        expandGrid(presets, workloads, cli.seeds, base, opts);
+
+    // ---- execute ---------------------------------------------------
+    SweepOptions sweep;
+    sweep.threads = cli.threads;
+    if (!cli.quiet) {
+        sweep.on_progress = [](std::size_t done, std::size_t total,
+                               const RunResult &r) {
+            std::fprintf(stderr, "[%zu/%zu] %-8s %s (%.2fs)\n", done,
+                         total, runStatusName(r.status),
+                         r.key().c_str(), r.wall_seconds);
+        };
+    }
+
+    std::fprintf(stderr,
+                 "carve-sweep: %zu runs (%zu presets x %zu workloads "
+                 "x %zu seeds), %u thread(s)\n",
+                 specs.size(), presets.size(), workloads.size(),
+                 cli.seeds.size(),
+                 sweep.threads == 0 ? ThreadPool::hardwareThreads()
+                                    : sweep.threads);
+
+    const std::vector<RunResult> results = runSweep(specs, sweep);
+
+    unsigned bad = 0;
+    for (const auto &r : results) {
+        if (!r.ok()) {
+            ++bad;
+            std::fprintf(stderr, "carve-sweep: %s: %s (%s)\n",
+                         r.key().c_str(), runStatusName(r.status),
+                         r.error.c_str());
+        }
+    }
+
+    // ---- report ----------------------------------------------------
+    SweepMeta meta;
+    meta.memory_scale = cli.scale;
+    meta.duration = cli.duration;
+    meta.overrides = cli.overrides;
+    const json::Value doc = sweepToJson(meta, results);
+
+    if (!cli.out_path.empty()) {
+        writeResultsFile(cli.out_path, doc);
+        std::fprintf(stderr, "carve-sweep: wrote %s (%zu runs)\n",
+                     cli.out_path.c_str(), results.size());
+    } else {
+        // No file requested: emit the document on stdout (progress
+        // goes to stderr, so piping stays clean).
+        std::fputs(doc.dump().c_str(), stdout);
+    }
+
+    int status = bad ? 1 : 0;
+    if (!cli.baseline_path.empty()) {
+        const auto baseline =
+            resultsFromJson(readResultsFile(cli.baseline_path));
+        const CompareReport rep =
+            compareResults(baseline, results, cli.tolerance);
+        std::fputs(formatCompareReport(rep, cli.tolerance).c_str(),
+                   stdout);
+        if (rep.hasRegression())
+            status = 1;
+    }
+    return status;
+}
