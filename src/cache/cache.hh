@@ -93,6 +93,18 @@ class Cache
     TagArray &tags() { return tags_; }
     const TagArray &tags() const { return tags_; }
 
+    /** Register this cache's counters into @p g (owned by caller). */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("hits", &hits_, "read/write probe hits");
+        g.addScalar("misses", &misses_, "read probe misses");
+        g.addScalar("evictions", &evictions_,
+                    "valid lines displaced by fills");
+        g.addDerived("hit_rate", [this] { return hitRate(); },
+                     "hits / (hits + misses)");
+    }
+
   private:
     std::string name_;
     Cycle hit_latency_;

@@ -67,6 +67,16 @@ class MshrFile
     /** Total allocations rejected because the file was full. */
     std::uint64_t rejections() const { return rejections_.value(); }
 
+    /** Register this file's counters into @p g (owned by caller). */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("merges", &merges_,
+                    "misses merged behind an in-flight line");
+        g.addScalar("rejections", &rejections_,
+                    "allocations rejected because the file was full");
+    }
+
   private:
     unsigned capacity_;
     std::unordered_map<Addr, std::vector<Callback>> entries_;

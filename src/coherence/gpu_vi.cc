@@ -63,4 +63,20 @@ GpuVi::writesFiltered() const
     return total;
 }
 
+void
+GpuVi::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("invalidates_sent", &invalidates_sent_,
+                "write-invalidate packets broadcast");
+    g.addDerivedInt("writes_filtered",
+                    [this] { return writesFiltered(); },
+                    "broadcasts suppressed by the IMST");
+    for (std::size_t h = 0; h < imsts_.size(); ++h) {
+        auto child = std::make_unique<stats::StatGroup>(
+            "imst" + std::to_string(h), &g);
+        imsts_[h].registerStats(*child);
+        imst_groups_.push_back(std::move(child));
+    }
+}
+
 } // namespace carve

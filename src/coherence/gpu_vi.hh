@@ -14,6 +14,7 @@
 #define CARVE_COHERENCE_GPU_VI_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "coherence/imst.hh"
@@ -77,12 +78,17 @@ class GpuVi
 
     bool usesImst() const { return use_imst_; }
 
+    /** Register engine counters plus one "imst<h>" child group per
+     * home node into @p g (child groups owned here). */
+    void registerStats(stats::StatGroup &g);
+
   private:
     const SystemConfig &cfg_;
     unsigned num_gpus_;
     CoherenceOps ops_;
     bool use_imst_;
     std::vector<Imst> imsts_;
+    std::vector<std::unique_ptr<stats::StatGroup>> imst_groups_;
 
     stats::Scalar invalidates_sent_;
 };

@@ -92,6 +92,18 @@ class Imst
 
     NodeId home() const { return home_; }
 
+    /** Register this tracker's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("shared_writes", &shared_writes_,
+                    "writes that required a broadcast");
+        g.addScalar("filtered_writes", &filtered_writes_,
+                    "writes filtered as private/uncached");
+        g.addScalar("demotions", &demotions_,
+                    "probabilistic demotions to Private");
+    }
+
   private:
     struct LineState
     {

@@ -20,7 +20,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     : cfg_(cfg), wl_(wl),
       pages_(cfg_, true, profile_lines),
       net_(eq_, cfg_.link, cfg_.num_gpus),
-      sched_(cfg_.num_gpus)
+      sched_(cfg_.num_gpus),
+      stat_root_("")
 {
     cfg_.validate();
 
@@ -45,6 +46,38 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
         gpus_.back()->setKernelDoneCallback(
             [this](NodeId id) { onGpuKernelDone(id); });
     }
+
+    registerStats();
+    phase_base_ = stats::snapshotScalars(stat_root_);
+}
+
+void
+MultiGpuSystem::registerStats()
+{
+    const auto child = [&](const std::string &name) {
+        stat_groups_.push_back(
+            std::make_unique<stats::StatGroup>(name, &stat_root_));
+        return stat_groups_.back().get();
+    };
+
+    stats::StatGroup *sim = child("sim");
+    sim->addScalar("bulk_bytes", &bulk_bytes_,
+                   "page-copy bytes moved by the NUMA runtime");
+    sim->addDerivedInt("cycles",
+                       [this] {
+                           return finished_ ? finish_time_ : eq_.now();
+                       },
+                       "end-to-end runtime in cycles");
+    sim->addDerivedInt("insts_issued",
+                       [this] { return totalInstsIssued(); },
+                       "warp instructions issued system-wide");
+
+    net_.registerStats(*child("link"));
+    pages_.registerStats(*child("numa"));
+    if (vi_)
+        vi_->registerStats(*child("coherence"));
+    for (unsigned g = 0; g < cfg_.num_gpus; ++g)
+        gpus_[g]->registerStats(*child("gpu" + std::to_string(g)));
 }
 
 Cycle
@@ -106,6 +139,20 @@ MultiGpuSystem::onGpuKernelDone(NodeId)
     Cycle stall = 0;
     for (auto &gpu : gpus_)
         stall = std::max(stall, gpu->kernelBoundary());
+
+    // Epoch snapshot: the counter increase attributable to this
+    // kernel, boundary actions included. Live counters are never
+    // reset, so the running totals in the tree stay end-to-end.
+    stats::EpochPhase phase;
+    phase.index = cur_kernel_;
+    phase.start_cycle = phase_start_;
+    phase.end_cycle = eq_.now();
+    const stats::ScalarSnapshot snap =
+        stats::snapshotScalars(stat_root_);
+    phase.deltas = stats::snapshotDelta(phase_base_, snap);
+    phases_.push_back(std::move(phase));
+    phase_base_ = snap;
+    phase_start_ = eq_.now();
 
     if (cur_kernel_ + 1 < wl_.numKernels()) {
         const KernelId next = cur_kernel_ + 1;

@@ -17,6 +17,7 @@
 #include "coherence/gpu_vi.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/stats.hh"
 #include "gpu/cta_scheduler.hh"
 #include "gpu/fabric.hh"
 #include "gpu/gpu.hh"
@@ -108,9 +109,26 @@ class MultiGpuSystem : public SystemFabric
      * only when numa.charge_bulk_transfers is set). */
     std::uint64_t bulkBytes() const { return bulk_bytes_; }
 
+    /**
+     * Root of the unified metrics registry. Every component counter
+     * in the machine is registered here under a dotted name
+     * ("gpu0.l2.hits", "link.0.3.bytes", "numa.migrations"); this
+     * tree is the single source of truth reporting derives from.
+     */
+    const stats::StatGroup &stats() const { return stat_root_; }
+
+    /** Per-kernel counter deltas captured at every kernel boundary
+     * (epoch snapshots; valid after run()). */
+    const std::vector<stats::EpochPhase> &
+    kernelPhases() const
+    {
+        return phases_;
+    }
+
   private:
     void launchKernel(KernelId k);
     void onGpuKernelDone(NodeId gpu);
+    void registerStats();
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -126,7 +144,13 @@ class MultiGpuSystem : public SystemFabric
     bool finished_ = false;
     bool watchdog_tripped_ = false;
     Cycle finish_time_ = 0;
-    std::uint64_t bulk_bytes_ = 0;
+    stats::Scalar bulk_bytes_;
+
+    stats::StatGroup stat_root_;
+    std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
+    std::vector<stats::EpochPhase> phases_;
+    stats::ScalarSnapshot phase_base_;
+    Cycle phase_start_ = 0;
 };
 
 } // namespace carve

@@ -1,7 +1,9 @@
 #include "core/report.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <string_view>
 
 #include "common/logging.hh"
 #include "core/multi_gpu_system.hh"
@@ -15,51 +17,101 @@ collectResult(const MultiGpuSystem &sys, const std::string &workload,
     SimResult r;
     r.workload = workload;
     r.preset = preset;
-    r.cycles = sys.finished() ? sys.finishTime() : sys.now();
-    r.warp_insts = sys.totalInstsIssued();
 
-    std::uint64_t l2_hits = 0, l2_misses = 0;
-    for (unsigned g = 0; g < sys.numGpus(); ++g) {
-        const GpuNode &gpu = sys.gpu(g);
-        const GpuTraffic &t = gpu.traffic();
-        r.traffic.local_reads += t.local_reads;
-        r.traffic.remote_reads += t.remote_reads;
-        r.traffic.rdc_hit_reads += t.rdc_hit_reads;
-        r.traffic.cpu_reads += t.cpu_reads;
-        r.traffic.local_writes += t.local_writes;
-        r.traffic.remote_writes += t.remote_writes;
-        r.traffic.cpu_writes += t.cpu_writes;
-        l2_hits += gpu.l2().hits();
-        l2_misses += gpu.l2().misses();
-        if (const RdcController *rdc = gpu.rdc()) {
-            r.rdc_hits += rdc->readHits();
-            r.rdc_misses += rdc->readMisses();
-        }
-    }
+    // Flatten the registry once; every summary field below resolves
+    // against this single sorted view of the stat tree, never against
+    // component getters.
+    const std::vector<stats::FlatStat> flat =
+        stats::flattenStats(sys.stats());
+
+    const auto lookup =
+        [&](std::string_view name) -> const stats::FlatStat * {
+        const auto it = std::lower_bound(
+            flat.begin(), flat.end(), name,
+            [](const stats::FlatStat &f, std::string_view n) {
+                return f.name < n;
+            });
+        return it != flat.end() && it->name == name ? &*it : nullptr;
+    };
+    const auto valueU64 = [&](std::string_view name) {
+        const stats::FlatStat *f = lookup(name);
+        return f ? f->u64 : std::uint64_t{0};
+    };
+    const auto valueDbl = [&](std::string_view name, double dflt) {
+        const stats::FlatStat *f = lookup(name);
+        return f ? f->asDouble() : dflt;
+    };
+    const auto sumMatching = [&](std::string_view pattern) {
+        std::uint64_t total = 0;
+        for (const auto &f : flat)
+            if (stats::nameMatches(pattern, f.name))
+                total += f.u64;
+        return total;
+    };
+
+    r.cycles = valueU64("sim.cycles");
+    r.warp_insts = valueU64("sim.insts_issued");
+
+    r.traffic.local_reads = sumMatching("gpu*.traffic.local_reads");
+    r.traffic.remote_reads = sumMatching("gpu*.traffic.remote_reads");
+    r.traffic.rdc_hit_reads =
+        sumMatching("gpu*.traffic.rdc_hit_reads");
+    r.traffic.cpu_reads = sumMatching("gpu*.traffic.cpu_reads");
+    r.traffic.local_writes = sumMatching("gpu*.traffic.local_writes");
+    r.traffic.remote_writes =
+        sumMatching("gpu*.traffic.remote_writes");
+    r.traffic.cpu_writes = sumMatching("gpu*.traffic.cpu_writes");
     r.frac_remote = r.traffic.fracRemote();
+
+    const std::uint64_t l2_hits = sumMatching("gpu*.l2.hits");
+    const std::uint64_t l2_misses = sumMatching("gpu*.l2.misses");
     r.l2_hit_rate = (l2_hits + l2_misses) == 0
         ? 0.0
         : static_cast<double>(l2_hits) /
               static_cast<double>(l2_hits + l2_misses);
 
-    r.gpu_gpu_bytes = sys.network().totalGpuGpuBytes();
-    r.cpu_gpu_bytes = sys.network().totalCpuGpuBytes();
-    if (const GpuVi *vi = sys.gpuVi())
-        r.hw_invalidates = vi->invalidatesSent();
+    // Every link's byte counter lives at "link.<src>.<dst>.bytes";
+    // a "cpu" endpoint segment marks the CPU links.
+    for (const auto &f : flat) {
+        if (!stats::nameMatches("link.*.*.bytes", f.name))
+            continue;
+        if (f.name.find(".cpu.") != std::string::npos)
+            r.cpu_gpu_bytes += f.u64;
+        else
+            r.gpu_gpu_bytes += f.u64;
+    }
 
-    const PageManager &pages = sys.pages();
-    r.migrations = pages.migration().migrations();
-    r.replications = pages.replication().replications();
-    r.collapses = pages.replication().collapses();
-    r.um_migrations = pages.unifiedMemory().migrationsIn();
-    r.capacity_pressure = pages.table().capacityPressure();
+    r.rdc_hits = sumMatching("gpu*.rdc.read_hits");
+    r.rdc_misses = sumMatching("gpu*.rdc.read_misses");
+    r.hw_invalidates = valueU64("coherence.invalidates_sent");
 
-    const SharingProfiler &prof = pages.profiler();
-    r.page_sharing = prof.pageBreakdown();
-    r.line_sharing = prof.lineBreakdown();
-    r.shared_page_footprint = prof.sharedPageFootprint();
-    r.shared_line_footprint = prof.sharedLineFootprint();
-    r.total_page_footprint = prof.totalPageFootprint();
+    r.migrations = valueU64("numa.migrations");
+    r.replications = valueU64("numa.replications");
+    r.collapses = valueU64("numa.collapses");
+    r.um_migrations = valueU64("numa.um_migrations");
+    r.capacity_pressure = valueDbl("numa.capacity_pressure", 1.0);
+
+    r.page_sharing.private_accesses =
+        valueU64("numa.sharing.page_private");
+    r.page_sharing.read_only_shared =
+        valueU64("numa.sharing.page_read_only");
+    r.page_sharing.read_write_shared =
+        valueU64("numa.sharing.page_read_write");
+    r.line_sharing.private_accesses =
+        valueU64("numa.sharing.line_private");
+    r.line_sharing.read_only_shared =
+        valueU64("numa.sharing.line_read_only");
+    r.line_sharing.read_write_shared =
+        valueU64("numa.sharing.line_read_write");
+    r.shared_page_footprint =
+        valueU64("numa.sharing.shared_page_bytes");
+    r.shared_line_footprint =
+        valueU64("numa.sharing.shared_line_bytes");
+    r.total_page_footprint =
+        valueU64("numa.sharing.total_page_bytes");
+
+    r.stat_tree = flat;
+    r.phases = sys.kernelPhases();
     return r;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "gpu/gpu.hh"
 #include "numa/sharing_profiler.hh"
 
@@ -56,6 +57,15 @@ struct SimResult
     std::uint64_t shared_page_footprint = 0;
     std::uint64_t shared_line_footprint = 0;
     std::uint64_t total_page_footprint = 0;
+
+    /** The full stat registry flattened to (dotted name, value),
+     * sorted by name — the summary fields above are all derived from
+     * this view, and schema v2 embeds it per run. */
+    std::vector<stats::FlatStat> stat_tree;
+
+    /** Per-kernel epoch snapshots (not serialized; see
+     * MultiGpuSystem::kernelPhases()). */
+    std::vector<stats::EpochPhase> phases;
 
     /** Warp instructions per cycle (throughput metric). */
     double

@@ -117,6 +117,20 @@ class AlloyCache
                   static_cast<double>(total);
     }
 
+    /** Register this cache's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("hits", &hits_, "tag+epoch matches");
+        g.addScalar("misses", &misses_, "empty set or tag mismatch");
+        g.addScalar("stale_hits", &stale_,
+                    "tag matches from an old epoch");
+        g.addScalar("conflict_evictions", &conflicts_,
+                    "valid lines displaced by inserts");
+        g.addDerived("hit_rate", [this] { return hitRate(); },
+                     "hits / probes (stale probes count as misses)");
+    }
+
   private:
     struct SetEntry
     {

@@ -53,6 +53,14 @@ class DirtyMap
     /** Lifetime count of region markings (including re-marks). */
     std::uint64_t markings() const { return markings_.value(); }
 
+    /** Register this map's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("markings", &markings_,
+                    "region markings (including re-marks)");
+    }
+
   private:
     std::uint64_t region_size_;
     std::unordered_set<std::uint64_t> regions_;

@@ -42,6 +42,16 @@ class EpochCounter
     /** Number of rollovers observed. */
     std::uint64_t rollovers() const { return rollovers_.value(); }
 
+    /** Register this counter's stats into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("increments", &increments_,
+                    "epoch bumps at kernel boundaries");
+        g.addScalar("rollovers", &rollovers_,
+                    "counter wraps forcing a physical clear");
+    }
+
   private:
     std::uint32_t value_ = 0;
     std::uint32_t max_;

@@ -48,6 +48,16 @@ class HitPredictor
         return correct_.value() + wrong_.value();
     }
 
+    /** Register this predictor's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("correct", &correct_, "correct predictions");
+        g.addScalar("wrong", &wrong_, "mispredictions");
+        g.addDerived("accuracy", [this] { return accuracy(); },
+                     "prediction accuracy (1.0 when untrained)");
+    }
+
   private:
     std::size_t indexOf(Addr line_addr) const;
 

@@ -160,4 +160,32 @@ RdcController::contains(Addr line_addr)
     return alloy_.peek(line_addr, epoch_.current());
 }
 
+void
+RdcController::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("read_hits", &read_hits_,
+                "reads serviced from the carve-out");
+    g.addScalar("read_misses", &read_misses_,
+                "reads forwarded to the home node");
+    g.addScalar("write_updates", &write_updates_,
+                "writes updating a resident carve-out line");
+    g.addScalar("write_throughs", &write_throughs_,
+                "writes forwarded home (write-through mode)");
+    g.addScalar("bypasses", &bypasses_,
+                "misses overlapped with the probe by the predictor");
+    g.addScalar("hw_invalidates", &hw_invalidates_,
+                "inbound hardware write-invalidates");
+
+    const auto child = [&](const char *name) {
+        stat_groups_.push_back(
+            std::make_unique<stats::StatGroup>(name, &g));
+        return stat_groups_.back().get();
+    };
+    alloy_.registerStats(*child("alloy"));
+    epoch_.registerStats(*child("epoch"));
+    predictor_.registerStats(*child("predictor"));
+    dirty_map_.registerStats(*child("dirty_map"));
+    mshrs_.registerStats(*child("mshrs"));
+}
+
 } // namespace carve

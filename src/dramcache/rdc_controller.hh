@@ -14,6 +14,8 @@
 #define CARVE_DRAMCACHE_RDC_CONTROLLER_HH
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "cache/mshr.hh"
 #include "common/config.hh"
@@ -107,6 +109,10 @@ class RdcController
      * to the hit predictor. */
     std::uint64_t predictedBypasses() const { return bypasses_.value(); }
 
+    /** Register controller counters plus alloy/epoch/predictor/
+     * dirty_map/mshrs child groups into @p g (children owned here). */
+    void registerStats(stats::StatGroup &g);
+
   private:
     void handleMiss(NodeId home, Addr line_addr, bool serialized,
                     Callback done);
@@ -133,6 +139,7 @@ class RdcController
     stats::Scalar write_throughs_;
     stats::Scalar bypasses_;
     stats::Scalar hw_invalidates_;
+    std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
 };
 
 } // namespace carve

@@ -319,4 +319,33 @@ GpuNode::handleWrite(Addr line)
         deliver();
 }
 
+void
+GpuNode::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("hw_invalidations_in", &hw_invalidations_in_,
+                "inbound hardware write-invalidates");
+    g.addDerivedInt("insts_issued", [this] { return instsIssued(); },
+                    "warp instructions issued across this GPU's SMs");
+
+    const auto child = [&](const std::string &name,
+                           stats::StatGroup *parent) {
+        stat_groups_.push_back(
+            std::make_unique<stats::StatGroup>(name, parent));
+        return stat_groups_.back().get();
+    };
+
+    traffic_.registerStats(*child("traffic", &g));
+
+    stats::StatGroup *l2g = child("l2", &g);
+    l2_.registerStats(*l2g);
+    l2_mshrs_.registerStats(*child("mshrs", l2g));
+
+    tlb_.registerStats(*child("tlb", &g));
+    mem_.registerStats(*child("mem", &g));
+    if (rdc_)
+        rdc_->registerStats(*child("rdc", &g));
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        sms_[i]->registerStats(*child("sm" + std::to_string(i), &g));
+}
+
 } // namespace carve

@@ -32,13 +32,13 @@ namespace carve {
 /** Per-GPU post-LLC traffic counters (Figure 8's raw data). */
 struct GpuTraffic
 {
-    std::uint64_t local_reads = 0;
-    std::uint64_t remote_reads = 0;   ///< left this GPU (RDC misses too)
-    std::uint64_t rdc_hit_reads = 0;  ///< serviced by the carve-out
-    std::uint64_t cpu_reads = 0;
-    std::uint64_t local_writes = 0;
-    std::uint64_t remote_writes = 0;
-    std::uint64_t cpu_writes = 0;
+    stats::Scalar local_reads;
+    stats::Scalar remote_reads;   ///< left this GPU (RDC misses too)
+    stats::Scalar rdc_hit_reads;  ///< serviced by the carve-out
+    stats::Scalar cpu_reads;
+    stats::Scalar local_writes;
+    stats::Scalar remote_writes;
+    stats::Scalar cpu_writes;
 
     std::uint64_t
     total() const
@@ -49,6 +49,26 @@ struct GpuTraffic
 
     /** Fraction of post-LLC accesses that crossed a NUMA link. */
     double fracRemote() const;
+
+    /** Register the seven classifier counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("local_reads", &local_reads,
+                    "post-LLC reads serviced by local memory");
+        g.addScalar("remote_reads", &remote_reads,
+                    "post-LLC reads that left this GPU");
+        g.addScalar("rdc_hit_reads", &rdc_hit_reads,
+                    "post-LLC reads serviced by the carve-out");
+        g.addScalar("cpu_reads", &cpu_reads,
+                    "post-LLC reads serviced by system memory");
+        g.addScalar("local_writes", &local_writes,
+                    "post-LLC writes to local memory");
+        g.addScalar("remote_writes", &remote_writes,
+                    "post-LLC writes that left this GPU");
+        g.addScalar("cpu_writes", &cpu_writes,
+                    "post-LLC writes to system memory");
+    }
 };
 
 /**
@@ -126,6 +146,11 @@ class GpuNode
     /** Total warp instructions issued across this GPU's SMs. */
     std::uint64_t instsIssued() const;
 
+    /** Register this node's whole subtree (traffic, l2 + mshrs, tlb,
+     * mem, rdc when present, one group per SM) into @p g, the
+     * system-owned "gpu<i>" group. */
+    void registerStats(stats::StatGroup &g);
+
   private:
     void accessFromSm(Addr line, AccessType type, Callback done);
     void handleL2ReadMiss(Addr line, Callback done);
@@ -156,6 +181,7 @@ class GpuNode
 
     GpuTraffic traffic_;
     stats::Scalar hw_invalidations_in_;
+    std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
 };
 
 } // namespace carve

@@ -194,4 +194,25 @@ Sm::finishWarp(unsigned slot)
     }
 }
 
+void
+Sm::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("insts_issued", &insts_issued_,
+                "warp memory instructions issued");
+    g.addScalar("read_insts", &read_insts_, "read instructions");
+    g.addScalar("write_insts", &write_insts_, "write instructions");
+    g.addScalar("lines_accessed", &lines_,
+                "post-coalescing line accesses");
+    g.addScalar("mshr_stalls", &mshr_stalls_,
+                "issue stalls on a full L1 MSHR file");
+
+    stat_groups_.push_back(
+        std::make_unique<stats::StatGroup>("l1", &g));
+    stats::StatGroup &l1g = *stat_groups_.back();
+    l1_.registerStats(l1g);
+    stat_groups_.push_back(
+        std::make_unique<stats::StatGroup>("mshrs", &l1g));
+    l1_mshrs_.registerStats(*stat_groups_.back());
+}
+
 } // namespace carve

@@ -10,6 +10,7 @@
 #define CARVE_GPU_SM_HH
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -95,6 +96,10 @@ class Sm
 
     SmId id() const { return id_; }
 
+    /** Register SM counters plus an owned "l1" child group (with a
+     * nested "mshrs" group) into @p g. */
+    void registerStats(stats::StatGroup &g);
+
   private:
     void issueWarp(unsigned slot);
     void execute(unsigned slot);
@@ -123,6 +128,7 @@ class Sm
     stats::Scalar write_insts_;
     stats::Scalar lines_;
     stats::Scalar mshr_stalls_;
+    std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
 };
 
 } // namespace carve

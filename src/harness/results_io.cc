@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "harness/stats_json.hh"
 
 namespace carve {
 namespace harness {
@@ -18,13 +20,13 @@ json::Value
 trafficToJson(const GpuTraffic &t)
 {
     json::Value o{json::Members{}};
-    o.set("local_reads", t.local_reads);
-    o.set("remote_reads", t.remote_reads);
-    o.set("rdc_hit_reads", t.rdc_hit_reads);
-    o.set("cpu_reads", t.cpu_reads);
-    o.set("local_writes", t.local_writes);
-    o.set("remote_writes", t.remote_writes);
-    o.set("cpu_writes", t.cpu_writes);
+    o.set("local_reads", t.local_reads.value());
+    o.set("remote_reads", t.remote_reads.value());
+    o.set("rdc_hit_reads", t.rdc_hit_reads.value());
+    o.set("cpu_reads", t.cpu_reads.value());
+    o.set("local_writes", t.local_writes.value());
+    o.set("remote_writes", t.remote_writes.value());
+    o.set("cpu_writes", t.cpu_writes.value());
     return o;
 }
 
@@ -136,6 +138,10 @@ resultToJson(const RunResult &r)
     stats.set("shared_line_footprint", s.shared_line_footprint);
     stats.set("total_page_footprint", s.total_page_footprint);
     o.set("stats", std::move(stats));
+    // v2: the whole flattened registry, after the v1 summary block so
+    // v1-era readers that index fields positionally keep working.
+    if (!s.stat_tree.empty())
+        o.set("stat_tree", statTreeToJson(s.stat_tree));
     return o;
 }
 
@@ -176,6 +182,8 @@ resultFromJson(const json::Value &v)
     r.sim.shared_line_footprint = u64At(s, "shared_line_footprint");
     r.sim.total_page_footprint = u64At(s, "total_page_footprint");
     r.sim.watchdog_tripped = r.status == RunStatus::Watchdog;
+    if (v.has("stat_tree"))
+        r.sim.stat_tree = statTreeFromJson(v.at("stat_tree"));
     return r;
 }
 
@@ -227,8 +235,13 @@ readResultsFile(const std::string &path)
     std::ostringstream ss;
     ss << is.rdbuf();
     json::Value doc = json::parse(ss.str(), path);
-    if (!doc.isObject() ||
-        doc.at("schema").asString() != kResultsSchema) {
+    const std::string schema =
+        doc.isObject() && doc.has("schema")
+            ? doc.at("schema").asString()
+            : std::string();
+    // v1 files (no stat trees) remain readable; comparison simply
+    // has no per-stat annotations for them.
+    if (schema != kResultsSchema && schema != kResultsSchemaV1) {
         fatal("'%s' is not a %s file", path.c_str(),
               kResultsSchema);
     }
@@ -312,6 +325,79 @@ compareResults(const std::vector<RunResult> &baseline,
             d.regression = worse > 0.0;
             add(std::move(d));
         }
+
+        // Name the individual stats that moved (v2 files only).
+        // Informational: the gate stays on cycles/ipc/status, but a
+        // failure now says *which* counters shifted underneath.
+        if (base.sim.stat_tree.empty() || c.sim.stat_tree.empty())
+            continue;
+        std::vector<MetricDelta> stat_deltas;
+        const auto &bt = base.sim.stat_tree;
+        const auto &ct = c.sim.stat_tree;
+        std::size_t bi = 0, ci = 0;
+        // Both trees are sorted by name; merge-walk them. A stat
+        // present on only one side is only notable when nonzero.
+        while (bi < bt.size() || ci < ct.size()) {
+            double bv = 0.0, cv = 0.0;
+            std::string_view name;
+            if (ci >= ct.size() ||
+                (bi < bt.size() && bt[bi].name < ct[ci].name)) {
+                name = bt[bi].name;
+                bv = bt[bi].asDouble();
+                ++bi;
+            } else if (bi >= bt.size() ||
+                       ct[ci].name < bt[bi].name) {
+                name = ct[ci].name;
+                cv = ct[ci].asDouble();
+                ++ci;
+            } else {
+                name = bt[bi].name;
+                bv = bt[bi].asDouble();
+                cv = ct[ci].asDouble();
+                ++bi;
+                ++ci;
+            }
+            if (bv == 0.0) {
+                if (cv == 0.0)
+                    continue;
+                // Appeared from zero: report with relative pinned to
+                // the candidate sign so sorting by magnitude works.
+                MetricDelta d;
+                d.key = base.key();
+                d.metric = "stat:" + std::string(name);
+                d.candidate = cv;
+                d.relative = cv > 0.0 ? 1.0 : -1.0;
+                d.informational = true;
+                stat_deltas.push_back(std::move(d));
+                continue;
+            }
+            const double rel = (cv - bv) / bv;
+            if (std::abs(rel) <= tolerance)
+                continue;
+            MetricDelta d;
+            d.key = base.key();
+            d.metric = "stat:" + std::string(name);
+            d.baseline = bv;
+            d.candidate = cv;
+            d.relative = rel;
+            d.informational = true;
+            stat_deltas.push_back(std::move(d));
+        }
+        // Keep only the largest movements per run; count the rest so
+        // the report can say they exist.
+        constexpr std::size_t kMaxStatDeltasPerRun = 8;
+        std::stable_sort(
+            stat_deltas.begin(), stat_deltas.end(),
+            [](const MetricDelta &a, const MetricDelta &b) {
+                return std::abs(a.relative) > std::abs(b.relative);
+            });
+        if (stat_deltas.size() > kMaxStatDeltasPerRun) {
+            rep.suppressed_stats += static_cast<unsigned>(
+                stat_deltas.size() - kMaxStatDeltasPerRun);
+            stat_deltas.resize(kMaxStatDeltasPerRun);
+        }
+        for (auto &d : stat_deltas)
+            add(std::move(d));
     }
 
     std::stable_sort(rep.deltas.begin(), rep.deltas.end(),
@@ -337,6 +423,17 @@ formatCompareReport(const CompareReport &report, double tolerance)
     os << "baseline comparison: " << report.compared_runs
        << " runs compared, tolerance " << pct(tolerance) << "%\n";
     for (const auto &d : report.deltas) {
+        if (d.informational) {
+            // Stat-tree movement: no worse/better judgement, just
+            // name the counter and show baseline vs observed.
+            os << "    stat " << d.key << " "
+               << d.metric.substr(5) << ": "
+               << json::formatDouble(d.baseline) << " -> "
+               << json::formatDouble(d.candidate) << " ("
+               << (d.relative > 0.0 ? "+" : "-")
+               << pct(std::abs(d.relative)) << "%)\n";
+            continue;
+        }
         os << (d.regression ? "  REGRESSION " : "  improvement ")
            << d.key << " " << d.metric;
         if (d.metric == "missing") {
@@ -353,6 +450,10 @@ formatCompareReport(const CompareReport &report, double tolerance)
             os << "+" << pct(d.relative) << "% worse)\n";
         else
             os << pct(-d.relative) << "% better)\n";
+    }
+    if (report.suppressed_stats > 0) {
+        os << "    (" << report.suppressed_stats
+           << " smaller stat movement(s) not shown)\n";
     }
     os << (regressions
                ? "FAIL: " + std::to_string(regressions) +

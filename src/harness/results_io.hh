@@ -2,17 +2,22 @@
  * @file
  * Results-file serialisation and the regression gate.
  *
- * A results file ("carve-sweep-results/v1") holds sweep metadata plus
- * one record per run with every SimResult statistic. The file is a
- * pure function of (specs, simulator version): no timestamps, wall
- * times, or thread counts — so the same sweep produces byte-identical
- * bytes at any parallelism, and two files diff meaningfully.
+ * A results file ("carve-sweep-results/v2") holds sweep metadata plus
+ * one record per run with the v1 summary statistics top-level and the
+ * full flattened stat tree ("stat_tree") alongside. v1 files (no stat
+ * tree) still parse. The file is a pure function of (specs, simulator
+ * version): no timestamps, wall times, or thread counts — so the same
+ * sweep produces byte-identical bytes at any parallelism, and two
+ * files diff meaningfully.
  *
  * compareResults() is the regression gate: it matches runs of two
  * files by preset/workload/seed key and flags metric movements beyond
  * a relative tolerance (cycles up == regression, ipc down ==
  * regression), status downgrades, and runs missing from the
- * candidate.
+ * candidate. When a stat tree is present on both sides it also
+ * reports *which* individual stats moved — informational, never
+ * gating — so a cycles regression comes annotated with the underlying
+ * counters that shifted.
  */
 
 #ifndef CARVE_HARNESS_RESULTS_IO_HH
@@ -29,6 +34,10 @@ namespace harness {
 
 /** Schema identifier written into every results file. */
 inline constexpr const char *kResultsSchema =
+    "carve-sweep-results/v2";
+
+/** Previous schema, still accepted on read (no stat trees). */
+inline constexpr const char *kResultsSchemaV1 =
     "carve-sweep-results/v1";
 
 /** Sweep-wide metadata recorded alongside the runs. */
@@ -70,12 +79,19 @@ std::vector<RunResult> resultsFromJson(const json::Value &doc);
 struct MetricDelta
 {
     std::string key;      ///< run key ("preset/workload/seed")
-    std::string metric;   ///< "cycles", "ipc", "status", "missing"
+    /** "cycles", "ipc", "status", "missing", or "stat:<dotted name>"
+     * for an informational stat-tree movement. */
+    std::string metric;
     double baseline = 0.0;
     double candidate = 0.0;
-    /** Relative change, signed so that positive == worse. */
+    /** Relative change. For gating metrics, signed so that positive
+     * == worse; for "stat:" deltas, signed so that positive ==
+     * increased (no direction judgement). */
     double relative = 0.0;
     bool regression = false;  ///< beyond tolerance in the bad direction
+    /** True for stat-tree movements: reported for diagnosis, never
+     * gating. */
+    bool informational = false;
 };
 
 /** Outcome of a baseline comparison. */
@@ -83,6 +99,9 @@ struct CompareReport
 {
     std::vector<MetricDelta> deltas;  ///< regressions first
     unsigned compared_runs = 0;
+    /** Stat-tree movements beyond tolerance that were dropped by the
+     * per-run cap (largest movements are kept). */
+    unsigned suppressed_stats = 0;
 
     bool
     hasRegression() const

@@ -1,0 +1,45 @@
+#include "harness/stats_json.hh"
+
+namespace carve {
+namespace harness {
+
+json::Value
+statTreeToJson(const std::vector<stats::FlatStat> &flat)
+{
+    json::Value o{json::Members{}};
+    for (const auto &f : flat) {
+        if (f.integral)
+            o.set(f.name, f.u64);
+        else
+            o.set(f.name, f.dbl);
+    }
+    return o;
+}
+
+json::Value
+statGroupToJson(const stats::StatGroup &root)
+{
+    return statTreeToJson(stats::flattenStats(root));
+}
+
+std::vector<stats::FlatStat>
+statTreeFromJson(const json::Value &v)
+{
+    std::vector<stats::FlatStat> out;
+    for (const auto &[name, value] : v.asObject()) {
+        stats::FlatStat f;
+        f.name = name;
+        if (value.kind() == json::Value::Kind::Int) {
+            f.integral = true;
+            f.u64 = static_cast<std::uint64_t>(value.asInt());
+        } else {
+            f.integral = false;
+            f.dbl = value.asDouble();
+        }
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace harness
+} // namespace carve

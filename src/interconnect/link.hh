@@ -66,6 +66,18 @@ class Link
     const std::string &name() const { return name_; }
     double bandwidth() const { return bytes_per_cycle_; }
 
+    /** Register this link's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("bytes", &bytes_sent_, "payload bytes accepted");
+        g.addScalar("packets", &packets_, "packets accepted");
+        g.addScalar("busy_cycles", &busy_cycles_,
+                    "cycles the wire was occupied");
+        g.addAverage("queue_delay", &queue_delay_,
+                     "cycles packets waited for the wire");
+    }
+
   private:
     EventQueue &eq_;
     std::string name_;

@@ -92,4 +92,40 @@ Network::totalCpuGpuBytes() const
     return total;
 }
 
+void
+Network::registerStats(stats::StatGroup &g)
+{
+    // Source-level groups are shared across destinations; StatGroup
+    // names are single segments, so "0.3" is group "0" > group "3".
+    std::vector<stats::StatGroup *> src_groups(num_gpus_ + 1, nullptr);
+    const auto srcGroup = [&](std::size_t s,
+                              const std::string &name) {
+        if (!src_groups[s]) {
+            auto owned = std::make_unique<stats::StatGroup>(name, &g);
+            src_groups[s] = owned.get();
+            link_groups_.push_back(std::move(owned));
+        }
+        return src_groups[s];
+    };
+    const auto addLink = [&](stats::StatGroup *src,
+                             const std::string &dst, Link &link) {
+        auto owned = std::make_unique<stats::StatGroup>(dst, src);
+        link.registerStats(*owned);
+        link_groups_.push_back(std::move(owned));
+    };
+
+    for (unsigned s = 0; s < num_gpus_; ++s) {
+        stats::StatGroup *src = srcGroup(s, std::to_string(s));
+        for (unsigned d = 0; d < num_gpus_; ++d) {
+            if (s == d)
+                continue;
+            addLink(src, std::to_string(d), *gpu_links_[index(s, d)]);
+        }
+        addLink(src, "cpu", *to_cpu_[s]);
+    }
+    stats::StatGroup *cpu = srcGroup(num_gpus_, "cpu");
+    for (unsigned d = 0; d < num_gpus_; ++d)
+        addLink(cpu, std::to_string(d), *from_cpu_[d]);
+}
+
 } // namespace carve

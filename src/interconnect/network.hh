@@ -13,6 +13,7 @@
 
 #include "common/config.hh"
 #include "common/event_queue.hh"
+#include "common/stats.hh"
 #include "interconnect/link.hh"
 
 namespace carve {
@@ -62,6 +63,10 @@ class Network
 
     unsigned numGpus() const { return num_gpus_; }
 
+    /** Register every link into @p g as nested "<src>.<dst>" groups
+     * ("0.3", "0.cpu", "cpu.0"); nested groups are owned here. */
+    void registerStats(stats::StatGroup &g);
+
   private:
     std::size_t index(NodeId src, NodeId dst) const;
 
@@ -72,6 +77,7 @@ class Network
     std::vector<std::unique_ptr<Link>> gpu_links_;
     std::vector<std::unique_ptr<Link>> to_cpu_;
     std::vector<std::unique_ptr<Link>> from_cpu_;
+    std::vector<std::unique_ptr<stats::StatGroup>> link_groups_;
 };
 
 } // namespace carve

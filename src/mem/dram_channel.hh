@@ -87,6 +87,20 @@ class DramChannel
     /** Per-bank accessor (tests). */
     const DramBank &bank(unsigned i) const { return banks_[i]; }
 
+    /** Register this channel's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("reads_issued", &reads_issued_,
+                    "reads issued to banks");
+        g.addScalar("writes_issued", &writes_issued_,
+                    "writes issued to banks");
+        g.addScalar("busy_cycles", &busy_cycles_,
+                    "cycles the data bus was occupied");
+        g.addAverage("read_q_delay", &read_q_delay_,
+                     "queueing delay of completed reads (cycles)");
+    }
+
   private:
     void trySchedule();
     void issue(std::deque<DramRequest> &q, std::size_t idx);

@@ -56,6 +56,21 @@ MemoryController::drainStaged(unsigned ch)
     }
 }
 
+void
+MemoryController::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("reads", &reads_, "read accesses accepted");
+    g.addScalar("writes", &writes_, "write accesses accepted");
+    g.addDerived("row_hit_rate", [this] { return rowHitRate(); },
+                 "aggregate row-buffer hit rate");
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        auto child = std::make_unique<stats::StatGroup>(
+            "ch" + std::to_string(i), &g);
+        channels_[i]->registerStats(*child);
+        channel_groups_.push_back(std::move(child));
+    }
+}
+
 double
 MemoryController::rowHitRate() const
 {

@@ -75,6 +75,10 @@ class MemoryController
     /** Per-channel accessor (tests). */
     const DramChannel &channel(unsigned i) const { return *channels_[i]; }
 
+    /** Register controller counters plus one "ch<i>" child group per
+     * channel into @p g (child groups are owned here). */
+    void registerStats(stats::StatGroup &g);
+
   private:
     void drainStaged(unsigned ch);
 
@@ -83,6 +87,7 @@ class MemoryController
     std::uint64_t line_size_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::vector<std::deque<DramRequest>> staged_;
+    std::vector<std::unique_ptr<stats::StatGroup>> channel_groups_;
 
     stats::Scalar reads_;
     stats::Scalar writes_;

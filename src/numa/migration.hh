@@ -42,6 +42,14 @@ class MigrationEngine
     /** Pages migrated so far. */
     std::uint64_t migrations() const { return migrations_.value(); }
 
+    /** Register this engine's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("migrations", &migrations_,
+                    "page-home changes performed");
+    }
+
   private:
     const NumaConfig &cfg_;
     PageTable &table_;

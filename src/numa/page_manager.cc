@@ -112,4 +112,19 @@ PageManager::homeOf(Addr addr) const
     return page == nullptr ? invalid_node : page->home;
 }
 
+void
+PageManager::registerStats(stats::StatGroup &g)
+{
+    g.addScalar("first_touches", &first_touches_,
+                "first-touch placements performed");
+    migration_.registerStats(g);
+    replication_.registerStats(g);
+    um_.registerStats(g);
+    g.addDerived("capacity_pressure",
+                 [this] { return table_.capacityPressure(); },
+                 "peak fraction of GPU memory capacity in use");
+    sharing_group_ = std::make_unique<stats::StatGroup>("sharing", &g);
+    profiler_.registerStats(*sharing_group_);
+}
+
 } // namespace carve

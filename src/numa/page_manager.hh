@@ -14,6 +14,8 @@
 #ifndef CARVE_NUMA_PAGE_MANAGER_HH
 #define CARVE_NUMA_PAGE_MANAGER_HH
 
+#include <memory>
+
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -85,6 +87,11 @@ class PageManager
     /** First-touch placements performed. */
     std::uint64_t firstTouches() const { return first_touches_.value(); }
 
+    /** Register NUMA runtime counters (first touches, migration,
+     * replication, UM, capacity pressure) plus an owned "sharing"
+     * child group for the profiler into @p g. */
+    void registerStats(stats::StatGroup &g);
+
   private:
     const SystemConfig &cfg_;
     PageTable table_;
@@ -93,6 +100,7 @@ class PageManager
     MigrationEngine migration_;
     ReplicationManager replication_;
     UnifiedMemory um_;
+    std::unique_ptr<stats::StatGroup> sharing_group_;
 
     stats::Scalar first_touches_;
 };

@@ -57,6 +57,18 @@ class ReplicationManager
         return capacity_skips_.value();
     }
 
+    /** Register this manager's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("replications", &replications_,
+                    "read-only replicas created");
+        g.addScalar("collapses", &collapses_,
+                    "replica collapse events on writes");
+        g.addScalar("capacity_skips", &capacity_skips_,
+                    "replications skipped for lack of capacity");
+    }
+
   private:
     const NumaConfig &cfg_;
     PageTable &table_;

@@ -156,4 +156,36 @@ SharingProfiler::lineClass(Addr addr) const
                               : classify(it->second);
 }
 
+void
+SharingProfiler::registerStats(stats::StatGroup &g)
+{
+    g.addDerivedInt("page_private",
+                    [this] { return pageBreakdown().private_accesses; },
+                    "accesses to single-node pages");
+    g.addDerivedInt("page_read_only",
+                    [this] { return pageBreakdown().read_only_shared; },
+                    "accesses to read-only shared pages");
+    g.addDerivedInt("page_read_write",
+                    [this] { return pageBreakdown().read_write_shared; },
+                    "accesses to read-write shared pages");
+    g.addDerivedInt("line_private",
+                    [this] { return lineBreakdown().private_accesses; },
+                    "accesses to single-node lines");
+    g.addDerivedInt("line_read_only",
+                    [this] { return lineBreakdown().read_only_shared; },
+                    "accesses to read-only shared lines");
+    g.addDerivedInt("line_read_write",
+                    [this] { return lineBreakdown().read_write_shared; },
+                    "accesses to read-write shared lines");
+    g.addDerivedInt("shared_page_bytes",
+                    [this] { return sharedPageFootprint(); },
+                    "bytes of pages touched by more than one node");
+    g.addDerivedInt("shared_line_bytes",
+                    [this] { return sharedLineFootprint(); },
+                    "bytes of lines touched by more than one node");
+    g.addDerivedInt("total_page_bytes",
+                    [this] { return totalPageFootprint(); },
+                    "bytes of pages touched at all");
+}
+
 } // namespace carve

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace carve {
@@ -86,6 +87,11 @@ class SharingProfiler
 
     std::size_t trackedPages() const { return pages_.size(); }
     std::size_t trackedLines() const { return lines_.size(); }
+
+    /** Register this profiler's (all derived) stats into @p g. The
+     * breakdowns are retrospective map walks, so they are exposed as
+     * on-demand derived values rather than live counters. */
+    void registerStats(stats::StatGroup &g);
 
   private:
     struct Entry

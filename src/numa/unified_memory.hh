@@ -38,6 +38,14 @@ class UnifiedMemory
     /** Pages migrated from system memory into GPU memory. */
     std::uint64_t migrationsIn() const { return migrations_.value(); }
 
+    /** Register this engine's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("um_migrations", &migrations_,
+                    "pages pulled from system memory into a GPU");
+    }
+
   private:
     const NumaConfig &cfg_;
     PageTable &table_;

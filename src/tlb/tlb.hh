@@ -61,6 +61,15 @@ class TlbHierarchy
     std::uint64_t l2Hits() const { return l2_hits_.value(); }
     std::uint64_t walks() const { return walks_.value(); }
 
+    /** Register this hierarchy's counters into @p g. */
+    void
+    registerStats(stats::StatGroup &g)
+    {
+        g.addScalar("l1_hits", &l1_hits_, "per-SM L1 TLB hits");
+        g.addScalar("l2_hits", &l2_hits_, "shared L2 TLB hits");
+        g.addScalar("walks", &walks_, "full misses (page walks)");
+    }
+
   private:
     const TlbConfig &cfg_;
     std::uint64_t page_size_;

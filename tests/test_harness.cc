@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 
 #include "common/logging.hh"
 #include "harness/json.hh"
@@ -244,6 +246,80 @@ TEST_F(HarnessTest, BaselineCompareFlagsImprovementWithoutGating)
     EXPECT_TRUE(saw_improvement);
 }
 
+TEST_F(HarnessTest, BaselineCompareNamesRegressedStats)
+{
+    auto base = syntheticResults();
+    // Give every run a small stat tree so the comparison has
+    // something to diff.
+    for (auto &r : base) {
+        r.sim.stat_tree = {
+            {"gpu0.l2.hits", true, 1000, 0.0},
+            {"gpu0.l2.misses", true, 100, 0.0},
+            {"numa.migrations", true, 50, 0.0},
+        };
+    }
+    auto cand = base;
+    // Slow one run down 10% and double its L2 misses: the report
+    // must gate on cycles AND name the miss counter with baseline vs
+    // observed values.
+    cand[1].sim.cycles =
+        static_cast<Cycle>(cand[1].sim.cycles * 1.10);
+    cand[1].sim.stat_tree[1].u64 = 200;
+
+    const CompareReport rep = compareResults(base, cand, 0.05);
+    EXPECT_TRUE(rep.hasRegression());
+
+    const MetricDelta *stat = nullptr;
+    for (const auto &d : rep.deltas)
+        if (d.metric == "stat:gpu0.l2.misses")
+            stat = &d;
+    ASSERT_NE(stat, nullptr)
+        << "compare must name the regressed stat";
+    EXPECT_TRUE(stat->informational);
+    EXPECT_FALSE(stat->regression) << "stat deltas never gate";
+    EXPECT_DOUBLE_EQ(stat->baseline, 100.0);
+    EXPECT_DOUBLE_EQ(stat->candidate, 200.0);
+
+    // Unchanged stats stay silent.
+    for (const auto &d : rep.deltas)
+        EXPECT_NE(d.metric, "stat:numa.migrations");
+
+    // The text report shows the stat with both values.
+    const std::string text = formatCompareReport(rep, 0.05);
+    EXPECT_NE(text.find("gpu0.l2.misses"), std::string::npos);
+    EXPECT_NE(text.find("100"), std::string::npos);
+    EXPECT_NE(text.find("200"), std::string::npos);
+}
+
+TEST_F(HarnessTest, BaselineCompareCapsStatSpam)
+{
+    auto base = syntheticResults();
+    base.resize(1);
+    for (int i = 0; i < 20; ++i) {
+        base[0].sim.stat_tree.push_back(
+            {"s" + std::to_string(i / 10) +
+                 ".c" + std::to_string(i % 10),
+             true, 100, 0.0});
+    }
+    std::sort(base[0].sim.stat_tree.begin(),
+              base[0].sim.stat_tree.end(),
+              [](const stats::FlatStat &a, const stats::FlatStat &b) {
+                  return a.name < b.name;
+              });
+    auto cand = base;
+    for (auto &f : cand[0].sim.stat_tree)
+        f.u64 = 300;  // every stat triples
+
+    const CompareReport rep = compareResults(base, cand, 0.05);
+    unsigned stat_lines = 0;
+    for (const auto &d : rep.deltas)
+        stat_lines += d.informational;
+    EXPECT_LE(stat_lines, 8u) << "per-run stat deltas are capped";
+    EXPECT_EQ(stat_lines + rep.suppressed_stats, 20u);
+    const std::string text = formatCompareReport(rep, 0.05);
+    EXPECT_NE(text.find("not shown"), std::string::npos);
+}
+
 TEST_F(HarnessTest, BaselineCompareFlagsMissingAndFailedRuns)
 {
     const auto base = syntheticResults();
@@ -284,6 +360,60 @@ TEST_F(HarnessTest, ResultsSurviveJsonRoundTrip)
     const CompareReport rep =
         compareResults({r}, back, 0.0);
     EXPECT_FALSE(rep.hasRegression());
+}
+
+TEST_F(HarnessTest, SchemaV2StatTreeSurvivesRoundTrip)
+{
+    RunSpec spec = miniSpec(Preset::CarveHwc, "v2");
+    const RunResult r = executeRun(spec);
+    ASSERT_EQ(r.status, RunStatus::Ok);
+    ASSERT_FALSE(r.sim.stat_tree.empty());
+
+    SweepMeta meta;
+    meta.git_version = "test";
+    const json::Value doc = sweepToJson(meta, {r});
+    EXPECT_EQ(doc.at("schema").asString(), kResultsSchema);
+
+    const auto back =
+        resultsFromJson(json::parse(doc.dump(), "v2"));
+    ASSERT_EQ(back.size(), 1u);
+    const auto &bt = back[0].sim.stat_tree;
+    ASSERT_EQ(bt.size(), r.sim.stat_tree.size());
+    for (std::size_t i = 0; i < bt.size(); ++i) {
+        const auto &orig = r.sim.stat_tree[i];
+        EXPECT_EQ(bt[i].name, orig.name);
+        EXPECT_EQ(bt[i].integral, orig.integral);
+        if (orig.integral)
+            EXPECT_EQ(bt[i].u64, orig.u64) << orig.name;
+        else
+            EXPECT_DOUBLE_EQ(bt[i].dbl, orig.dbl) << orig.name;
+    }
+}
+
+TEST_F(HarnessTest, V1FilesWithoutStatTreesStillParse)
+{
+    RunSpec spec = miniSpec(Preset::NumaGpu, "v1");
+    RunResult r = executeRun(spec);
+    ASSERT_EQ(r.status, RunStatus::Ok);
+    r.sim.stat_tree.clear();  // what a v1 writer would have produced
+
+    SweepMeta meta;
+    meta.git_version = "test";
+    std::string text = sweepToJson(meta, {r}).dump();
+    const std::size_t at = text.find(kResultsSchema);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string(kResultsSchema).size(),
+                 kResultsSchemaV1);
+
+    const std::string path = ::testing::TempDir() + "v1-results.json";
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+    const auto back = resultsFromJson(readResultsFile(path));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].sim.cycles, r.sim.cycles);
+    EXPECT_TRUE(back[0].sim.stat_tree.empty());
 }
 
 } // namespace

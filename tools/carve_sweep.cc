@@ -48,7 +48,8 @@ struct CliOptions
     std::string compare_path;
     double tolerance = 0.05;
     bool quiet = false;
-    bool list = false;
+    bool list_presets = false;
+    bool list_workloads = false;
 };
 
 void
@@ -91,6 +92,8 @@ usage()
         "\n"
         "misc:\n"
         "  --list                    list presets and workloads\n"
+        "  --list-presets            list preset names only\n"
+        "  --list-workloads          list workload names only\n"
         "  --quiet                   suppress per-run progress\n"
         "  --help                    this text\n");
 }
@@ -199,7 +202,12 @@ parseArgs(int argc, char **argv)
             cli.tolerance =
                 parseDouble("--tolerance", need(i, "--tolerance"));
         } else if (a == "--list") {
-            cli.list = true;
+            cli.list_presets = true;
+            cli.list_workloads = true;
+        } else if (a == "--list-presets") {
+            cli.list_presets = true;
+        } else if (a == "--list-workloads") {
+            cli.list_workloads = true;
         } else if (a == "--quiet") {
             cli.quiet = true;
         } else {
@@ -230,13 +238,22 @@ main(int argc, char **argv)
 {
     const CliOptions cli = parseArgs(argc, argv);
 
-    if (cli.list) {
-        std::puts("presets:");
-        for (const Preset p : allPresets())
-            std::printf("  %s\n", presetName(p));
-        std::puts("workloads:");
-        for (const auto &n : suiteNames())
-            std::printf("  %s\n", n.c_str());
+    if (cli.list_presets || cli.list_workloads) {
+        // With a single --list-* flag, print bare names (one per
+        // line, shell-friendly); --list keeps the headed format.
+        const bool both = cli.list_presets && cli.list_workloads;
+        if (cli.list_presets) {
+            if (both)
+                std::puts("presets:");
+            for (const Preset p : allPresets())
+                std::printf(both ? "  %s\n" : "%s\n", presetName(p));
+        }
+        if (cli.list_workloads) {
+            if (both)
+                std::puts("workloads:");
+            for (const auto &n : suiteNames())
+                std::printf(both ? "  %s\n" : "%s\n", n.c_str());
+        }
         return 0;
     }
 
