@@ -137,7 +137,7 @@ banner(const char *experiment, const char *claim,
 inline SimResult
 run(const BenchContext &ctx, Preset preset, const WorkloadParams &wl)
 {
-    return runPreset(preset, ctx.base, wl, ctx.opts);
+    return carve::run(makePresetJob(preset, ctx.base, wl, ctx.opts));
 }
 
 /** One harness spec for a (preset, workload) cell of a bench grid. */

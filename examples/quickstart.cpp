@@ -36,9 +36,14 @@ main(int argc, char **argv)
               << params.ctas << " CTAs x " << params.warps_per_cta
               << " warps\n\n";
 
-    const SimResult numa = runPreset(Preset::NumaGpu, base, params);
-    const SimResult carve = runPreset(Preset::CarveHwc, base, params);
-    const SimResult ideal = runPreset(Preset::Ideal, base, params);
+    // A SimJob fully describes one run; makePresetJob() fills it from
+    // a named preset and run(job) executes it.
+    const SimResult numa =
+        run(makePresetJob(Preset::NumaGpu, base, params));
+    const SimResult carve =
+        run(makePresetJob(Preset::CarveHwc, base, params));
+    const SimResult ideal =
+        run(makePresetJob(Preset::Ideal, base, params));
 
     printSummary(std::cout, numa);
     printSummary(std::cout, carve);

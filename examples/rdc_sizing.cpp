@@ -31,17 +31,23 @@ main(int argc, char **argv)
                 "scaled)\n\n", name.c_str(),
                 params.footprint() / (1024.0 * 1024.0));
 
-    const SimResult one = runPreset(Preset::SingleGpu, base, params);
-    const SimResult numa = runPreset(Preset::NumaGpu, base, params);
+    const SimResult one =
+        run(makePresetJob(Preset::SingleGpu, base, params));
+    const SimResult numa =
+        run(makePresetJob(Preset::NumaGpu, base, params));
     std::printf("%-12s speedup %5.2fx (no remote data cache)\n\n",
                 "NUMA-GPU", speedupOver(one, numa));
 
     std::printf("%-10s %8s %9s %9s %12s\n", "RDC size", "speedup",
                 "rdc-hit", "remote", "mem given up");
     for (const std::uint64_t mib : {16, 32, 64, 128, 256, 512}) {
-        SystemConfig cfg = makePreset(Preset::CarveHwc, base);
-        cfg.rdc.size = mib * MiB;
-        const SimResult r = runSimulation(cfg, params, "carve");
+        // Ad-hoc (non-preset) runs build the SimJob by hand: start
+        // from a preset job, then edit the config before run().
+        SimJob job = makePresetJob(Preset::CarveHwc, base, params);
+        job.config.rdc.size = mib * MiB;
+        job.preset_label = "carve";
+        const SimResult r = run(job);
+        const SystemConfig &cfg = job.config;
         const double hit = r.rdc_hits + r.rdc_misses
             ? 100.0 * static_cast<double>(r.rdc_hits) /
                 static_cast<double>(r.rdc_hits + r.rdc_misses)

@@ -17,11 +17,19 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "common/units.hh"
 
 namespace carve {
+
+/** One textual "key=value" configuration override. */
+struct ConfigOverride
+{
+    std::string key;
+    std::string value;
+};
 
 /** Page placement policy for first mapping of a virtual page. */
 enum class PlacementPolicy : std::uint8_t {
@@ -176,9 +184,23 @@ struct SystemConfig
 
     /**
      * Apply a textual "key=value" override (e.g. "rdc.size=1073741824",
-     * "numa.replication=readonly"). Unknown keys are fatal().
+     * "numa.replication=readonly"). Unknown keys are fatal(). The
+     * accepted keys come from one registry shared with
+     * listOverrideKeys() and toOverrides(), so the three can never
+     * drift apart.
      */
     void applyOverride(const std::string &key, const std::string &value);
+
+    /** Every key applyOverride() accepts, in registry order. */
+    static std::vector<std::string> listOverrideKeys();
+
+    /**
+     * Serialize this configuration as one override per registry key.
+     * Round-trips: applying the result to any SystemConfig
+     * reproduces *this exactly (doubles included — values print with
+     * enough digits to parse back bit-identical).
+     */
+    std::vector<ConfigOverride> toOverrides() const;
 
     /** fatal() on any inconsistent combination of parameters. */
     void validate() const;
@@ -204,6 +226,14 @@ PlacementPolicy parsePlacementPolicy(const std::string &s);
 ReplicationPolicy parseReplicationPolicy(const std::string &s);
 /** Parse an RdcCoherence name ("none", "software", "hwvi"). */
 RdcCoherence parseRdcCoherence(const std::string &s);
+/** Parse an RdcWritePolicy name ("writethrough", "writeback"). */
+RdcWritePolicy parseRdcWritePolicy(const std::string &s);
+
+/** Canonical names; each parses back via the matching parse*(). */
+const char *placementPolicyName(PlacementPolicy p);
+const char *replicationPolicyName(ReplicationPolicy p);
+const char *rdcCoherenceName(RdcCoherence c);
+const char *rdcWritePolicyName(RdcWritePolicy p);
 
 } // namespace carve
 

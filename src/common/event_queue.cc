@@ -1,39 +1,186 @@
 #include "common/event_queue.hh"
 
+#include <bit>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.hh"
 
 namespace carve {
 
+namespace {
+
+/** Nodes per pool chunk: amortizes allocation without hoarding. */
+constexpr std::size_t pool_chunk = 512;
+
+EventEngine
+engineFromEnv()
+{
+    const char *v = std::getenv("CARVE_EVENTQ");
+    if (!v || !*v || std::strcmp(v, "calendar") == 0)
+        return EventEngine::Calendar;
+    if (std::strcmp(v, "heap") == 0)
+        return EventEngine::Heap;
+    fatal("CARVE_EVENTQ: unknown engine '%s' "
+          "(valid: calendar, heap)", v);
+}
+
+} // namespace
+
+EventQueue::EventQueue() : EventQueue(engineFromEnv()) {}
+
+EventQueue::EventQueue(EventEngine engine) : engine_(engine)
+{
+    if (engine_ == EventEngine::Calendar)
+        ring_.resize(horizon);
+}
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::EventNode *
+EventQueue::allocNode()
+{
+    if (!free_) {
+        pools_.push_back(std::make_unique<EventNode[]>(pool_chunk));
+        EventNode *chunk = pools_.back().get();
+        for (std::size_t i = 0; i < pool_chunk; ++i) {
+            chunk[i].next = free_;
+            free_ = &chunk[i];
+        }
+    }
+    EventNode *n = free_;
+    free_ = n->next;
+    n->next = nullptr;
+    return n;
+}
+
 void
-EventQueue::schedule(Cycle when, Callback cb)
+EventQueue::freeNode(EventNode *n)
+{
+    n->fn.reset();
+    n->next = free_;
+    free_ = n;
+}
+
+void
+EventQueue::pushRing(EventNode *n)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(n->when) & (horizon - 1);
+    Bucket &b = ring_[idx];
+    if (b.tail) {
+        b.tail->next = n;
+        b.tail = n;
+    } else {
+        b.head = b.tail = n;
+        occ_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    }
+    ++ring_count_;
+}
+
+void
+EventQueue::schedule(Cycle when, EventFn fn)
 {
     if (when < now_) {
-        panic("event scheduled in the past (when=%llu now=%llu)",
+        fatal("EventQueue: schedule into the past "
+              "(when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
     }
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+    EventNode *n = allocNode();
+    n->when = when;
+    n->seq = next_seq_++;
+    n->fn = std::move(fn);
+    if (engine_ == EventEngine::Calendar && when < window_end_)
+        pushRing(n);
+    else
+        far_.push(n);
+}
+
+void
+EventQueue::advanceTo(Cycle t)
+{
+    now_ = t;
+    if (engine_ != EventEngine::Calendar)
+        return;
+    window_end_ = t + horizon;
+    // Restore the invariant that every far event lies beyond the
+    // window: anything entering it migrates to the ring now, before
+    // user code can schedule at those ticks. The heap pops in
+    // (when, seq) order, so per-bucket FIFO order stays correct.
+    while (!far_.empty() && far_.top()->when < window_end_) {
+        EventNode *n = far_.top();
+        far_.pop();
+        pushRing(n);
+    }
+}
+
+EventQueue::EventNode *
+EventQueue::popNext()
+{
+    if (engine_ != EventEngine::Calendar || ring_count_ == 0) {
+        if (ring_count_ == 0 && !far_.empty() &&
+            engine_ == EventEngine::Calendar) {
+            // Ring drained: jump straight to the earliest far event,
+            // migrating its whole window in.
+            advanceTo(far_.top()->when);
+        } else if (engine_ != EventEngine::Calendar) {
+            EventNode *n = far_.top();
+            far_.pop();
+            return n;
+        }
+    }
+
+    // Find the first non-empty bucket at or after now_. Bucket
+    // indices wrap mod horizon, so circular bit-scan order from
+    // (now_ % horizon) is exactly ascending-tick order.
+    const std::size_t start =
+        static_cast<std::size_t>(now_) & (horizon - 1);
+    std::size_t w = start / 64;
+    std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start % 64));
+    for (std::size_t i = 0; i <= occ_words; ++i) {
+        if (word) {
+            const std::size_t idx =
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(word));
+            Bucket &b = ring_[idx];
+            EventNode *n = b.head;
+            b.head = n->next;
+            if (!b.head) {
+                b.tail = nullptr;
+                occ_[idx / 64] &=
+                    ~(std::uint64_t{1} << (idx % 64));
+            }
+            n->next = nullptr;
+            --ring_count_;
+            return n;
+        }
+        w = (w + 1) % occ_words;
+        word = occ_[w];
+    }
+    panic("EventQueue: occupancy bitmap inconsistent "
+          "(ring_count=%zu)", ring_count_);
 }
 
 void
 EventQueue::fireNext()
 {
-    // priority_queue::top() returns const&; the callback must be moved
-    // out before pop() so it can safely schedule further events.
-    Callback cb = std::move(const_cast<Event &>(heap_.top()).cb);
-    now_ = heap_.top().when;
-    heap_.pop();
+    EventNode *n = popNext();
+    advanceTo(n->when);
     ++executed_;
-    cb();
+    // Move the callback out before recycling the node so the callback
+    // may freely schedule further events.
+    EventFn fn = std::move(n->fn);
+    freeNode(n);
+    fn();
 }
 
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
     std::uint64_t n = 0;
-    while (n < limit && !heap_.empty()) {
+    while (n < limit && !empty()) {
         fireNext();
         ++n;
     }
@@ -44,7 +191,7 @@ std::uint64_t
 EventQueue::runWhile(const std::function<bool()> &keep_going)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && keep_going()) {
+    while (!empty() && keep_going()) {
         fireNext();
         ++n;
     }
@@ -54,7 +201,7 @@ EventQueue::runWhile(const std::function<bool()> &keep_going)
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (empty())
         return false;
     fireNext();
     return true;

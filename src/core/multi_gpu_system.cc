@@ -71,6 +71,8 @@ MultiGpuSystem::registerStats()
     sim->addDerivedInt("insts_issued",
                        [this] { return totalInstsIssued(); },
                        "warp instructions issued system-wide");
+    sim->addDerivedInt("events", [this] { return eq_.executed(); },
+                       "discrete events executed by the engine");
 
     net_.registerStats(*child("link"));
     pages_.registerStats(*child("numa"));

@@ -85,6 +85,7 @@ class MultiGpuSystem : public SystemFabric
     // ---- introspection ---------------------------------------------
     const SystemConfig &config() const { return cfg_; }
     EventQueue &eventQueue() { return eq_; }
+    const EventQueue &eventQueue() const { return eq_; }
     PageManager &pages() { return pages_; }
     const PageManager &pages() const { return pages_; }
     Network &network() { return net_; }

@@ -51,6 +51,7 @@ collectResult(const MultiGpuSystem &sys, const std::string &workload,
 
     r.cycles = valueU64("sim.cycles");
     r.warp_insts = valueU64("sim.insts_issued");
+    r.events = valueU64("sim.events");
 
     r.traffic.local_reads = sumMatching("gpu*.traffic.local_reads");
     r.traffic.remote_reads = sumMatching("gpu*.traffic.remote_reads");

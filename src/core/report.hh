@@ -27,6 +27,8 @@ struct SimResult
     std::string preset;
     Cycle cycles = 0;
     std::uint64_t warp_insts = 0;
+    /** Discrete events the engine executed (host-cost proxy). */
+    std::uint64_t events = 0;
     /** True when the run was cut short by a cycle or wall-clock
      * watchdog (see RunOptions); stats below are then partial. */
     bool watchdog_tripped = false;

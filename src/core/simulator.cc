@@ -6,11 +6,12 @@
 namespace carve {
 
 SimResult
-runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
-              const std::string &preset_label, const RunOptions &opt)
+run(const SimJob &job)
 {
-    SyntheticWorkload wl(params, cfg.line_size, opt.seed);
-    MultiGpuSystem sys(cfg, wl, opt.profile_lines);
+    const RunOptions &opt = job.options;
+    SyntheticWorkload wl(job.workload, job.config.line_size,
+                         opt.seed);
+    MultiGpuSystem sys(job.config, wl, opt.profile_lines);
     sys.run(opt.max_cycles, opt.max_wall_seconds);
     if (sys.watchdogTripped() && !opt.tolerate_watchdog) {
         fatal("MultiGpuSystem: simulation did not converge "
@@ -20,17 +21,36 @@ runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
               opt.max_wall_seconds,
               static_cast<unsigned long long>(sys.now()));
     }
-    SimResult r = collectResult(sys, params.name, preset_label);
+    SimResult r =
+        collectResult(sys, job.workload.name, job.preset_label);
     r.watchdog_tripped = sys.watchdogTripped();
     return r;
+}
+
+SimJob
+makePresetJob(Preset preset, const SystemConfig &base,
+              const WorkloadParams &params, const RunOptions &opt)
+{
+    SimJob job;
+    job.config = makePreset(preset, base);
+    job.workload = params;
+    job.preset_label = presetName(preset);
+    job.options = opt;
+    return job;
+}
+
+SimResult
+runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
+              const std::string &preset_label, const RunOptions &opt)
+{
+    return run(SimJob{cfg, params, preset_label, opt});
 }
 
 SimResult
 runPreset(Preset preset, const SystemConfig &base,
           const WorkloadParams &params, const RunOptions &opt)
 {
-    return runSimulation(makePreset(preset, base), params,
-                         presetName(preset), opt);
+    return run(makePresetJob(preset, base, params, opt));
 }
 
 } // namespace carve

@@ -37,9 +37,45 @@ struct RunOptions
 };
 
 /**
- * Build a system from @p cfg, run @p params through it, and collect
- * the result. @p preset_label is recorded in the result for
- * reporting.
+ * One fully-described simulation: everything run() needs, in one
+ * value. A SimJob is cheap to copy, trivially serializable by the
+ * harness, and the single currency every driver (carve-sweep, the
+ * bench binaries, carve-bench, the examples) trades in.
+ */
+struct SimJob
+{
+    /** Complete machine description (validated by run()). */
+    SystemConfig config;
+    /** Trace generator parameters. */
+    WorkloadParams workload;
+    /** Label recorded in SimResult::preset for reporting; presets
+     * fill it with presetName(), ad-hoc configs pick any tag. */
+    std::string preset_label;
+    /** Watchdogs, profiling granularity, seed. */
+    RunOptions options;
+};
+
+/**
+ * THE simulation entry point: build the machine described by
+ * @p job.config, run @p job.workload through it, and collect the
+ * result. Every other runner in the tree is a thin wrapper over
+ * this call.
+ */
+SimResult run(const SimJob &job);
+
+/**
+ * Describe a run of @p params on the named @p preset derived from
+ * @p base. Pairs with run(): the job is inspectable/editable before
+ * launch, which is what the sweep and bench drivers exploit.
+ */
+SimJob makePresetJob(Preset preset, const SystemConfig &base,
+                     const WorkloadParams &params,
+                     const RunOptions &opt = {});
+
+/**
+ * Compatibility wrapper over run() — prefer building a SimJob.
+ * Scheduled for removal once external callers migrate (see
+ * docs/README "Deprecations").
  */
 SimResult runSimulation(const SystemConfig &cfg,
                         const WorkloadParams &params,
@@ -47,7 +83,8 @@ SimResult runSimulation(const SystemConfig &cfg,
                         const RunOptions &opt = {});
 
 /**
- * Convenience: run @p params on a named preset derived from @p base.
+ * Compatibility wrapper over run(makePresetJob(...)) — prefer
+ * building a SimJob.
  */
 SimResult runPreset(Preset preset, const SystemConfig &base,
                     const WorkloadParams &params,

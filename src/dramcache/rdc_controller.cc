@@ -43,14 +43,15 @@ RdcController::read(NodeId home, Addr line_addr, Callback done)
         ++read_hits_;
         // Tags-with-data: the single probe access returns the line.
         eq_.scheduleAfter(cfg_.rdc.controller_latency,
-            [this, line_addr, done = std::move(done)]() mutable {
-                local_mem_.access(storageAddr(line_addr),
-                                  AccessType::Read, std::move(done));
-            });
+                          bindEvent<&RdcController::probeHit>(
+                              this, line_addr, std::move(done)));
         return;
     }
 
     ++read_misses_;
+    // The serialized miss continuation below carries (home, line,
+    // done) — one word past EventFn's inline storage — so it stays a
+    // lambda and takes the boxed path, same as std::function did.
     if (use_predictor && !predicted_hit) {
         // Predicted miss: overlap the verification probe with the
         // remote fetch. The probe still consumes local bandwidth.
@@ -73,6 +74,13 @@ RdcController::read(NodeId home, Addr line_addr, Callback done)
                     });
             });
     }
+}
+
+void
+RdcController::probeHit(Addr line_addr, Callback &done)
+{
+    local_mem_.access(storageAddr(line_addr), AccessType::Read,
+                      std::move(done));
 }
 
 void

@@ -116,6 +116,9 @@ class RdcController
   private:
     void handleMiss(NodeId home, Addr line_addr, bool serialized,
                     Callback done);
+    /** Hit-path probe, scheduled as a pre-bound event after the
+     * controller pipeline latency (@p done is moved from). */
+    void probeHit(Addr line_addr, Callback &done);
     Addr storageAddr(Addr line_addr) const;
 
     EventQueue &eq_;

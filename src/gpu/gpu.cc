@@ -103,7 +103,8 @@ GpuNode::startKernel(KernelId k, CtaScheduler &sched)
 
     if (!any && live_ctas_ == 0) {
         // Empty batch: report completion asynchronously.
-        eq_.schedule(eq_.now(), [this] { maybeFinishKernel(); });
+        eq_.schedule(eq_.now(),
+                     bindEvent<&GpuNode::maybeFinishKernel>(this));
     }
 }
 
@@ -197,18 +198,27 @@ GpuNode::invalidateLine(Addr line)
 void
 GpuNode::accessFromSm(Addr line, AccessType type, Callback done)
 {
+    // Resolve the read/write split here instead of inside the event:
+    // both continuations then fit EventFn's inline storage, keeping
+    // the hottest scheduling path in the machine allocation-free.
+    if (isWrite(type)) {
+        eq_.scheduleAfter(cfg_.core.l1_to_l2_latency,
+                          bindEvent<&GpuNode::handleWrite>(this, line));
+        return;
+    }
     eq_.scheduleAfter(cfg_.core.l1_to_l2_latency,
-        [this, line, type, done = std::move(done)]() mutable {
-            if (isWrite(type)) {
-                handleWrite(line);
-                return;
-            }
-            if (l2_.readProbe(line)) {
-                eq_.scheduleAfter(l2_.hitLatency(), std::move(done));
-                return;
-            }
-            handleL2ReadMiss(line, std::move(done));
-        });
+                      bindEvent<&GpuNode::arriveAtL2>(
+                          this, line, std::move(done)));
+}
+
+void
+GpuNode::arriveAtL2(Addr line, Callback &done)
+{
+    if (l2_.readProbe(line)) {
+        eq_.scheduleAfter(l2_.hitLatency(), std::move(done));
+        return;
+    }
+    handleL2ReadMiss(line, std::move(done));
 }
 
 void
@@ -229,7 +239,7 @@ GpuNode::handleL2ReadMiss(Addr line, Callback done)
     if (out == MshrOutcome::NewEntry) {
         // Tag check latency before the fill heads off-chip/to DRAM.
         eq_.scheduleAfter(l2_.hitLatency(),
-                          [this, line] { startFill(line); });
+                          bindEvent<&GpuNode::startFill>(this, line));
     }
 }
 

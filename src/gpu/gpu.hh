@@ -153,6 +153,9 @@ class GpuNode
 
   private:
     void accessFromSm(Addr line, AccessType type, Callback done);
+    /** L2 arrival of a read, scheduled as a pre-bound event
+     * (@p done is moved from). */
+    void arriveAtL2(Addr line, Callback &done);
     void handleL2ReadMiss(Addr line, Callback done);
     void startFill(Addr line);
     void finishFill(Addr line, bool remote);

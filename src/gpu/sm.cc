@@ -64,7 +64,7 @@ Sm::tryStartCta(KernelId k, CtaId cta)
         h *= 0xff51afd7ed558ccdull;
         h ^= h >> 29;
         eq_.schedule(eq_.now() + (h & 63),
-                     [this, slot] { issueWarp(slot); });
+                     bindEvent<&Sm::issueWarp>(this, slot));
     }
     carve_assert(placed == wpc);
     return true;
@@ -82,7 +82,7 @@ Sm::issueWarp(unsigned slot)
     // LSU arbitration: one warp memory instruction per cycle.
     const Cycle at = std::max(eq_.now(), lsu_free_at_);
     lsu_free_at_ = at + 1;
-    eq_.schedule(at, [this, slot] { execute(slot); });
+    eq_.schedule(at, bindEvent<&Sm::execute>(this, slot));
 }
 
 void
@@ -106,29 +106,38 @@ Sm::execute(unsigned slot)
         ++write_insts_;
         // Write-through, no-allocate L1; stores are posted and do not
         // block the warp.
-        eq_.scheduleAfter(tlb_lat, [this, slot] {
-            WarpContext &wr = warps_[slot];
-            for (unsigned i = 0; i < wr.cur.num_lines; ++i) {
-                l1_.writeProbe(wr.cur.lines[i], false);
-                hooks_.access_l2(wr.cur.lines[i], AccessType::Write,
-                                 Callback());
-            }
-        });
+        eq_.scheduleAfter(tlb_lat,
+                          bindEvent<&Sm::issueStores>(this, slot));
         eq_.scheduleAfter(tlb_lat + 1 + w.cur.compute_cycles,
-                          [this, slot] { issueWarp(slot); });
+                          bindEvent<&Sm::issueWarp>(this, slot));
         return;
     }
 
     ++read_insts_;
     w.pending_lines = w.cur.num_lines;
-    eq_.scheduleAfter(tlb_lat, [this, slot] {
-        WarpContext &wr = warps_[slot];
-        // Take a snapshot: lineDone() may fire synchronously through
-        // an MSHR merge completing later, never within this loop, but
-        // cur is stable for the instruction's lifetime anyway.
-        for (unsigned i = 0; i < wr.cur.num_lines; ++i)
-            startRead(slot, wr.cur.lines[i]);
-    });
+    eq_.scheduleAfter(tlb_lat, bindEvent<&Sm::issueLoads>(this, slot));
+}
+
+void
+Sm::issueStores(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    for (unsigned i = 0; i < w.cur.num_lines; ++i) {
+        l1_.writeProbe(w.cur.lines[i], false);
+        hooks_.access_l2(w.cur.lines[i], AccessType::Write,
+                         Callback());
+    }
+}
+
+void
+Sm::issueLoads(unsigned slot)
+{
+    WarpContext &w = warps_[slot];
+    // lineDone() may fire synchronously through an MSHR merge
+    // completing later, never within this loop, but cur is stable for
+    // the instruction's lifetime anyway.
+    for (unsigned i = 0; i < w.cur.num_lines; ++i)
+        startRead(slot, w.cur.lines[i]);
 }
 
 void
@@ -136,7 +145,7 @@ Sm::startRead(unsigned slot, Addr line)
 {
     if (l1_.readProbe(line)) {
         eq_.scheduleAfter(l1_.hitLatency(),
-                          [this, slot] { lineDone(slot); });
+                          bindEvent<&Sm::lineDone>(this, slot));
         return;
     }
     allocateMiss(slot, line);
@@ -158,9 +167,9 @@ Sm::allocateMiss(unsigned slot, Addr line)
         break;
       case MshrOutcome::Full:
         ++mshr_stalls_;
-        eq_.scheduleAfter(mshr_retry_delay, [this, slot, line] {
-            allocateMiss(slot, line);
-        });
+        eq_.scheduleAfter(
+            mshr_retry_delay,
+            bindEvent<&Sm::allocateMiss>(this, slot, line));
         break;
     }
 }
@@ -172,7 +181,7 @@ Sm::lineDone(unsigned slot)
     carve_assert(w.pending_lines > 0);
     if (--w.pending_lines == 0) {
         eq_.scheduleAfter(1 + w.cur.compute_cycles,
-                          [this, slot] { issueWarp(slot); });
+                          bindEvent<&Sm::issueWarp>(this, slot));
     }
 }
 

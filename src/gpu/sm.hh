@@ -101,8 +101,13 @@ class Sm
     void registerStats(stats::StatGroup &g);
 
   private:
+    // The issue loop is driven by pre-bound member-function events
+    // (bindEvent) rather than per-call lambdas, so scheduling a hop
+    // copies only (this, slot) into the event's inline storage.
     void issueWarp(unsigned slot);
     void execute(unsigned slot);
+    void issueStores(unsigned slot);
+    void issueLoads(unsigned slot);
     void startRead(unsigned slot, Addr line);
     void allocateMiss(unsigned slot, Addr line);
     void lineDone(unsigned slot);

@@ -1,0 +1,229 @@
+#include "harness/bench_io.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace carve {
+namespace harness {
+
+namespace {
+
+std::uint64_t
+u64At(const json::Value &v, const char *key)
+{
+    return static_cast<std::uint64_t>(v.at(key).asInt());
+}
+
+json::Value
+microToJson(const MicroResult &m)
+{
+    json::Value o{json::Members{}};
+    o.set("name", m.name);
+    o.set("events", m.events);
+    o.set("seconds", m.seconds);
+    o.set("events_per_sec", m.events_per_sec);
+    return o;
+}
+
+MicroResult
+microFromJson(const json::Value &v)
+{
+    MicroResult m;
+    m.name = v.at("name").asString();
+    m.events = u64At(v, "events");
+    m.seconds = v.at("seconds").asDouble();
+    m.events_per_sec = v.at("events_per_sec").asDouble();
+    return m;
+}
+
+json::Value
+cellToJson(const CellResult &c)
+{
+    json::Value o{json::Members{}};
+    o.set("preset", c.preset);
+    o.set("workload", c.workload);
+    o.set("cycles", c.cycles);
+    o.set("events", c.events);
+    o.set("warp_insts", c.warp_insts);
+    o.set("host_seconds", c.host_seconds);
+    o.set("events_per_sec", c.events_per_sec);
+    o.set("warp_insts_per_sec", c.warp_insts_per_sec);
+    return o;
+}
+
+CellResult
+cellFromJson(const json::Value &v)
+{
+    CellResult c;
+    c.preset = v.at("preset").asString();
+    c.workload = v.at("workload").asString();
+    c.cycles = u64At(v, "cycles");
+    c.events = u64At(v, "events");
+    c.warp_insts = u64At(v, "warp_insts");
+    c.host_seconds = v.at("host_seconds").asDouble();
+    c.events_per_sec = v.at("events_per_sec").asDouble();
+    c.warp_insts_per_sec = v.at("warp_insts_per_sec").asDouble();
+    return c;
+}
+
+} // namespace
+
+json::Value
+benchToJson(const BenchReport &r)
+{
+    json::Value doc{json::Members{}};
+    doc.set("schema", kBenchSchema);
+    doc.set("date", r.date);
+    doc.set("git_version", r.git_version);
+    doc.set("engine", r.engine);
+    doc.set("memory_scale", r.memory_scale);
+    doc.set("duration", r.duration);
+
+    json::Value micro{json::Array{}};
+    for (const auto &m : r.micro)
+        micro.push(microToJson(m));
+    doc.set("micro", std::move(micro));
+
+    json::Value cells{json::Array{}};
+    for (const auto &c : r.cells)
+        cells.push(cellToJson(c));
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+BenchReport
+benchFromJson(const json::Value &doc)
+{
+    BenchReport r;
+    r.date = doc.at("date").asString();
+    r.git_version = doc.at("git_version").asString();
+    r.engine = doc.at("engine").asString();
+    r.memory_scale =
+        static_cast<unsigned>(doc.at("memory_scale").asInt());
+    r.duration = doc.at("duration").asDouble();
+    for (const auto &m : doc.at("micro").asArray())
+        r.micro.push_back(microFromJson(m));
+    for (const auto &c : doc.at("cells").asArray())
+        r.cells.push_back(cellFromJson(c));
+    return r;
+}
+
+BenchReport
+readBenchFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open bench file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const json::Value doc = json::parse(ss.str(), path);
+    const std::string schema =
+        doc.isObject() && doc.has("schema")
+            ? doc.at("schema").asString()
+            : std::string();
+    if (schema != kBenchSchema)
+        fatal("'%s' is not a %s file", path.c_str(), kBenchSchema);
+    return benchFromJson(doc);
+}
+
+std::vector<BenchDelta>
+compareBench(const BenchReport &baseline,
+             const BenchReport &candidate, double fail_factor)
+{
+    std::vector<BenchDelta> out;
+
+    // Higher is better: gate on baseline/candidate.
+    const auto rate = [&](const std::string &key, double base,
+                          double cand) {
+        BenchDelta d;
+        d.key = key;
+        d.metric = "events_per_sec";
+        d.baseline = base;
+        d.candidate = cand;
+        d.factor = cand > 0.0 ? base / cand : 0.0;
+        d.regression = cand > 0.0 && d.factor > fail_factor;
+        out.push_back(std::move(d));
+    };
+    // Lower is better: gate on candidate/baseline.
+    const auto time = [&](const std::string &key, double base,
+                          double cand) {
+        BenchDelta d;
+        d.key = key;
+        d.metric = "host_seconds";
+        d.baseline = base;
+        d.candidate = cand;
+        d.factor = base > 0.0 ? cand / base : 0.0;
+        d.regression = base > 0.0 && d.factor > fail_factor;
+        out.push_back(std::move(d));
+    };
+    const auto missing = [&](const std::string &key,
+                             const char *metric) {
+        BenchDelta d;
+        d.key = key;
+        d.metric = metric;
+        out.push_back(std::move(d));
+    };
+
+    for (const auto &bm : baseline.micro) {
+        const MicroResult *cm = nullptr;
+        for (const auto &m : candidate.micro)
+            if (m.name == bm.name)
+                cm = &m;
+        if (cm)
+            rate(bm.name, bm.events_per_sec, cm->events_per_sec);
+        else
+            missing(bm.name, "missing micro");
+    }
+    for (const auto &bc : baseline.cells) {
+        const CellResult *cc = nullptr;
+        for (const auto &c : candidate.cells)
+            if (c.key() == bc.key())
+                cc = &c;
+        if (cc)
+            time(bc.key(), bc.host_seconds, cc->host_seconds);
+        else
+            missing(bc.key(), "missing cell");
+    }
+    return out;
+}
+
+bool
+benchHasRegression(const std::vector<BenchDelta> &deltas)
+{
+    for (const auto &d : deltas)
+        if (d.regression)
+            return true;
+    return false;
+}
+
+std::string
+formatBenchCompare(const std::vector<BenchDelta> &deltas,
+                   double fail_factor)
+{
+    std::string out = "bench comparison (gate: >" +
+        json::formatDouble(fail_factor) + "x slowdown):\n";
+    char line[256];
+    for (const auto &d : deltas) {
+        if (d.factor == 0.0) {
+            std::snprintf(line, sizeof line, "  MISS  %-28s %s\n",
+                          d.key.c_str(), d.metric.c_str());
+        } else {
+            std::snprintf(
+                line, sizeof line,
+                "  %s %-28s %s %.3g -> %.3g (%.2fx %s)\n",
+                d.regression ? "FAIL " : "ok   ", d.key.c_str(),
+                d.metric.c_str(), d.baseline, d.candidate, d.factor,
+                d.factor > 1.0 ? "slower" : "of baseline");
+        }
+        out += line;
+    }
+    if (deltas.empty())
+        out += "  (nothing to compare)\n";
+    return out;
+}
+
+} // namespace harness
+} // namespace carve

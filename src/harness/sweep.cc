@@ -23,13 +23,13 @@ executeRun(const RunSpec &spec)
     // Capture panic()/fatal() on this thread for the duration of the
     // run: a bad configuration or a simulator invariant violation
     // becomes a Failed result instead of taking the process down.
-    RunOptions opts = spec.opts;
-    opts.tolerate_watchdog = true;
+    SimJob job =
+        makePresetJob(spec.preset, spec.base, spec.workload,
+                      spec.opts);
+    job.options.tolerate_watchdog = true;
     try {
         ScopedErrorCapture capture;
-        res.sim = runSimulation(makePreset(spec.preset, spec.base),
-                                spec.workload,
-                                presetName(spec.preset), opts);
+        res.sim = run(job);
         res.status = res.sim.watchdog_tripped ? RunStatus::Watchdog
                                               : RunStatus::Ok;
         if (res.status == RunStatus::Watchdog)

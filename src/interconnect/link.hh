@@ -9,7 +9,6 @@
 #define CARVE_INTERCONNECT_LINK_HH
 
 #include <cmath>
-#include <functional>
 #include <string>
 
 #include "common/event_queue.hh"
@@ -27,7 +26,9 @@ namespace carve {
 class Link
 {
   public:
-    using Callback = std::function<void()>;
+    /** Delivery continuations ride the engine's allocation-free
+     * callable directly — no std::function round-trip per packet. */
+    using Callback = EventFn;
 
     /**
      * @param eq shared event queue

@@ -72,35 +72,39 @@ DramChannel::trySchedule()
         return;
     issue_pending_ = true;
     const Cycle start = std::max(eq_.now(), bus_free_at_);
-    eq_.schedule(start, [this] {
-        issue_pending_ = false;
+    eq_.schedule(start, bindEvent<&DramChannel::issueTick>(this));
+}
 
-        // Hysteresis on the write queue: start draining at the high
-        // mark, keep going until the low mark (writes batched, reads
-        // prioritized otherwise -- Section III of the paper).
-        const auto high = static_cast<std::size_t>(
-            cfg_.write_drain_high * cfg_.write_queue);
-        const auto low = static_cast<std::size_t>(
-            cfg_.write_drain_low * cfg_.write_queue);
-        if (write_q_.size() >= high)
-            draining_writes_ = true;
-        if (write_q_.size() <= low)
-            draining_writes_ = false;
+void
+DramChannel::issueTick()
+{
+    issue_pending_ = false;
 
-        if ((draining_writes_ || read_q_.empty()) && !write_q_.empty())
-            issue(write_q_, pickFrFcfs(write_q_));
-        else if (!read_q_.empty())
-            issue(read_q_, pickFrFcfs(read_q_));
-        else
-            return;
+    // Hysteresis on the write queue: start draining at the high
+    // mark, keep going until the low mark (writes batched, reads
+    // prioritized otherwise -- Section III of the paper).
+    const auto high = static_cast<std::size_t>(
+        cfg_.write_drain_high * cfg_.write_queue);
+    const auto low = static_cast<std::size_t>(
+        cfg_.write_drain_low * cfg_.write_queue);
+    if (write_q_.size() >= high)
+        draining_writes_ = true;
+    if (write_q_.size() <= low)
+        draining_writes_ = false;
 
-        if (reject_seen_) {
-            reject_seen_ = false;
-            if (retry_cb_)
-                retry_cb_();
-        }
-        trySchedule();
-    });
+    if ((draining_writes_ || read_q_.empty()) && !write_q_.empty())
+        issue(write_q_, pickFrFcfs(write_q_));
+    else if (!read_q_.empty())
+        issue(read_q_, pickFrFcfs(read_q_));
+    else
+        return;
+
+    if (reject_seen_) {
+        reject_seen_ = false;
+        if (retry_cb_)
+            retry_cb_();
+    }
+    trySchedule();
 }
 
 void

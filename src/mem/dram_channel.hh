@@ -103,6 +103,10 @@ class DramChannel
 
   private:
     void trySchedule();
+    /** One scheduler beat: drain-mode hysteresis, FR-FCFS pick, issue.
+     * Scheduled as a pre-bound event, so the channel's steady-state
+     * drain loop allocates nothing. */
+    void issueTick();
     void issue(std::deque<DramRequest> &q, std::size_t idx);
     /** Index of the best FR-FCFS candidate in @p q, or npos. */
     std::size_t pickFrFcfs(const std::deque<DramRequest> &q) const;

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/config.hh"
 #include "common/units.hh"
 
@@ -88,6 +92,103 @@ TEST(ConfigDeathTest, UnknownOverrideKeyIsFatal)
     SystemConfig cfg;
     EXPECT_EXIT(cfg.applyOverride("bogus.key", "1"),
                 ::testing::ExitedWithCode(1), "unknown override");
+}
+
+TEST(Config, EveryListedOverrideKeyIsAccepted)
+{
+    // The registry contract: the enumerated key set IS the accepted
+    // key set. Feed each key its own serialized value back;
+    // applyOverride on an unknown key would exit fatally.
+    SystemConfig cfg;
+    const std::vector<std::string> keys =
+        SystemConfig::listOverrideKeys();
+    const std::vector<ConfigOverride> ovs = cfg.toOverrides();
+    ASSERT_EQ(keys.size(), ovs.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(keys[i], ovs[i].key);
+        cfg.applyOverride(ovs[i].key, ovs[i].value);
+    }
+    // A serialize-apply loop of defaults must change nothing.
+    EXPECT_EQ(cfg.num_gpus, SystemConfig{}.num_gpus);
+    EXPECT_DOUBLE_EQ(cfg.dram.channel_bw,
+                     SystemConfig{}.dram.channel_bw);
+}
+
+TEST(Config, ListedKeysCoverEveryLegacyKey)
+{
+    // Keys the pre-registry applyOverride() accepted must survive
+    // the table migration.
+    const std::vector<std::string> keys =
+        SystemConfig::listOverrideKeys();
+    const auto has = [&](const char *k) {
+        return std::find(keys.begin(), keys.end(), k) != keys.end();
+    };
+    for (const char *k :
+         {"num_gpus", "seed", "page_size", "line_size",
+          "core.sms_per_gpu", "core.max_warps_per_sm", "l1.size",
+          "l2.size", "l2.ways", "dram.capacity", "dram.channels",
+          "dram.channel_bw", "link.gpu_gpu_bw", "link.cpu_gpu_bw",
+          "link.latency", "rdc.enabled", "rdc.size",
+          "rdc.coherence", "rdc.write_policy", "rdc.hit_predictor",
+          "numa.placement", "numa.replication", "numa.migration",
+          "numa.migration_threshold", "numa.spill_fraction",
+          "numa.llc_caches_remote", "numa.charge_bulk_transfers"}) {
+        EXPECT_TRUE(has(k)) << k;
+    }
+}
+
+TEST(Config, OverridesRoundTripExactly)
+{
+    // Mutate one field of every kind (integer, double, bool, all
+    // four enums), serialize, apply onto a default config, and
+    // compare the re-serialization: byte-identical or the registry
+    // getters/setters disagree.
+    SystemConfig a;
+    a.num_gpus = 8;
+    a.dram.channel_bw = 47.62515;  // not exactly representable
+    a.numa.spill_fraction = 0.1;
+    a.rdc.enabled = true;
+    a.rdc.size = 96 * MiB;
+    a.rdc.write_policy = RdcWritePolicy::WriteBack;
+    a.rdc.coherence = RdcCoherence::Software;
+    a.numa.placement = PlacementPolicy::RoundRobin;
+    a.numa.replication = ReplicationPolicy::ReadOnly;
+    a.numa.charge_bulk_transfers = true;
+
+    SystemConfig b;
+    for (const ConfigOverride &ov : a.toOverrides())
+        b.applyOverride(ov.key, ov.value);
+
+    const auto sa = a.toOverrides();
+    const auto sb = b.toOverrides();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].key, sb[i].key);
+        EXPECT_EQ(sa[i].value, sb[i].value) << sa[i].key;
+    }
+    EXPECT_EQ(b.num_gpus, 8u);
+    EXPECT_DOUBLE_EQ(b.dram.channel_bw, 47.62515);
+    EXPECT_EQ(b.rdc.write_policy, RdcWritePolicy::WriteBack);
+}
+
+TEST(Config, EnumNamesParseBack)
+{
+    for (const auto p :
+         {PlacementPolicy::FirstTouch, PlacementPolicy::RoundRobin,
+          PlacementPolicy::LocalOnly})
+        EXPECT_EQ(parsePlacementPolicy(placementPolicyName(p)), p);
+    for (const auto p :
+         {ReplicationPolicy::None, ReplicationPolicy::ReadOnly,
+          ReplicationPolicy::All})
+        EXPECT_EQ(parseReplicationPolicy(replicationPolicyName(p)),
+                  p);
+    for (const auto c :
+         {RdcCoherence::None, RdcCoherence::Software,
+          RdcCoherence::HardwareVI})
+        EXPECT_EQ(parseRdcCoherence(rdcCoherenceName(c)), c);
+    for (const auto p :
+         {RdcWritePolicy::WriteThrough, RdcWritePolicy::WriteBack})
+        EXPECT_EQ(parseRdcWritePolicy(rdcWritePolicyName(p)), p);
 }
 
 TEST(ConfigDeathTest, GarbageValueIsFatal)

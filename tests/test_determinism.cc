@@ -1,0 +1,135 @@
+/** @file Engine A/B determinism and the SimJob entry point.
+ *
+ * The calendar-queue engine must be a pure performance change: a full
+ * simulation replayed under the legacy heap engine (CARVE_EVENTQ=heap)
+ * has to produce a byte-identical stat tree. These tests pin that
+ * contract, plus the SimJob request-struct API every driver now
+ * builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/simulator.hh"
+#include "harness/stats_json.hh"
+#include "workloads/suite.hh"
+
+namespace carve {
+namespace {
+
+RunOptions
+fastOpts()
+{
+    RunOptions opt;
+    opt.profile_lines = true;
+    opt.max_cycles = 200'000'000;
+    return opt;
+}
+
+/** A small but real Figure 8 cell: the remote-traffic breakdown of
+ * one suite workload under a preset. */
+SimJob
+fig08Job(Preset preset)
+{
+    SuiteOptions suite;
+    suite.memory_scale = 32;
+    suite.duration = 0.05;
+    const SystemConfig base =
+        SystemConfig{}.scaled(suite.memory_scale);
+    return makePresetJob(preset, base,
+                         suiteWorkload("Lulesh", suite), fastOpts());
+}
+
+/** Run @p job under the named engine and serialize the stat tree. */
+std::string
+statBytesUnder(const char *engine, const SimJob &job)
+{
+    setenv("CARVE_EVENTQ", engine, 1);
+    const SimResult r = run(job);
+    unsetenv("CARVE_EVENTQ");
+    return harness::statTreeToJson(r.stat_tree).dump();
+}
+
+TEST(EngineDeterminism, Fig08CellReplaysByteIdenticalAcrossEngines)
+{
+    const SimJob job = fig08Job(Preset::NumaGpu);
+    const std::string calendar = statBytesUnder("calendar", job);
+    const std::string heap = statBytesUnder("heap", job);
+    EXPECT_GT(calendar.size(), 100u);  // a real tree, not "{}"
+    EXPECT_EQ(calendar, heap);
+}
+
+TEST(EngineDeterminism, CarvePresetReplaysByteIdenticalAcrossEngines)
+{
+    // The CARVE preset exercises the RDC controller and hardware
+    // coherence paths that were converted to pre-bound events.
+    const SimJob job = fig08Job(Preset::CarveHwc);
+    EXPECT_EQ(statBytesUnder("calendar", job),
+              statBytesUnder("heap", job));
+}
+
+TEST(EngineDeterminism, RepeatRunsAreByteIdentical)
+{
+    const SimJob job = fig08Job(Preset::NumaGpu);
+    EXPECT_EQ(statBytesUnder("calendar", job),
+              statBytesUnder("calendar", job));
+}
+
+// ---- SimJob API ---------------------------------------------------
+
+TEST(SimJob, MakePresetJobFillsEveryField)
+{
+    SuiteOptions suite;
+    suite.memory_scale = 32;
+    suite.duration = 0.05;
+    const SystemConfig base =
+        SystemConfig{}.scaled(suite.memory_scale);
+    const WorkloadParams wl = suiteWorkload("Lulesh", suite);
+
+    const SimJob job =
+        makePresetJob(Preset::CarveHwc, base, wl, fastOpts());
+    EXPECT_EQ(job.preset_label, presetName(Preset::CarveHwc));
+    EXPECT_EQ(job.workload.name, wl.name);
+    EXPECT_TRUE(job.config.rdc.enabled);  // CARVE preset applied
+    EXPECT_EQ(job.options.max_cycles, fastOpts().max_cycles);
+}
+
+TEST(SimJob, RunMatchesLegacyWrappers)
+{
+    const SimJob job = fig08Job(Preset::NumaGpu);
+    const SimResult via_job = run(job);
+    const SimResult via_run_simulation = runSimulation(
+        job.config, job.workload, job.preset_label, job.options);
+    const SimResult via_run_preset =
+        runPreset(Preset::NumaGpu, SystemConfig{}.scaled(32),
+                  job.workload, job.options);
+
+    EXPECT_EQ(via_job.cycles, via_run_simulation.cycles);
+    EXPECT_EQ(via_job.cycles, via_run_preset.cycles);
+    EXPECT_EQ(via_job.warp_insts, via_run_preset.warp_insts);
+    EXPECT_EQ(via_job.preset, via_run_preset.preset);
+}
+
+TEST(SimJob, EditedJobChangesTheMachine)
+{
+    SimJob job = fig08Job(Preset::NumaGpu);
+    job.preset_label = "numa-slow-link";
+    job.config.link.gpu_gpu_bw = 8.0;
+    const SimResult slow = run(job);
+    const SimResult base = run(fig08Job(Preset::NumaGpu));
+    EXPECT_EQ(slow.preset, "numa-slow-link");
+    EXPECT_GT(slow.cycles, base.cycles);
+}
+
+TEST(SimJob, ResultCarriesEventCount)
+{
+    const SimResult r = run(fig08Job(Preset::NumaGpu));
+    // Every warp instruction takes at least one event, so the engine
+    // event counter must dominate the instruction counter.
+    EXPECT_GT(r.events, r.warp_insts);
+}
+
+} // namespace
+} // namespace carve

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * carve-bench: simulator throughput measurement. Two layers:
+ *
+ *  1. Event-queue microbenchmark — a population of self-rescheduling
+ *     actors drives millions of events through each engine (calendar
+ *     and heap) and reports events/sec. This isolates the engine from
+ *     the simulator, so the calendar-vs-heap ratio is the headline
+ *     number of the event-engine rewrite.
+ *  2. End-to-end preset x workload cells — full simulations timed on
+ *     the host, reporting host-seconds, events/sec and warp-insts/sec
+ *     per cell.
+ *
+ * Results are written as a "carve-bench/v1" JSON file (default
+ * BENCH_<date>.json). With --baseline the report is compared against
+ * a committed bench file and the exit status gates only on a >
+ * --fail-factor slowdown (default 2x) — loose on purpose, because
+ * absolute host speed varies by machine; CI uses this as an
+ * informational tripwire, not a tight perf lock.
+ *
+ * Examples:
+ *   carve-bench --smoke --out bench.json
+ *   carve-bench --baseline tests/data/bench_baseline.json --smoke
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "core/simulator.hh"
+#include "harness/bench_io.hh"
+#include "harness/results_io.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace carve;
+using harness::BenchReport;
+using harness::CellResult;
+using harness::MicroResult;
+
+struct CliOptions
+{
+    bool smoke = false;
+    bool micro_only = false;
+    std::uint64_t micro_events = 5'000'000;
+    std::string out_path;  ///< empty == BENCH_<date>.json
+    std::string baseline_path;
+    double fail_factor = 2.0;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: carve-bench [options]\n"
+        "\n"
+        "  --smoke            small grid + short micro (CI-sized)\n"
+        "  --micro-only       skip the end-to-end cells\n"
+        "  --micro-events N   events per engine in the micro\n"
+        "                     (default 5e6; --smoke uses 1e6)\n"
+        "  --out FILE         output path (default BENCH_<date>.json)\n"
+        "  --baseline FILE    compare against a bench file; exit 1\n"
+        "                     only on a > fail-factor slowdown\n"
+        "  --fail-factor X    slowdown gate (default 2.0)\n"
+        "  --help             this text\n");
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions cli;
+    const auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("%s requires an argument", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--smoke") {
+            cli.smoke = true;
+        } else if (a == "--micro-only") {
+            cli.micro_only = true;
+        } else if (a == "--micro-events") {
+            cli.micro_events =
+                std::stoull(need(i, "--micro-events"));
+        } else if (a == "--out") {
+            cli.out_path = need(i, "--out");
+        } else if (a == "--baseline") {
+            cli.baseline_path = need(i, "--baseline");
+        } else if (a == "--fail-factor") {
+            cli.fail_factor = std::stod(need(i, "--fail-factor"));
+        } else {
+            fatal("unknown flag '%s' (see --help)", a.c_str());
+        }
+    }
+    return cli;
+}
+
+std::string
+todayUtc()
+{
+    const std::time_t t = std::time(nullptr);
+    char buf[16];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", std::gmtime(&t));
+    return buf;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * One self-rescheduling micro actor. Delays are a deterministic
+ * LCG stream: mostly short (inside the calendar's near-horizon
+ * ring), with one in 64 pushed past the horizon to exercise the
+ * far-heap migration path. The callback is a pre-bound member
+ * event, so steady state allocates nothing on either engine.
+ */
+struct Actor
+{
+    EventQueue *eq = nullptr;
+    std::uint64_t state = 0;
+    std::uint64_t fired = 0;
+
+    void
+    tick()
+    {
+        ++fired;
+        state = state * 6364136223846793005ULL +
+            1442695040888963407ULL;
+        const std::uint64_t r = state >> 33;
+        Cycle delta = 1 + (r % 197);
+        if ((r & 63) == 0)
+            delta += 4096;  // past the near-horizon ring
+        eq->scheduleAfter(delta, bindEvent<&Actor::tick>(this));
+    }
+};
+
+MicroResult
+runMicro(EventEngine engine, const char *name,
+         std::uint64_t target_events)
+{
+    constexpr std::size_t actors = 8192;
+
+    EventQueue eq(engine);
+    std::vector<Actor> pop(actors);
+    for (std::size_t i = 0; i < actors; ++i) {
+        pop[i].eq = &eq;
+        pop[i].state = 0x9e3779b97f4a7c15ULL * (i + 1);
+        eq.schedule(i % 128, bindEvent<&Actor::tick>(&pop[i]));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    eq.runWhile([&] { return eq.executed() < target_events; });
+    const double secs = secondsSince(start);
+
+    MicroResult m;
+    m.name = name;
+    m.events = eq.executed();
+    m.seconds = secs;
+    m.events_per_sec =
+        secs > 0.0 ? static_cast<double>(m.events) / secs : 0.0;
+    std::printf("micro %-18s %10llu events  %7.3fs  %11.0f ev/s\n",
+                name, static_cast<unsigned long long>(m.events),
+                m.seconds, m.events_per_sec);
+    return m;
+}
+
+CellResult
+runCell(const SimJob &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult r = run(job);
+    const double secs = secondsSince(start);
+
+    CellResult c;
+    c.preset = r.preset;
+    c.workload = r.workload;
+    c.cycles = r.cycles;
+    c.events = r.events;
+    c.warp_insts = r.warp_insts;
+    c.host_seconds = secs;
+    c.events_per_sec =
+        secs > 0.0 ? static_cast<double>(r.events) / secs : 0.0;
+    c.warp_insts_per_sec =
+        secs > 0.0 ? static_cast<double>(r.warp_insts) / secs : 0.0;
+    std::printf("cell  %-18s %-10s %7.3fs  %11.0f ev/s  "
+                "%10.0f winst/s\n",
+                c.preset.c_str(), c.workload.c_str(),
+                c.host_seconds, c.events_per_sec,
+                c.warp_insts_per_sec);
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli = parseArgs(argc, argv);
+
+    BenchReport rep;
+    rep.date = todayUtc();
+    rep.git_version = harness::gitDescribe();
+    const char *env = std::getenv("CARVE_EVENTQ");
+    rep.engine = env && *env ? env : "calendar";
+
+    // ---- engine microbenchmark ------------------------------------
+    const std::uint64_t micro_events =
+        cli.smoke ? std::min<std::uint64_t>(cli.micro_events,
+                                            1'000'000)
+                  : cli.micro_events;
+    const MicroResult cal = runMicro(EventEngine::Calendar,
+                                     "eventq/calendar",
+                                     micro_events);
+    const MicroResult heap =
+        runMicro(EventEngine::Heap, "eventq/heap", micro_events);
+    rep.micro = {cal, heap};
+    if (heap.events_per_sec > 0.0) {
+        std::printf("micro eventq speedup: calendar is %.2fx heap\n",
+                    cal.events_per_sec / heap.events_per_sec);
+    }
+
+    // ---- end-to-end cells -----------------------------------------
+    if (!cli.micro_only) {
+        SuiteOptions suite;
+        suite.memory_scale = 8;
+        suite.duration = cli.smoke ? 0.05 : 0.2;
+        rep.memory_scale = suite.memory_scale;
+        rep.duration = suite.duration;
+
+        const std::vector<Preset> presets =
+            cli.smoke
+                ? std::vector<Preset>{Preset::NumaGpu,
+                                      Preset::CarveHwc}
+                : std::vector<Preset>{Preset::SingleGpu,
+                                      Preset::NumaGpu,
+                                      Preset::CarveHwc,
+                                      Preset::Ideal};
+        const std::vector<std::string> workloads =
+            cli.smoke
+                ? std::vector<std::string>{"Lulesh", "XSBench"}
+                : std::vector<std::string>{"Lulesh", "XSBench",
+                                           "HPGMG", "MiniAMR"};
+
+        const SystemConfig base =
+            SystemConfig{}.scaled(suite.memory_scale);
+        RunOptions opts;
+        opts.profile_lines = false;
+        opts.max_cycles = 1'000'000'000;
+
+        // Cells run serially: each host-seconds figure must not be
+        // polluted by sibling runs competing for cores.
+        for (const std::string &wl : workloads) {
+            const WorkloadParams params = suiteWorkload(wl, suite);
+            for (const Preset p : presets)
+                rep.cells.push_back(runCell(
+                    makePresetJob(p, base, params, opts)));
+        }
+    }
+
+    // ---- write + gate ---------------------------------------------
+    const std::string out = cli.out_path.empty()
+        ? "BENCH_" + rep.date + ".json"
+        : cli.out_path;
+    harness::writeResultsFile(out, benchToJson(rep));
+    std::printf("carve-bench: wrote %s\n", out.c_str());
+
+    if (!cli.baseline_path.empty()) {
+        const BenchReport baseline =
+            harness::readBenchFile(cli.baseline_path);
+        const auto deltas =
+            harness::compareBench(baseline, rep, cli.fail_factor);
+        std::fputs(
+            harness::formatBenchCompare(deltas, cli.fail_factor)
+                .c_str(),
+            stdout);
+        if (harness::benchHasRegression(deltas))
+            return 1;
+    }
+    return 0;
+}

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "core/report.hh"
 #include "harness/results_io.hh"
@@ -50,6 +51,7 @@ struct CliOptions
     bool quiet = false;
     bool list_presets = false;
     bool list_workloads = false;
+    bool list_overrides = false;
 };
 
 void
@@ -94,6 +96,8 @@ usage()
         "  --list                    list presets and workloads\n"
         "  --list-presets            list preset names only\n"
         "  --list-workloads          list workload names only\n"
+        "  --list-overrides          list every --set key with its\n"
+        "                            default value\n"
         "  --quiet                   suppress per-run progress\n"
         "  --help                    this text\n");
 }
@@ -208,6 +212,8 @@ parseArgs(int argc, char **argv)
             cli.list_presets = true;
         } else if (a == "--list-workloads") {
             cli.list_workloads = true;
+        } else if (a == "--list-overrides") {
+            cli.list_overrides = true;
         } else if (a == "--quiet") {
             cli.quiet = true;
         } else {
@@ -237,6 +243,15 @@ int
 main(int argc, char **argv)
 {
     const CliOptions cli = parseArgs(argc, argv);
+
+    if (cli.list_overrides) {
+        // Each line is a ready-made --set argument carrying the
+        // Table III default for that key.
+        for (const auto &ov : SystemConfig{}.toOverrides())
+            std::printf("%s=%s\n", ov.key.c_str(),
+                        ov.value.c_str());
+        return 0;
+    }
 
     if (cli.list_presets || cli.list_workloads) {
         // With a single --list-* flag, print bare names (one per
