@@ -14,6 +14,7 @@ Cache::Cache(std::string name, const CacheConfig &cfg,
 bool
 Cache::readProbe(Addr addr)
 {
+    ++probes_;
     if (tags_.lookup(addr) != nullptr) {
         ++hits_;
         return true;
@@ -25,6 +26,7 @@ Cache::readProbe(Addr addr)
 bool
 Cache::writeProbe(Addr addr, bool mark_dirty)
 {
+    ++probes_;
     if (CacheLine *line = tags_.lookup(addr)) {
         if (mark_dirty)
             line->dirty = true;

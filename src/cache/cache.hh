@@ -78,6 +78,8 @@ class Cache
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t evictions() const { return evictions_.value(); }
+    /** Total read+write probes (== hits + misses). */
+    std::uint64_t probes() const { return probes_.value(); }
 
     /** Hits / (hits + misses); 0 when idle. */
     double
@@ -97,6 +99,7 @@ class Cache
     void
     registerStats(stats::StatGroup &g)
     {
+        g.addScalar("probes", &probes_, "read + write probes");
         g.addScalar("hits", &hits_, "read/write probe hits");
         g.addScalar("misses", &misses_, "read probe misses");
         g.addScalar("evictions", &evictions_,
@@ -109,6 +112,7 @@ class Cache
     std::string name_;
     Cycle hit_latency_;
     TagArray tags_;
+    stats::Scalar probes_;
     stats::Scalar hits_;
     stats::Scalar misses_;
     stats::Scalar evictions_;

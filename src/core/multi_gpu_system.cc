@@ -16,7 +16,8 @@ constexpr std::uint64_t kClockCheckInterval = 8192;
 } // namespace
 
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
-                               const Workload &wl, bool profile_lines)
+                               const Workload &wl, bool profile_lines,
+                               bool audit)
     : cfg_(cfg), wl_(wl),
       pages_(cfg_, true, profile_lines),
       net_(eq_, cfg_.link, cfg_.num_gpus),
@@ -24,6 +25,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
       stat_root_("")
 {
     cfg_.validate();
+    if (audit)
+        audit_.emplace();
 
     if (cfg_.rdc.enabled &&
         cfg_.rdc.coherence == RdcCoherence::HardwareVI) {
@@ -33,6 +36,7 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
         };
         ops.send_ctrl = [this](NodeId src, NodeId dst,
                                unsigned bytes) {
+            fabric_coh_ctrl_bytes_ += bytes;
             net_.send(src, dst, bytes, Network::Callback());
         };
         vi_.emplace(cfg_, cfg_.num_gpus, std::move(ops));
@@ -45,6 +49,12 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
         gpus_.back()->setWorkload(&wl_);
         gpus_.back()->setKernelDoneCallback(
             [this](NodeId id) { onGpuKernelDone(id); });
+    }
+
+    if (audit_) {
+        net_.setAudit(&*audit_);
+        for (auto &gpu : gpus_)
+            gpu->setAudit(&*audit_);
     }
 
     registerStats();
@@ -73,6 +83,31 @@ MultiGpuSystem::registerStats()
                        "warp instructions issued system-wide");
     sim->addDerivedInt("events", [this] { return eq_.executed(); },
                        "discrete events executed by the engine");
+
+    stats::StatGroup *fabric = child("fabric");
+    fabric->addScalar("remote_read_msgs", &fabric_remote_read_msgs_,
+                      "remote read requests entering the fabric");
+    fabric->addScalar("remote_write_msgs", &fabric_remote_write_msgs_,
+                      "remote write messages entering the fabric");
+    fabric->addScalar("cpu_read_msgs", &fabric_cpu_read_msgs_,
+                      "CPU read requests entering the fabric");
+    fabric->addScalar("cpu_write_msgs", &fabric_cpu_write_msgs_,
+                      "CPU write messages entering the fabric");
+    fabric->addScalar("flush_bytes", &fabric_flush_bytes_,
+                      "RDC boundary-flush bytes entering the fabric");
+    fabric->addScalar("coh_ctrl_bytes", &fabric_coh_ctrl_bytes_,
+                      "coherence control bytes entering the fabric");
+    fabric->addScalar("bulk_gpu_bytes", &fabric_bulk_gpu_bytes_,
+                      "bulk-transfer bytes charged to GPU-GPU links");
+    fabric->addScalar("bulk_cpu_bytes", &fabric_bulk_cpu_bytes_,
+                      "bulk-transfer bytes charged to CPU links");
+
+    if (audit_) {
+        stats::StatGroup *audit_grp = child("audit");
+        stat_groups_.push_back(std::make_unique<stats::StatGroup>(
+            "inflight", audit_grp));
+        audit_->registerStats(*stat_groups_.back());
+    }
 
     net_.registerStats(*child("link"));
     pages_.registerStats(*child("numa"));
@@ -114,6 +149,13 @@ MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
         });
     }
     watchdog_tripped_ = !finished_;
+    if (audit_ && finished_) {
+        // Drain the posted tail (stores, DRAM callbacks, link
+        // deliveries) so every issued token can retire, then prove
+        // nothing was stranded.
+        eq_.run();
+        auditCheck(/* final_pass */ true);
+    }
     return finished_ ? finish_time_ : eq_.now();
 }
 
@@ -156,6 +198,8 @@ MultiGpuSystem::onGpuKernelDone(NodeId)
     phase_base_ = snap;
     phase_start_ = eq_.now();
 
+    auditCheck(/* final_pass */ false);
+
     if (cur_kernel_ + 1 < wl_.numKernels()) {
         const KernelId next = cur_kernel_ + 1;
         eq_.scheduleAfter(cfg_.core.kernel_launch_latency + stall,
@@ -171,6 +215,7 @@ MultiGpuSystem::remoteRead(NodeId src, NodeId home, Addr line,
                            Callback done)
 {
     carve_assert(src != home && home < gpus_.size());
+    ++fabric_remote_read_msgs_;
     // Request packet to the home node...
     net_.send(src, home, cfg_.link.ctrl_packet_size,
         [this, src, home, line, done = std::move(done)]() mutable {
@@ -190,6 +235,7 @@ void
 MultiGpuSystem::remoteWrite(NodeId src, NodeId home, Addr line)
 {
     carve_assert(src != home && home < gpus_.size());
+    ++fabric_remote_write_msgs_;
     net_.send(src, home, cfg_.line_size, [this, src, home, line] {
         gpus_[home]->serviceRemoteWrite(line);
         if (vi_)
@@ -201,6 +247,7 @@ void
 MultiGpuSystem::cpuRead(NodeId src, Addr line, Callback done)
 {
     (void)line;
+    ++fabric_cpu_read_msgs_;
     net_.sendToCpu(src, cfg_.link.ctrl_packet_size,
         [this, src, done = std::move(done)]() mutable {
             eq_.scheduleAfter(cfg_.link.cpu_mem_latency,
@@ -215,6 +262,7 @@ void
 MultiGpuSystem::cpuWrite(NodeId src, Addr line)
 {
     (void)line;
+    ++fabric_cpu_write_msgs_;
     net_.sendToCpu(src, cfg_.line_size, Network::Callback());
 }
 
@@ -227,13 +275,35 @@ MultiGpuSystem::bulkTransfer(NodeId src, NodeId dst,
     bulk_bytes_ += bytes;
     if (!cfg_.numa.charge_bulk_transfers)
         return;
-    if (src == cpu_node) {
-        net_.sendFromCpu(dst, bytes, Network::Callback());
-    } else if (dst == cpu_node) {
-        net_.sendToCpu(src, bytes, Network::Callback());
-    } else {
-        net_.send(src, dst, bytes, Network::Callback());
+
+    Network::Callback done;
+    if (audit_) {
+        audit_->issue(audit::Boundary::BulkTransfer);
+        done = [tracker = &*audit_] {
+            tracker->retire(audit::Boundary::BulkTransfer);
+        };
     }
+
+    if (src == cpu_node) {
+        fabric_bulk_cpu_bytes_ += bytes;
+        net_.sendFromCpu(dst, bytes, std::move(done));
+    } else if (dst == cpu_node) {
+        fabric_bulk_cpu_bytes_ += bytes;
+        net_.sendToCpu(src, bytes, std::move(done));
+    } else {
+        fabric_bulk_gpu_bytes_ += bytes;
+        net_.send(src, dst, bytes, std::move(done));
+    }
+}
+
+void
+MultiGpuSystem::rdcFlush(NodeId src, NodeId home, std::uint64_t bytes)
+{
+    carve_assert(src != home && home < gpus_.size());
+    fabric_flush_bytes_ += bytes;
+    // Posted: the boundary stall already charged the drain latency on
+    // the source side; the data still occupies the wire.
+    net_.send(src, home, bytes, Network::Callback());
 }
 
 void
@@ -255,6 +325,73 @@ MultiGpuSystem::totalInstsIssued() const
     for (const auto &gpu : gpus_)
         total += gpu->instsIssued();
     return total;
+}
+
+void
+MultiGpuSystem::auditCheck(bool final_pass)
+{
+    if (!audit_)
+        return;
+
+    std::vector<std::string> fails;
+    audit::checkCacheProbes(stat_root_, fails);
+
+    audit::ConservationParams params;
+    params.line_size = cfg_.line_size;
+    params.ctrl_packet_size = cfg_.link.ctrl_packet_size;
+    params.final_pass = final_pass;
+    audit::checkConservation(stat_root_, params, fails);
+
+    for (unsigned g = 0; g < numGpus(); ++g) {
+        if (const RdcController *rdc = gpus_[g]->rdc())
+            rdc->auditDirtyState("gpu" + std::to_string(g) + ".rdc",
+                                 fails);
+    }
+
+    if (final_pass) {
+        // The queue has drained: every token must be retired, every
+        // MSHR entry completed, every warp finished.
+        audit_->check(fails);
+        for (unsigned g = 0; g < numGpus(); ++g) {
+            const GpuNode &gpu = *gpus_[g];
+            const std::string prefix = "gpu" + std::to_string(g);
+            if (gpu.l2Mshrs().size() != 0) {
+                fails.push_back(prefix + ": " +
+                    std::to_string(gpu.l2Mshrs().size()) +
+                    " L2 MSHR entr(ies) stranded at end of sim");
+            }
+            if (gpu.rdc() && gpu.rdc()->mshrs().size() != 0) {
+                fails.push_back(prefix + ": " +
+                    std::to_string(gpu.rdc()->mshrs().size()) +
+                    " RDC MSHR entr(ies) stranded at end of sim");
+            }
+            for (unsigned s = 0; s < gpu.numSms(); ++s) {
+                const Sm &sm = gpu.sm(s);
+                if (sm.l1Mshrs().size() != 0) {
+                    fails.push_back(prefix + ".sm" +
+                        std::to_string(s) + ": " +
+                        std::to_string(sm.l1Mshrs().size()) +
+                        " L1 MSHR entr(ies) stranded at end of sim");
+                }
+                if (!sm.idle()) {
+                    fails.push_back(prefix + ".sm" +
+                        std::to_string(s) +
+                        ": warps still resident at end of sim");
+                }
+            }
+        }
+    }
+
+    if (fails.empty())
+        return;
+    std::string msg = "carve-audit: " +
+        std::to_string(fails.size()) + " invariant violation(s) " +
+        (final_pass ? "at end of simulation"
+                    : "at kernel boundary") +
+        " (kernel " + std::to_string(cur_kernel_) + ")";
+    for (const std::string &f : fails)
+        msg += "\n  " + f;
+    panic("%s", msg.c_str());
 }
 
 } // namespace carve

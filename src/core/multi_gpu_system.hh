@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "coherence/gpu_vi.hh"
+#include "common/audit.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -40,9 +41,13 @@ class MultiGpuSystem : public SystemFabric
      * @param profile_lines line-granularity sharing profiling (costs
      *        memory proportional to touched lines; disable for pure
      *        timing runs)
+     * @param audit enable the carve-audit conservation checker:
+     *        in-flight tokens at every hand-off boundary plus
+     *        cross-stat invariant passes at kernel boundaries and at
+     *        end of simulation (panics on the first violation)
      */
     MultiGpuSystem(const SystemConfig &cfg, const Workload &wl,
-                   bool profile_lines = true);
+                   bool profile_lines = true, bool audit = false);
 
     /**
      * Execute the whole trace.
@@ -79,6 +84,8 @@ class MultiGpuSystem : public SystemFabric
     void cpuWrite(NodeId src, Addr line) override;
     void bulkTransfer(NodeId src, NodeId dst,
                       std::uint64_t bytes) override;
+    void rdcFlush(NodeId src, NodeId home,
+                  std::uint64_t bytes) override;
     void coherenceLocalAccess(NodeId home, Addr line,
                               AccessType type) override;
 
@@ -102,6 +109,9 @@ class MultiGpuSystem : public SystemFabric
     }
     const CtaScheduler &scheduler() const { return sched_; }
     const Workload &workload() const { return wl_; }
+
+    /** True when the carve-audit checker is attached. */
+    bool auditEnabled() const { return audit_.has_value(); }
 
     /** Total warp instructions issued so far. */
     std::uint64_t totalInstsIssued() const;
@@ -130,6 +140,10 @@ class MultiGpuSystem : public SystemFabric
     void launchKernel(KernelId k);
     void onGpuKernelDone(NodeId gpu);
     void registerStats();
+    /** Run every applicable invariant; panics listing all failures.
+     * @param final_pass the event queue has drained, so checks over
+     *        posted traffic (writes, tokens, MSHR occupancy) apply */
+    void auditCheck(bool final_pass);
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -146,6 +160,24 @@ class MultiGpuSystem : public SystemFabric
     bool watchdog_tripped_ = false;
     Cycle finish_time_ = 0;
     stats::Scalar bulk_bytes_;
+
+    /**
+     * Fabric-side conservation ledger: message and byte counts at the
+     * point traffic enters the interconnect, which the audit balances
+     * against the requester- and home-side counters. Always counted
+     * (they are cheap and useful in reports); only audit mode checks
+     * them.
+     */
+    stats::Scalar fabric_remote_read_msgs_;
+    stats::Scalar fabric_remote_write_msgs_;
+    stats::Scalar fabric_cpu_read_msgs_;
+    stats::Scalar fabric_cpu_write_msgs_;
+    stats::Scalar fabric_flush_bytes_;
+    stats::Scalar fabric_coh_ctrl_bytes_;
+    stats::Scalar fabric_bulk_gpu_bytes_;
+    stats::Scalar fabric_bulk_cpu_bytes_;
+
+    std::optional<audit::InflightTracker> audit_;
 
     stats::StatGroup stat_root_;
     std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;

@@ -61,6 +61,8 @@ collectResult(const MultiGpuSystem &sys, const std::string &workload,
     r.traffic.local_writes = sumMatching("gpu*.traffic.local_writes");
     r.traffic.remote_writes =
         sumMatching("gpu*.traffic.remote_writes");
+    r.traffic.rdc_hit_writes =
+        sumMatching("gpu*.traffic.rdc_hit_writes");
     r.traffic.cpu_writes = sumMatching("gpu*.traffic.cpu_writes");
     r.frac_remote = r.traffic.fracRemote();
 

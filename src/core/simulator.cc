@@ -11,7 +11,7 @@ run(const SimJob &job)
     const RunOptions &opt = job.options;
     SyntheticWorkload wl(job.workload, job.config.line_size,
                          opt.seed);
-    MultiGpuSystem sys(job.config, wl, opt.profile_lines);
+    MultiGpuSystem sys(job.config, wl, opt.profile_lines, opt.audit);
     sys.run(opt.max_cycles, opt.max_wall_seconds);
     if (sys.watchdogTripped() && !opt.tolerate_watchdog) {
         fatal("MultiGpuSystem: simulation did not converge "

@@ -34,6 +34,10 @@ struct RunOptions
      * SimResult::watchdog_tripped set so batch drivers can mark the
      * run failed without killing sibling runs. */
     bool tolerate_watchdog = false;
+    /** carve-audit: in-flight token tracking plus conservation/
+     * invariant passes at kernel boundaries and end of sim. A
+     * violation panics with the offending dotted stat names. */
+    bool audit = false;
 };
 
 /**

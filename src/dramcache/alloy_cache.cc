@@ -17,6 +17,7 @@ AlloyCache::AlloyCache(std::uint64_t size, std::uint64_t line_size)
 RdcLookup
 AlloyCache::lookup(Addr line_addr, std::uint32_t epoch)
 {
+    ++probes_;
     const auto it = sets_map_.find(setIndex(line_addr));
     if (it == sets_map_.end() || !it->second.valid ||
         it->second.tag != line_addr) {
@@ -31,18 +32,24 @@ AlloyCache::lookup(Addr line_addr, std::uint32_t epoch)
     return RdcLookup::Hit;
 }
 
-bool
-AlloyCache::insert(Addr line_addr, std::uint32_t epoch, bool dirty)
+std::optional<RdcVictim>
+AlloyCache::insert(Addr line_addr, std::uint32_t epoch, bool dirty,
+                   NodeId home)
 {
     SetEntry &entry = sets_map_[setIndex(line_addr)];
-    const bool displaced = entry.valid && entry.tag != line_addr;
-    if (displaced)
+    std::optional<RdcVictim> victim;
+    if (entry.valid && entry.tag != line_addr) {
         ++conflicts_;
+        if (entry.dirty)
+            ++dirty_evictions_;
+        victim = RdcVictim{entry.tag, entry.home, entry.dirty};
+    }
     entry.tag = line_addr;
     entry.epoch = epoch;
+    entry.home = home;
     entry.valid = true;
     entry.dirty = dirty;
-    return displaced;
+    return victim;
 }
 
 bool
@@ -55,6 +62,21 @@ AlloyCache::markDirty(Addr line_addr, std::uint32_t epoch)
     }
     it->second.dirty = true;
     return true;
+}
+
+bool
+AlloyCache::lineDirty(Addr line_addr) const
+{
+    const auto it = sets_map_.find(setIndex(line_addr));
+    return it != sets_map_.end() && it->second.valid &&
+        it->second.tag == line_addr && it->second.dirty;
+}
+
+void
+AlloyCache::cleanAll()
+{
+    for (auto &kv : sets_map_)
+        kv.second.dirty = false;
 }
 
 bool

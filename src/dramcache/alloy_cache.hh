@@ -16,6 +16,7 @@
 #define CARVE_DRAMCACHE_ALLOY_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "common/stats.hh"
@@ -28,6 +29,15 @@ enum class RdcLookup : std::uint8_t {
     Hit,        ///< tag and epoch match
     Miss,       ///< set empty or tag mismatch
     StaleEpoch, ///< tag matches but the line is from an old epoch
+};
+
+/** A valid line displaced by an insert. The owning controller must
+ * write a dirty victim back to its home or its data is lost. */
+struct RdcVictim
+{
+    Addr tag = 0;      ///< displaced line address
+    NodeId home = 0;   ///< the line's home node
+    bool dirty = false;
 };
 
 /**
@@ -53,15 +63,28 @@ class AlloyCache
      * Install @p line_addr, displacing whatever occupied its set.
      * @param epoch EPCTR value stored with the line
      * @param dirty install in dirty state (write-back mode)
-     * @return true when a valid different line was displaced
+     * @param home the line's home node (kept so a later displacement
+     *        knows where a dirty victim must be written back)
+     * @return the displaced valid line, when a different one was
+     *         resident
      */
-    bool insert(Addr line_addr, std::uint32_t epoch, bool dirty = false);
+    std::optional<RdcVictim> insert(Addr line_addr,
+                                    std::uint32_t epoch,
+                                    bool dirty = false,
+                                    NodeId home = 0);
 
     /**
      * Mark a resident, epoch-current line dirty (write-back mode).
      * @return true when the line was resident and marked
      */
     bool markDirty(Addr line_addr, std::uint32_t epoch);
+
+    /** True when @p line_addr is resident (any epoch) and dirty. */
+    bool lineDirty(Addr line_addr) const;
+
+    /** Clear every resident line's dirty bit (post-flush: the copies
+     * are clean again, matching the emptied dirty map). */
+    void cleanAll();
 
     /**
      * Stat-free structural probe (coherence logic and tests).
@@ -104,6 +127,10 @@ class AlloyCache
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t staleHits() const { return stale_.value(); }
     std::uint64_t conflictEvictions() const { return conflicts_.value(); }
+    /** Displaced victims that were dirty (each owes a write-back). */
+    std::uint64_t dirtyEvictions() const { return dirty_evictions_.value(); }
+    /** Total lookup() probes (== hits + misses + stale hits). */
+    std::uint64_t probes() const { return probes_.value(); }
 
     /** Hit rate counting stale-epoch probes as misses. */
     double
@@ -121,33 +148,47 @@ class AlloyCache
     void
     registerStats(stats::StatGroup &g)
     {
+        g.addScalar("probes", &probes_, "lookup probes");
         g.addScalar("hits", &hits_, "tag+epoch matches");
         g.addScalar("misses", &misses_, "empty set or tag mismatch");
         g.addScalar("stale_hits", &stale_,
                     "tag matches from an old epoch");
         g.addScalar("conflict_evictions", &conflicts_,
                     "valid lines displaced by inserts");
+        g.addScalar("dirty_evictions", &dirty_evictions_,
+                    "displaced victims that were dirty");
         g.addDerived("hit_rate", [this] { return hitRate(); },
                      "hits / probes (stale probes count as misses)");
     }
 
-  private:
+    /** One direct-mapped set's tag state. */
     struct SetEntry
     {
         Addr tag;             ///< full line address
         std::uint32_t epoch;
+        NodeId home;          ///< the line's home node
         bool valid;
         bool dirty;
     };
 
+    /** Sparse tag store keyed by set index (audit walks this). */
+    const std::unordered_map<std::uint64_t, SetEntry> &
+    setsMap() const
+    {
+        return sets_map_;
+    }
+
+  private:
     std::uint64_t line_size_;
     std::uint64_t sets_;
     std::unordered_map<std::uint64_t, SetEntry> sets_map_;
 
+    stats::Scalar probes_;
     stats::Scalar hits_;
     stats::Scalar misses_;
     stats::Scalar stale_;
     stats::Scalar conflicts_;
+    stats::Scalar dirty_evictions_;
 };
 
 } // namespace carve

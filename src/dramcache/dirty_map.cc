@@ -1,5 +1,8 @@
 #include "dramcache/dirty_map.hh"
 
+#include <algorithm>
+#include <map>
+
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -13,16 +16,55 @@ DirtyMap::DirtyMap(std::uint64_t region_size)
 }
 
 void
-DirtyMap::markDirty(Addr rdc_offset)
+DirtyMap::markDirty(Addr rdc_offset, NodeId home)
 {
-    regions_.insert(rdc_offset / region_size_);
+    sets_[rdc_offset] = home;
     ++markings_;
+}
+
+void
+DirtyMap::clearDirty(Addr rdc_offset)
+{
+    sets_.erase(rdc_offset);
 }
 
 bool
 DirtyMap::isDirty(Addr rdc_offset) const
 {
-    return regions_.contains(rdc_offset / region_size_);
+    const std::uint64_t region = rdc_offset / region_size_;
+    for (const auto &kv : sets_)
+        if (kv.first / region_size_ == region)
+            return true;
+    return false;
+}
+
+std::size_t
+DirtyMap::dirtyRegions() const
+{
+    std::unordered_set<std::uint64_t> regions;
+    for (const auto &kv : sets_)
+        regions.insert(kv.first / region_size_);
+    return regions.size();
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>>
+DirtyMap::flushTargets() const
+{
+    // Region -> (lowest dirty offset, its home). Ordered map keeps
+    // the whole computation independent of hash iteration order.
+    std::map<std::uint64_t, std::pair<std::uint64_t, NodeId>> regions;
+    for (const auto &kv : sets_) {
+        const std::uint64_t region = kv.first / region_size_;
+        const auto it = regions.find(region);
+        if (it == regions.end() || kv.first < it->second.first)
+            regions[region] = {kv.first, kv.second};
+    }
+
+    std::map<NodeId, std::uint64_t> per_home;
+    for (const auto &kv : regions)
+        per_home[kv.second.second] += region_size_;
+
+    return {per_home.begin(), per_home.end()};
 }
 
 } // namespace carve

@@ -1,5 +1,7 @@
 #include "dramcache/rdc_controller.hh"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.hh"
@@ -17,7 +19,8 @@ RdcController::RdcController(EventQueue &eq, const SystemConfig &cfg,
       carve_base_(cfg.dram.capacity - cfg.rdc.size)
 {
     carve_assert(cfg.rdc.enabled);
-    carve_assert(ops_.fetch_remote && ops_.write_remote);
+    carve_assert(ops_.fetch_remote && ops_.write_remote &&
+                 ops_.flush_remote);
 }
 
 Addr
@@ -98,13 +101,30 @@ RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
     if (out != MshrOutcome::NewEntry)
         return;
 
-    ops_.fetch_remote(home, line_addr, [this, line_addr] {
-        alloy_.insert(line_addr, epoch_.current(), false);
+    if (audit_)
+        audit_->issue(audit::Boundary::RdcFetch);
+    ops_.fetch_remote(home, line_addr, [this, home, line_addr] {
+        if (audit_)
+            audit_->retire(audit::Boundary::RdcFetch);
+        handleVictim(alloy_.insert(line_addr, epoch_.current(),
+                                   /* dirty */ false, home));
         // Fill write into the carve-out is posted.
         local_mem_.access(storageAddr(line_addr), AccessType::Write,
                           Callback());
         mshrs_.complete(line_addr);
     });
+}
+
+void
+RdcController::handleVictim(const std::optional<RdcVictim> &victim)
+{
+    if (!victim || !victim->dirty)
+        return;
+    // The carve-out held the only up-to-date copy of the displaced
+    // line; its home must absorb it before the data is lost.
+    ++writeback_victims_;
+    dirty_map_.clearDirty(alloy_.setStorageOffset(victim->tag));
+    ops_.write_remote(victim->home, victim->tag);
 }
 
 void
@@ -127,12 +147,13 @@ RdcController::write(NodeId home, Addr line_addr)
 
     // Write-back: allocate on write, defer propagation to the flush.
     if (alloy_.lookup(line_addr, epoch_.current()) != RdcLookup::Hit)
-        alloy_.insert(line_addr, epoch_.current(), true);
+        handleVictim(alloy_.insert(line_addr, epoch_.current(),
+                                   /* dirty */ true, home));
     else
         alloy_.markDirty(line_addr, epoch_.current());
     local_mem_.access(storageAddr(line_addr), AccessType::Write,
                       Callback());
-    dirty_map_.markDirty(alloy_.setStorageOffset(line_addr));
+    dirty_map_.markDirty(alloy_.setStorageOffset(line_addr), home);
     ++write_updates_;
 }
 
@@ -146,7 +167,16 @@ RdcController::kernelBoundarySwc()
         const std::uint64_t bytes = dirty_map_.dirtyBytes();
         stall = static_cast<Cycle>(
             static_cast<double>(bytes) / cfg_.link.gpu_gpu_bw);
+        // The stall charges the latency; the flush data itself still
+        // has to cross the fabric and land in the home memories.
+        for (const auto &[flush_home, flush_bytes] :
+                 dirty_map_.flushTargets()) {
+            flush_bytes_ += flush_bytes;
+            flush_regions_ += flush_bytes / dirty_map_.regionSize();
+            ops_.flush_remote(flush_home, flush_bytes);
+        }
         dirty_map_.clear();
+        alloy_.cleanAll();
     }
     if (epoch_.increment()) {
         // Rollover: the controller physically clears every line.
@@ -159,6 +189,8 @@ bool
 RdcController::invalidateLine(Addr line_addr)
 {
     ++hw_invalidates_;
+    if (alloy_.lineDirty(line_addr))
+        dirty_map_.clearDirty(alloy_.setStorageOffset(line_addr));
     return alloy_.invalidateLine(line_addr);
 }
 
@@ -183,6 +215,12 @@ RdcController::registerStats(stats::StatGroup &g)
                 "misses overlapped with the probe by the predictor");
     g.addScalar("hw_invalidates", &hw_invalidates_,
                 "inbound hardware write-invalidates");
+    g.addScalar("writeback_victims", &writeback_victims_,
+                "dirty victims written back to their homes");
+    g.addScalar("flush_bytes", &flush_bytes_,
+                "kernel-boundary flush bytes sent over the fabric");
+    g.addScalar("flush_regions", &flush_regions_,
+                "dirty regions drained at kernel boundaries");
 
     const auto child = [&](const char *name) {
         stat_groups_.push_back(
@@ -194,6 +232,44 @@ RdcController::registerStats(stats::StatGroup &g)
     predictor_.registerStats(*child("predictor"));
     dirty_map_.registerStats(*child("dirty_map"));
     mshrs_.registerStats(*child("mshrs"));
+}
+
+void
+RdcController::auditDirtyState(const std::string &prefix,
+                               std::vector<std::string> &out) const
+{
+    std::vector<std::string> fails;
+    const std::uint64_t line = cfg_.line_size;
+
+    for (const auto &[set, entry] : alloy_.setsMap()) {
+        if (!entry.valid || !entry.dirty)
+            continue;
+        const Addr offset = set * line;
+        if (!dirty_map_.isDirtyLine(offset)) {
+            fails.push_back(prefix + ": dirty alloy set " +
+                            std::to_string(set) +
+                            " missing from the dirty map");
+        } else if (dirty_map_.dirtySets().at(offset) != entry.home) {
+            fails.push_back(prefix + ": dirty alloy set " +
+                            std::to_string(set) +
+                            " home disagrees with the dirty map");
+        }
+    }
+
+    for (const auto &[offset, home] : dirty_map_.dirtySets()) {
+        (void)home;
+        const auto it = alloy_.setsMap().find(offset / line);
+        if (it == alloy_.setsMap().end() || !it->second.valid ||
+            !it->second.dirty) {
+            fails.push_back(prefix + ": dirty map set at offset " +
+                            std::to_string(offset) +
+                            " has no dirty alloy line");
+        }
+    }
+
+    // Hash-map walks above are unordered; sort for stable reports.
+    std::sort(fails.begin(), fails.end());
+    out.insert(out.end(), fails.begin(), fails.end());
 }
 
 } // namespace carve

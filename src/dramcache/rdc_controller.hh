@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/mshr.hh"
+#include "common/audit.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -43,6 +44,9 @@ struct RdcRemoteOps
                        std::function<void()> done)> fetch_remote;
     /** Posted write-through of @p line to @p home. */
     std::function<void(NodeId home, Addr line)> write_remote;
+    /** Posted bulk flush of @p bytes of dirty data to @p home
+     * (kernel-boundary write-back drain). */
+    std::function<void(NodeId home, std::uint64_t bytes)> flush_remote;
 };
 
 /**
@@ -96,10 +100,28 @@ class RdcController
     /** True when a current-epoch copy of the line is resident. */
     bool contains(Addr line_addr);
 
+    /** True in write-back mode: writes are absorbed locally instead of
+     * being forwarded home immediately. */
+    bool
+    absorbsWrites() const
+    {
+        return cfg_.rdc.write_policy == RdcWritePolicy::WriteBack;
+    }
+
     const AlloyCache &alloy() const { return alloy_; }
     const EpochCounter &epoch() const { return epoch_; }
     const DirtyMap &dirtyMap() const { return dirty_map_; }
     const HitPredictor &predictor() const { return predictor_; }
+    const MshrFile &mshrs() const { return mshrs_; }
+    MshrFile &mshrs() { return mshrs_; }
+
+    /** Attach the in-flight token tracker (audit mode only). */
+    void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
+
+    /** Cross-check alloy dirty bits against the dirty map; failures
+     * are appended to @p out prefixed with @p prefix. */
+    void auditDirtyState(const std::string &prefix,
+                         std::vector<std::string> &out) const;
 
     /** Reads serviced from the carve-out (NUMA traffic avoided). */
     std::uint64_t readHits() const { return read_hits_.value(); }
@@ -116,6 +138,9 @@ class RdcController
   private:
     void handleMiss(NodeId home, Addr line_addr, bool serialized,
                     Callback done);
+    /** Write a displaced dirty victim back to its home (its carve-out
+     * copy was the only up-to-date one) and drop its dirty-map set. */
+    void handleVictim(const std::optional<RdcVictim> &victim);
     /** Hit-path probe, scheduled as a pre-bound event after the
      * controller pipeline latency (@p done is moved from). */
     void probeHit(Addr line_addr, Callback &done);
@@ -136,12 +161,17 @@ class RdcController
     /** Carve-out base inside local physical memory (top of DRAM). */
     Addr carve_base_;
 
+    audit::InflightTracker *audit_ = nullptr;
+
     stats::Scalar read_hits_;
     stats::Scalar read_misses_;
     stats::Scalar write_updates_;
     stats::Scalar write_throughs_;
     stats::Scalar bypasses_;
     stats::Scalar hw_invalidates_;
+    stats::Scalar writeback_victims_;
+    stats::Scalar flush_bytes_;
+    stats::Scalar flush_regions_;
     std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
 };
 

@@ -59,6 +59,13 @@ class SystemFabric
                               std::uint64_t bytes) = 0;
 
     /**
+     * Posted kernel-boundary flush of @p bytes of dirty RDC data from
+     * GPU @p src to GPU @p home's memory (write-back RDC drain).
+     */
+    virtual void rdcFlush(NodeId src, NodeId home,
+                          std::uint64_t bytes) = 0;
+
+    /**
      * An access by @p home to its own memory reached the memory
      * controller: run coherence tracking (a local write may need to
      * invalidate remote copies of the line; a local read updates the

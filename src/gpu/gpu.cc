@@ -42,6 +42,9 @@ GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
         ops.write_remote = [this](NodeId home, Addr line) {
             fabric_.remoteWrite(id_, home, line);
         };
+        ops.flush_remote = [this](NodeId home, std::uint64_t bytes) {
+            fabric_.rdcFlush(id_, home, bytes);
+        };
         rdc_ = std::make_unique<RdcController>(eq, cfg, id, mem_,
                                                std::move(ops));
     }
@@ -175,13 +178,24 @@ GpuNode::kernelBoundary()
 void
 GpuNode::serviceRemoteRead(Addr line, Callback done)
 {
+    ++serviced_remote_reads_;
     mem_.access(line, AccessType::Read, std::move(done));
 }
 
 void
 GpuNode::serviceRemoteWrite(Addr line)
 {
+    ++serviced_remote_writes_;
     mem_.access(line, AccessType::Write, Callback());
+}
+
+void
+GpuNode::setAudit(audit::InflightTracker *tracker)
+{
+    audit_ = tracker;
+    mem_.setAudit(tracker);
+    if (rdc_)
+        rdc_->setAudit(tracker);
 }
 
 void
@@ -198,6 +212,8 @@ GpuNode::invalidateLine(Addr line)
 void
 GpuNode::accessFromSm(Addr line, AccessType type, Callback done)
 {
+    if (audit_)
+        audit_->issue(audit::Boundary::SmL2);
     // Resolve the read/write split here instead of inside the event:
     // both continuations then fit EventFn's inline storage, keeping
     // the hottest scheduling path in the machine allocation-free.
@@ -214,6 +230,8 @@ GpuNode::accessFromSm(Addr line, AccessType type, Callback done)
 void
 GpuNode::arriveAtL2(Addr line, Callback &done)
 {
+    if (audit_)
+        audit_->retire(audit::Boundary::SmL2);
     if (l2_.readProbe(line)) {
         eq_.scheduleAfter(l2_.hitLatency(), std::move(done));
         return;
@@ -237,6 +255,8 @@ GpuNode::handleL2ReadMiss(Addr line, Callback done)
     const MshrOutcome out = l2_mshrs_.allocate(line, std::move(done));
     carve_assert(out != MshrOutcome::Full);
     if (out == MshrOutcome::NewEntry) {
+        if (audit_)
+            audit_->issue(audit::Boundary::L2Fill);
         // Tag check latency before the fill heads off-chip/to DRAM.
         eq_.scheduleAfter(l2_.hitLatency(),
                           bindEvent<&GpuNode::startFill>(this, line));
@@ -288,6 +308,8 @@ GpuNode::startFill(Addr line)
 void
 GpuNode::finishFill(Addr line, bool remote)
 {
+    if (audit_)
+        audit_->retire(audit::Boundary::L2Fill);
     if (!remote || cfg_.numa.llc_caches_remote)
         l2_.fill(line, remote);
     l2_mshrs_.complete(line);
@@ -296,6 +318,8 @@ GpuNode::finishFill(Addr line, bool remote)
 void
 GpuNode::handleWrite(Addr line)
 {
+    if (audit_)
+        audit_->retire(audit::Boundary::SmL2);
     // Write-through LLC: update a resident copy, then propagate to
     // the service memory. Stores never block warps.
     l2_.writeProbe(line, false);
@@ -315,7 +339,13 @@ GpuNode::handleWrite(Addr line)
             ++traffic_.cpu_writes;
             fabric_.cpuWrite(id_, line);
         } else if (rdc_) {
-            ++traffic_.remote_writes;
+            // Classify by where the data actually goes: a write-back
+            // RDC absorbs the store locally until the boundary flush,
+            // so counting it as NUMA write traffic double-charges.
+            if (rdc_->absorbsWrites())
+                ++traffic_.rdc_hit_writes;
+            else
+                ++traffic_.remote_writes;
             rdc_->write(route.service, line);
         } else {
             ++traffic_.remote_writes;
@@ -334,6 +364,10 @@ GpuNode::registerStats(stats::StatGroup &g)
 {
     g.addScalar("hw_invalidations_in", &hw_invalidations_in_,
                 "inbound hardware write-invalidates");
+    g.addScalar("remote_serviced_reads", &serviced_remote_reads_,
+                "inbound remote reads serviced by this home");
+    g.addScalar("remote_serviced_writes", &serviced_remote_writes_,
+                "inbound remote writes serviced by this home");
     g.addDerivedInt("insts_issued", [this] { return instsIssued(); },
                     "warp instructions issued across this GPU's SMs");
 

@@ -16,6 +16,7 @@
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/audit.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -38,13 +39,14 @@ struct GpuTraffic
     stats::Scalar cpu_reads;
     stats::Scalar local_writes;
     stats::Scalar remote_writes;
+    stats::Scalar rdc_hit_writes; ///< absorbed by a write-back RDC
     stats::Scalar cpu_writes;
 
     std::uint64_t
     total() const
     {
         return local_reads + remote_reads + rdc_hit_reads + cpu_reads +
-            local_writes + remote_writes + cpu_writes;
+            local_writes + remote_writes + rdc_hit_writes + cpu_writes;
     }
 
     /** Fraction of post-LLC accesses that crossed a NUMA link. */
@@ -66,6 +68,8 @@ struct GpuTraffic
                     "post-LLC writes to local memory");
         g.addScalar("remote_writes", &remote_writes,
                     "post-LLC writes that left this GPU");
+        g.addScalar("rdc_hit_writes", &rdc_hit_writes,
+                    "post-LLC writes absorbed by a write-back RDC");
         g.addScalar("cpu_writes", &cpu_writes,
                     "post-LLC writes to system memory");
     }
@@ -130,8 +134,11 @@ class GpuNode
     const RdcController *rdc() const { return rdc_.get(); }
     Cache &l2() { return l2_; }
     const Cache &l2() const { return l2_; }
+    MshrFile &l2Mshrs() { return l2_mshrs_; }
+    const MshrFile &l2Mshrs() const { return l2_mshrs_; }
     TlbHierarchy &tlb() { return tlb_; }
     Sm &sm(unsigned i) { return *sms_[i]; }
+    const Sm &sm(unsigned i) const { return *sms_[i]; }
     unsigned numSms() const
     {
         return static_cast<unsigned>(sms_.size());
@@ -145,6 +152,10 @@ class GpuNode
 
     /** Total warp instructions issued across this GPU's SMs. */
     std::uint64_t instsIssued() const;
+
+    /** Attach the in-flight token tracker (audit mode only);
+     * forwarded to the memory controller and RDC. */
+    void setAudit(audit::InflightTracker *tracker);
 
     /** Register this node's whole subtree (traffic, l2 + mshrs, tlb,
      * mem, rdc when present, one group per SM) into @p g, the
@@ -182,8 +193,12 @@ class GpuNode
     std::uint64_t live_ctas_ = 0;
     std::function<void(NodeId)> kernel_done_cb_;
 
+    audit::InflightTracker *audit_ = nullptr;
+
     GpuTraffic traffic_;
     stats::Scalar hw_invalidations_in_;
+    stats::Scalar serviced_remote_reads_;
+    stats::Scalar serviced_remote_writes_;
     std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;
 };
 

@@ -87,6 +87,7 @@ class Sm
 
     Cache &l1() { return l1_; }
     const Cache &l1() const { return l1_; }
+    const MshrFile &l1Mshrs() const { return l1_mshrs_; }
 
     std::uint64_t instsIssued() const { return insts_issued_.value(); }
     std::uint64_t readInsts() const { return read_insts_.value(); }

@@ -1,0 +1,100 @@
+#include "harness/fuzz.hh"
+
+#include <cstddef>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "workloads/suite.hh"
+
+namespace carve {
+namespace harness {
+
+namespace {
+
+/**
+ * One fuzzable knob: a registry key and the values worth mixing.
+ * Keys that makePreset() resets (rdc.enabled, rdc.coherence, the
+ * numa policies) are excluded — overriding them on the base config
+ * would be silently ineffective. rdc.size values are for the default
+ * memory_scale of 8 (paper's 2 GiB carve-out scales to 256 MiB).
+ */
+struct Knob
+{
+    const char *key;
+    std::vector<const char *> values;
+};
+
+const std::vector<Knob> &
+knobTable()
+{
+    static const std::vector<Knob> knobs = {
+        {"rdc.write_policy", {"writethrough", "writeback"}},
+        {"rdc.hit_predictor", {"false", "true"}},
+        {"rdc.size", {"67108864", "134217728", "268435456"}},
+        {"link.gpu_gpu_bw", {"16", "32", "64"}},
+        {"dram.channels", {"2", "4"}},
+        {"numa.charge_bulk_transfers", {"false", "true"}},
+    };
+    return knobs;
+}
+
+} // namespace
+
+std::string
+FuzzSpec::describe() const
+{
+    std::string s = spec.key();
+    for (const std::string &o : overrides)
+        s += " " + o;
+    return s;
+}
+
+std::vector<FuzzSpec>
+makeFuzzSpecs(const FuzzOptions &opt)
+{
+    Rng rng(opt.seed);
+    const std::vector<Preset> presets = allPresets();
+    const std::vector<std::string> names = suiteNames();
+    SuiteOptions suite_opt;
+    suite_opt.memory_scale = opt.memory_scale;
+    suite_opt.duration = opt.duration;
+    const SystemConfig scaled_base =
+        SystemConfig{}.scaled(opt.memory_scale);
+    const std::vector<Knob> &knobs = knobTable();
+
+    std::vector<FuzzSpec> out;
+    out.reserve(opt.count);
+    for (unsigned i = 0; i < opt.count; ++i) {
+        FuzzSpec f;
+        f.spec.preset = presets[rng.below(presets.size())];
+        f.spec.workload =
+            suiteWorkload(names[rng.below(names.size())], suite_opt);
+        f.spec.base = scaled_base;
+        f.spec.opts.audit = true;
+        f.spec.opts.profile_lines = false;
+        f.spec.opts.max_cycles = opt.max_cycles;
+        f.spec.opts.max_wall_seconds = opt.max_wall_seconds;
+        f.spec.opts.seed = rng.below(1u << 16) + 1;
+
+        // 0..3 distinct knobs via a partial Fisher-Yates draw.
+        std::vector<std::size_t> order(knobs.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        const std::size_t n_over = rng.below(4);
+        for (std::size_t k = 0; k < n_over; ++k) {
+            const std::size_t j =
+                k + rng.below(order.size() - k);
+            std::swap(order[k], order[j]);
+            const Knob &knob = knobs[order[k]];
+            const char *value =
+                knob.values[rng.below(knob.values.size())];
+            f.spec.base.applyOverride(knob.key, value);
+            f.overrides.push_back(std::string(knob.key) + "=" +
+                                  value);
+        }
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace harness
+} // namespace carve

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Seeded configuration fuzzer for the carve-audit subsystem: draws
+ * valid (preset, workload, override) combinations from the config
+ * override registry and runs them short and audited, so conservation
+ * violations surface across the whole configuration space rather than
+ * only on the hand-picked smoke grid.
+ */
+
+#ifndef CARVE_HARNESS_FUZZ_HH
+#define CARVE_HARNESS_FUZZ_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/run_spec.hh"
+
+namespace carve {
+namespace harness {
+
+/** Knobs of one fuzz campaign. */
+struct FuzzOptions
+{
+    /** Number of specs to draw. */
+    unsigned count = 8;
+    /** Campaign seed: same seed, same specs. */
+    std::uint64_t seed = 1;
+    /** Memory scale shared by the suite workloads and the hardware
+     * (see SuiteOptions::memory_scale). */
+    unsigned memory_scale = 8;
+    /** Suite trace-length multiplier; short by default so a campaign
+     * stays a smoke test. */
+    double duration = 0.05;
+    /** Per-run cycle watchdog. */
+    Cycle max_cycles = 500000000;
+    /** Per-run wall-clock watchdog in seconds. */
+    double max_wall_seconds = 120.0;
+};
+
+/** One drawn run: a ready-to-execute spec plus the overrides that
+ * were applied to its base config (for reproduction). */
+struct FuzzSpec
+{
+    RunSpec spec;
+    /** "key=value" overrides already applied to spec.base. */
+    std::vector<std::string> overrides;
+
+    /** "preset/workload/seed key=value..." reproduction line. */
+    std::string describe() const;
+};
+
+/** Draw @p opt.count specs; deterministic in opt. Every spec runs
+ * with RunOptions::audit set. */
+std::vector<FuzzSpec> makeFuzzSpecs(const FuzzOptions &opt);
+
+} // namespace harness
+} // namespace carve
+
+#endif // CARVE_HARNESS_FUZZ_HH

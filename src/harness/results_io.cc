@@ -26,6 +26,7 @@ trafficToJson(const GpuTraffic &t)
     o.set("cpu_reads", t.cpu_reads.value());
     o.set("local_writes", t.local_writes.value());
     o.set("remote_writes", t.remote_writes.value());
+    o.set("rdc_hit_writes", t.rdc_hit_writes.value());
     o.set("cpu_writes", t.cpu_writes.value());
     return o;
 }
@@ -46,6 +47,12 @@ trafficFromJson(const json::Value &v)
         static_cast<std::uint64_t>(v.at("local_writes").asInt());
     t.remote_writes =
         static_cast<std::uint64_t>(v.at("remote_writes").asInt());
+    // Absent in results files written before write-back RDC writes
+    // were classified separately.
+    if (v.has("rdc_hit_writes")) {
+        t.rdc_hit_writes = static_cast<std::uint64_t>(
+            v.at("rdc_hit_writes").asInt());
+    }
     t.cpu_writes =
         static_cast<std::uint64_t>(v.at("cpu_writes").asInt());
     return t;

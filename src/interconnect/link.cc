@@ -32,6 +32,18 @@ Link::send(std::uint64_t bytes, Callback delivered)
     busy_cycles_ += occupancy;
     queue_delay_.sample(static_cast<double>(start - now));
 
+    if (audit_) {
+        // Wrap (and, for posted packets, materialize) the delivery so
+        // the token is provably retired at the receiver.
+        audit_->issue(audit::Boundary::LinkDelivery);
+        delivered = [tracker = audit_,
+                     inner = std::move(delivered)]() mutable {
+            tracker->retire(audit::Boundary::LinkDelivery);
+            if (inner)
+                inner();
+        };
+    }
+
     if (delivered)
         eq_.schedule(wire_free_at_ + latency_, std::move(delivered));
 }

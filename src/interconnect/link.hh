@@ -11,6 +11,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/audit.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -67,6 +68,10 @@ class Link
     const std::string &name() const { return name_; }
     double bandwidth() const { return bytes_per_cycle_; }
 
+    /** Attach the in-flight token tracker (audit mode only): every
+     * accepted packet carries a token until delivery. */
+    void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
+
     /** Register this link's counters into @p g. */
     void
     registerStats(stats::StatGroup &g)
@@ -85,6 +90,7 @@ class Link
     double bytes_per_cycle_;
     Cycle latency_;
     Cycle wire_free_at_ = 0;
+    audit::InflightTracker *audit_ = nullptr;
 
     stats::Scalar bytes_sent_;
     stats::Scalar packets_;

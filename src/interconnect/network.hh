@@ -67,6 +67,19 @@ class Network
      * ("0.3", "0.cpu", "cpu.0"); nested groups are owned here. */
     void registerStats(stats::StatGroup &g);
 
+    /** Attach the in-flight token tracker to every link. */
+    void
+    setAudit(audit::InflightTracker *tracker)
+    {
+        for (auto &l : gpu_links_)
+            if (l)
+                l->setAudit(tracker);
+        for (auto &l : to_cpu_)
+            l->setAudit(tracker);
+        for (auto &l : from_cpu_)
+            l->setAudit(tracker);
+    }
+
   private:
     std::size_t index(NodeId src, NodeId dst) const;
 

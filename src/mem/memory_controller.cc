@@ -38,6 +38,18 @@ MemoryController::access(Addr addr, AccessType type, Callback done)
     req.type = type;
     req.on_done = std::move(done);
 
+    if (audit_) {
+        // Wrap (and, for posted writes, materialize) the completion so
+        // the token is provably retired when the channel issues it.
+        audit_->issue(audit::Boundary::DramAccess);
+        req.on_done = [tracker = audit_,
+                       done = std::move(req.on_done)] {
+            tracker->retire(audit::Boundary::DramAccess);
+            if (done)
+                done();
+        };
+    }
+
     auto &stage = staged_[coord.channel];
     if (!stage.empty() || !channels_[coord.channel]->enqueue(req)) {
         // Preserve arrival order behind already-staged requests.

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/audit.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -79,6 +80,10 @@ class MemoryController
      * channel into @p g (child groups are owned here). */
     void registerStats(stats::StatGroup &g);
 
+    /** Attach the in-flight token tracker (audit mode only): every
+     * accepted access carries a token until its channel issues it. */
+    void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
+
   private:
     void drainStaged(unsigned ch);
 
@@ -88,6 +93,7 @@ class MemoryController
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::vector<std::deque<DramRequest>> staged_;
     std::vector<std::unique_ptr<stats::StatGroup>> channel_groups_;
+    audit::InflightTracker *audit_ = nullptr;
 
     stats::Scalar reads_;
     stats::Scalar writes_;

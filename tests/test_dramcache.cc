@@ -142,6 +142,50 @@ TEST(Alloy, PeekIsStatFree)
     EXPECT_EQ(a.misses(), 0u);
 }
 
+TEST(Alloy, DisplacedDirtyVictimIsReturned)
+{
+    AlloyCache a(16 * 128, 128);
+    a.insert(0, 0, /* dirty */ true, /* home */ 3);
+    const auto victim = a.insert(16ull * 128, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(victim->home, 3u);
+    EXPECT_EQ(victim->tag, 0u);
+    EXPECT_EQ(a.dirtyEvictions(), 1u);
+    EXPECT_EQ(a.conflictEvictions(), 1u);
+}
+
+TEST(Alloy, CleanVictimOwesNoWriteback)
+{
+    AlloyCache a(16 * 128, 128);
+    a.insert(0, 0, /* dirty */ false, /* home */ 3);
+    const auto victim = a.insert(16ull * 128, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_FALSE(victim->dirty);
+    EXPECT_EQ(a.dirtyEvictions(), 0u);
+}
+
+TEST(Alloy, CleanAllClearsDirtyBitsButKeepsLines)
+{
+    AlloyCache a(16 * 128, 128);
+    a.insert(0x100, 0, /* dirty */ true, 1);
+    EXPECT_TRUE(a.lineDirty(0x100));
+    a.cleanAll();
+    EXPECT_FALSE(a.lineDirty(0x100));
+    EXPECT_EQ(a.lookup(0x100, 0), RdcLookup::Hit);
+}
+
+TEST(Alloy, ProbesConserveAcrossOutcomes)
+{
+    AlloyCache a(16 * 128, 128);
+    a.lookup(0, 0);          // miss
+    a.insert(0, 0);
+    a.lookup(0, 0);          // hit
+    a.lookup(0, 1);          // stale epoch
+    EXPECT_EQ(a.probes(), 3u);
+    EXPECT_EQ(a.hits() + a.misses() + a.staleHits(), a.probes());
+}
+
 TEST(Alloy, SetStorageOffsetWithinCapacity)
 {
     AlloyCache a(1024 * 128, 128);
@@ -161,11 +205,12 @@ TEST(DirtyMap, TracksRegions)
 {
     DirtyMap d(4096);
     EXPECT_FALSE(d.isDirty(0));
-    d.markDirty(100);
-    d.markDirty(4000);   // same 4KB region
-    d.markDirty(5000);   // next region
+    d.markDirty(100, 1);
+    d.markDirty(4000, 1);   // same 4KB region
+    d.markDirty(5000, 2);   // next region
     EXPECT_TRUE(d.isDirty(0));
     EXPECT_TRUE(d.isDirty(4096));
+    EXPECT_EQ(d.dirtyLines(), 3u);
     EXPECT_EQ(d.dirtyRegions(), 2u);
     EXPECT_EQ(d.dirtyBytes(), 8192u);
     EXPECT_EQ(d.markings(), 3u);
@@ -174,10 +219,41 @@ TEST(DirtyMap, TracksRegions)
 TEST(DirtyMap, ClearAfterFlush)
 {
     DirtyMap d(4096);
-    d.markDirty(0);
+    d.markDirty(0, 1);
     d.clear();
     EXPECT_EQ(d.dirtyRegions(), 0u);
     EXPECT_FALSE(d.isDirty(0));
+}
+
+TEST(DirtyMap, ClearDirtyForgetsOnlyThatSet)
+{
+    DirtyMap d(4096);
+    d.markDirty(100, 1);
+    d.markDirty(4000, 1);   // same region, different set
+    d.clearDirty(100);
+    EXPECT_FALSE(d.isDirtyLine(100));
+    EXPECT_TRUE(d.isDirtyLine(4000));
+    // The region stays dirty through the surviving set.
+    EXPECT_TRUE(d.isDirty(0));
+    EXPECT_EQ(d.dirtyRegions(), 1u);
+    d.clearDirty(4000);
+    EXPECT_FALSE(d.isDirty(0));
+    EXPECT_EQ(d.dirtyRegions(), 0u);
+}
+
+TEST(DirtyMap, FlushTargetsAttributeRegionsToHomes)
+{
+    DirtyMap d(4096);
+    d.markDirty(0, 2);
+    d.markDirty(128, 2);    // same region, same home
+    d.markDirty(8192, 3);   // separate region, another home
+    const auto targets = d.flushTargets();
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].first, 2u);
+    EXPECT_EQ(targets[0].second, 4096u);
+    EXPECT_EQ(targets[1].first, 3u);
+    EXPECT_EQ(targets[1].second, 4096u);
+    EXPECT_EQ(targets[0].second + targets[1].second, d.dirtyBytes());
 }
 
 TEST(DirtyMapDeathTest, RegionMustBePowerOfTwo)

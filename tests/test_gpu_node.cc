@@ -55,6 +55,14 @@ class MockFabric : public SystemFabric
     }
 
     void
+    rdcFlush(NodeId, NodeId home, std::uint64_t bytes) override
+    {
+        ++rdc_flushes;
+        last_flush_home = home;
+        flush_bytes += bytes;
+    }
+
+    void
     coherenceLocalAccess(NodeId, Addr, AccessType type) override
     {
         if (isWrite(type))
@@ -72,6 +80,9 @@ class MockFabric : public SystemFabric
     std::vector<Req> remote_reads, remote_writes, cpu_reads,
         cpu_writes;
     std::uint64_t bulk_bytes = 0;
+    unsigned rdc_flushes = 0;
+    NodeId last_flush_home = invalid_node;
+    std::uint64_t flush_bytes = 0;
     unsigned local_write_coherence = 0;
 };
 
@@ -176,6 +187,37 @@ TEST_F(GpuNodeFixture, RemoteWriteIsWrittenThrough)
     runKernel();
     EXPECT_EQ(fabric->remote_writes.size(), 1u);
     EXPECT_EQ(node->traffic().remote_writes, 1u);
+}
+
+TEST_F(GpuNodeFixture, WritebackRdcAbsorbsRemoteWrites)
+{
+    cfg.rdc.write_policy = RdcWritePolicy::WriteBack;
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    wl.type = AccessType::Write;
+    runKernel();
+    // The write allocates into the carve-out; nothing crosses the
+    // fabric and the traffic classification says so.
+    EXPECT_TRUE(fabric->remote_writes.empty());
+    EXPECT_EQ(node->traffic().remote_writes, 0u);
+    EXPECT_EQ(node->traffic().rdc_hit_writes, 1u);
+}
+
+TEST_F(GpuNodeFixture, SwcBoundaryFlushesDirtyBytesOverFabric)
+{
+    cfg.rdc.coherence = RdcCoherence::Software;
+    cfg.rdc.write_policy = RdcWritePolicy::WriteBack;
+    build();
+    pages->recordAccess(0x1000, 1, AccessType::Read);
+    wl.type = AccessType::Write;
+    runKernel();
+    EXPECT_EQ(node->traffic().rdc_hit_writes, 1u);
+    const Cycle stall = node->kernelBoundary();
+    EXPECT_GT(stall, 0u);
+    EXPECT_EQ(fabric->rdc_flushes, 1u);
+    EXPECT_EQ(fabric->last_flush_home, 1u);
+    EXPECT_EQ(fabric->flush_bytes,
+              node->rdc()->dirtyMap().regionSize());
 }
 
 TEST_F(GpuNodeFixture, LocalWriteTriggersCoherenceHook)

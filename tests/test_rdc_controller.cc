@@ -41,6 +41,11 @@ struct RdcFixture : public ::testing::Test
             last_write_home = home;
             last_write_line = line;
         };
+        ops.flush_remote = [this](NodeId home, std::uint64_t bytes) {
+            ++flushes;
+            last_flush_home = home;
+            flushed_bytes += bytes;
+        };
         rdc = std::make_unique<RdcController>(eq, cfg, 0, *mem,
                                               std::move(ops));
     }
@@ -52,10 +57,13 @@ struct RdcFixture : public ::testing::Test
 
     unsigned fetches = 0;
     unsigned remote_writes = 0;
+    unsigned flushes = 0;
+    std::uint64_t flushed_bytes = 0;
     NodeId last_fetch_home = invalid_node;
     Addr last_fetch_line = invalid_addr;
     NodeId last_write_home = invalid_node;
     Addr last_write_line = invalid_addr;
+    NodeId last_flush_home = invalid_node;
     static constexpr Cycle remote_latency = 500;
 };
 
@@ -175,6 +183,76 @@ TEST_F(RdcWritebackFixture, BoundaryFlushCostsLinkTime)
     EXPECT_EQ(stall, static_cast<Cycle>(
         static_cast<double>(dirty) / cfg.link.gpu_gpu_bw));
     EXPECT_EQ(rdc->dirtyMap().dirtyRegions(), 0u);
+    // The stall is not just accounting: the dirty bytes really leave
+    // for their home over the flush path.
+    EXPECT_GT(flushes, 0u);
+    EXPECT_EQ(flushed_bytes, dirty);
+    EXPECT_EQ(last_flush_home, 1u);
+    // A second boundary has nothing left to flush.
+    EXPECT_EQ(rdc->kernelBoundarySwc(), 0u);
+    EXPECT_EQ(flushed_bytes, dirty);
+}
+
+TEST_F(RdcWritebackFixture, DisplacedDirtyVictimIsWrittenHome)
+{
+    rdc->write(1, 0x5000);
+    eq.run();
+    ASSERT_EQ(remote_writes, 0u);  // absorbed, not forwarded
+    // 4 MiB direct-mapped carve-out: +4 MiB maps to the same set, so
+    // the fill displaces the dirty line.
+    rdc->read(2, 0x5000 + 4 * MiB, {});
+    eq.run();
+    EXPECT_EQ(remote_writes, 1u);
+    EXPECT_EQ(last_write_home, 1u);
+    EXPECT_EQ(last_write_line, 0x5000u);
+    EXPECT_FALSE(rdc->contains(0x5000));
+    EXPECT_TRUE(rdc->contains(0x5000 + 4 * MiB));
+    // The displaced set no longer reads as dirty...
+    EXPECT_EQ(rdc->dirtyMap().dirtyLines(), 0u);
+    // ...so the next boundary flushes nothing.
+    EXPECT_EQ(rdc->kernelBoundarySwc(), 0u);
+    EXPECT_EQ(flushes, 0u);
+}
+
+TEST_F(RdcWritebackFixture, WriteConflictWritesVictimBackFirst)
+{
+    rdc->write(1, 0x5000);
+    rdc->write(2, 0x5000 + 4 * MiB);  // same set, different home
+    eq.run();
+    EXPECT_EQ(remote_writes, 1u);
+    EXPECT_EQ(last_write_home, 1u);
+    EXPECT_EQ(last_write_line, 0x5000u);
+    // The set's dirty-map entry now belongs to the new line.
+    ASSERT_EQ(rdc->dirtyMap().dirtyLines(), 1u);
+    EXPECT_EQ(rdc->dirtyMap().dirtySets().begin()->second, 2u);
+    EXPECT_TRUE(rdc->contains(0x5000 + 4 * MiB));
+}
+
+TEST_F(RdcWritebackFixture, InvalidateDropsDirtyTracking)
+{
+    rdc->write(1, 0x5000);
+    eq.run();
+    EXPECT_EQ(rdc->dirtyMap().dirtyLines(), 1u);
+    // A hardware invalidate means the writer holds newer data; the
+    // local dirty copy is discarded, never written back.
+    EXPECT_TRUE(rdc->invalidateLine(0x5000));
+    EXPECT_EQ(rdc->dirtyMap().dirtyLines(), 0u);
+    EXPECT_EQ(rdc->kernelBoundarySwc(), 0u);
+    EXPECT_EQ(flushes, 0u);
+    EXPECT_EQ(remote_writes, 0u);
+}
+
+TEST_F(RdcWritebackFixture, DirtyStateAuditIsCleanThroughout)
+{
+    std::vector<std::string> fails;
+    rdc->write(1, 0x5000);
+    rdc->write(2, 0x5000 + 4 * MiB);  // displacement
+    eq.run();
+    rdc->auditDirtyState("rdc", fails);
+    EXPECT_TRUE(fails.empty());
+    rdc->kernelBoundarySwc();          // flush + cleanAll
+    rdc->auditDirtyState("rdc", fails);
+    EXPECT_TRUE(fails.empty());
 }
 
 struct RdcPredictorFixture : public RdcFixture

@@ -22,6 +22,7 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "core/report.hh"
+#include "harness/fuzz.hh"
 #include "harness/results_io.hh"
 #include "harness/sweep.hh"
 #include "harness/thread_pool.hh"
@@ -39,10 +40,14 @@ struct CliOptions
     std::vector<std::uint64_t> seeds{1};
     unsigned scale = 8;
     double duration = 0.2;
+    bool duration_set = false;
     unsigned threads = 0;  ///< 0 == all hardware threads
     Cycle max_cycles = 1'000'000'000;
     double max_wall_seconds = 0.0;
     bool profile_lines = false;
+    bool audit = false;
+    unsigned fuzz = 0;  ///< 0 == grid mode
+    std::uint64_t fuzz_seed = 1;
     std::vector<std::string> overrides;
     std::string out_path;
     std::string baseline_path;
@@ -75,6 +80,16 @@ usage()
         "                            (default 0.2)\n"
         "  --set key=value           config override (repeatable)\n"
         "  --profile-lines           line-granularity sharing stats\n"
+        "\n"
+        "auditing:\n"
+        "  --audit                   run every grid point with the\n"
+        "                            carve-audit conservation checker\n"
+        "                            (a violation fails the run)\n"
+        "  --fuzz N                  instead of a grid, draw N random\n"
+        "                            valid configs x workloads from\n"
+        "                            the override registry and run\n"
+        "                            them short and audited\n"
+        "  --fuzz-seed S             fuzz campaign seed (default 1)\n"
         "\n"
         "execution:\n"
         "  --threads N               worker threads (0 = all cores;\n"
@@ -183,6 +198,17 @@ parseArgs(int argc, char **argv)
         } else if (a == "--duration") {
             cli.duration =
                 parseDouble("--duration", need(i, "--duration"));
+            cli.duration_set = true;
+        } else if (a == "--audit") {
+            cli.audit = true;
+        } else if (a == "--fuzz") {
+            cli.fuzz = static_cast<unsigned>(
+                parseU64("--fuzz", need(i, "--fuzz")));
+            if (cli.fuzz == 0)
+                fatal("--fuzz: expected a positive count");
+        } else if (a == "--fuzz-seed") {
+            cli.fuzz_seed =
+                parseU64("--fuzz-seed", need(i, "--fuzz-seed"));
         } else if (a == "--threads") {
             cli.threads = static_cast<unsigned>(
                 parseU64("--threads", need(i, "--threads")));
@@ -278,6 +304,74 @@ main(int argc, char **argv)
         return compareMode(cli);
     }
 
+    // ---- fuzz mode -------------------------------------------------
+    if (cli.fuzz > 0) {
+        FuzzOptions fopt;
+        fopt.count = cli.fuzz;
+        fopt.seed = cli.fuzz_seed;
+        fopt.memory_scale = cli.scale;
+        if (cli.duration_set)
+            fopt.duration = cli.duration;
+        fopt.max_cycles = cli.max_cycles;
+        if (cli.max_wall_seconds > 0.0)
+            fopt.max_wall_seconds = cli.max_wall_seconds;
+
+        const std::vector<FuzzSpec> fuzzes = makeFuzzSpecs(fopt);
+        std::fprintf(stderr,
+                     "carve-sweep: fuzz campaign, %u audited runs "
+                     "(seed %llu); reproduce any line with --presets/"
+                     "--workloads/--seeds/--set --audit:\n",
+                     cli.fuzz,
+                     static_cast<unsigned long long>(cli.fuzz_seed));
+        std::vector<RunSpec> specs;
+        specs.reserve(fuzzes.size());
+        for (const FuzzSpec &f : fuzzes) {
+            std::fprintf(stderr, "  %s\n", f.describe().c_str());
+            specs.push_back(f.spec);
+        }
+
+        SweepOptions sweep;
+        sweep.threads = cli.threads;
+        if (!cli.quiet) {
+            sweep.on_progress = [](std::size_t done,
+                                   std::size_t total,
+                                   const RunResult &r) {
+                std::fprintf(stderr, "[%zu/%zu] %-8s %s (%.2fs)\n",
+                             done, total, runStatusName(r.status),
+                             r.key().c_str(), r.wall_seconds);
+            };
+        }
+        const std::vector<RunResult> results =
+            runSweep(specs, sweep);
+
+        unsigned bad = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].ok()) {
+                ++bad;
+                std::fprintf(stderr,
+                             "carve-sweep: fuzz failure: %s: %s (%s)\n",
+                             fuzzes[i].describe().c_str(),
+                             runStatusName(results[i].status),
+                             results[i].error.c_str());
+            }
+        }
+
+        if (!cli.out_path.empty()) {
+            SweepMeta meta;
+            meta.memory_scale = cli.scale;
+            meta.duration = fopt.duration;
+            for (const FuzzSpec &f : fuzzes)
+                for (const std::string &o : f.overrides)
+                    meta.overrides.push_back(o);
+            writeResultsFile(cli.out_path,
+                             sweepToJson(meta, results));
+            std::fprintf(stderr,
+                         "carve-sweep: wrote %s (%zu runs)\n",
+                         cli.out_path.c_str(), results.size());
+        }
+        return bad ? 1 : 0;
+    }
+
     // ---- build the grid -------------------------------------------
     SuiteOptions suite;
     suite.memory_scale = cli.scale;
@@ -320,6 +414,7 @@ main(int argc, char **argv)
     opts.max_cycles = cli.max_cycles;
     opts.max_wall_seconds = cli.max_wall_seconds;
     opts.profile_lines = cli.profile_lines;
+    opts.audit = cli.audit;
 
     const std::vector<RunSpec> specs =
         expandGrid(presets, workloads, cli.seeds, base, opts);
