@@ -18,7 +18,7 @@ MshrFile::allocate(Addr line_addr, Callback cb)
 {
     auto it = entries_.find(line_addr);
     if (it != entries_.end()) {
-        it->second.push_back(std::move(cb));
+        it->second.waiters.push_back(std::move(cb));
         ++merges_;
         return MshrOutcome::Merged;
     }
@@ -26,7 +26,10 @@ MshrFile::allocate(Addr line_addr, Callback cb)
         ++rejections_;
         return MshrOutcome::Full;
     }
-    entries_[line_addr].push_back(std::move(cb));
+    Entry &e = entries_[line_addr];
+    e.waiters.push_back(std::move(cb));
+    if (trace::active(trace_, trace_cat_))
+        e.born = trace_eq_->now();
     return MshrOutcome::NewEntry;
 }
 
@@ -38,8 +41,13 @@ MshrFile::complete(Addr line_addr)
         panic("MshrFile: completing untracked line %llx",
               static_cast<unsigned long long>(line_addr));
 
+    if (trace::active(trace_, trace_cat_)) {
+        trace_->span(trace_cat_, trace_track_, trace_name_,
+                     it->second.born, trace_eq_->now(), line_addr);
+    }
+
     // Move out before erasing: callbacks may allocate new entries.
-    std::vector<Callback> waiters = std::move(it->second);
+    std::vector<Callback> waiters = std::move(it->second.waiters);
     entries_.erase(it);
     for (auto &cb : waiters) {
         if (cb)

@@ -12,8 +12,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace carve {
 
@@ -77,11 +79,41 @@ class MshrFile
                     "allocations rejected because the file was full");
     }
 
+    /**
+     * Attach the tracer: each entry's allocate->fill lifetime becomes
+     * a span named @p span_name (a static literal) on row @p track,
+     * with the line address as payload. @p eq timestamps both ends.
+     */
+    void
+    attachTrace(trace::Session *session, const EventQueue *eq,
+                trace::Category cat, std::uint32_t track,
+                const char *span_name)
+    {
+        trace_ = session;
+        trace_eq_ = eq;
+        trace_cat_ = cat;
+        trace_track_ = track;
+        trace_name_ = span_name;
+    }
+
   private:
+    /** Waiters plus the miss-lifetime birth stamp for the tracer. */
+    struct Entry
+    {
+        std::vector<Callback> waiters;
+        Cycle born = 0;
+    };
+
     unsigned capacity_;
-    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    std::unordered_map<Addr, Entry> entries_;
     stats::Scalar merges_;
     stats::Scalar rejections_;
+
+    trace::Session *trace_ = nullptr;
+    const EventQueue *trace_eq_ = nullptr;
+    trace::Category trace_cat_ = trace::Category::Cache;
+    std::uint32_t trace_track_ = 0;
+    const char *trace_name_ = "miss";
 };
 
 } // namespace carve

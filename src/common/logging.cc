@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <utility>
 
 namespace carve {
 
@@ -18,6 +20,10 @@ std::atomic<bool> quiet_flag{false};
 thread_local unsigned capture_depth = 0;
 thread_local std::string captured_message;
 
+// Per-thread sink observer (the tracer): sees every message exactly
+// as capture would, before any filtering.
+thread_local LogObserver *sink_observer = nullptr;
+
 const char *
 levelPrefix(LogLevel level)
 {
@@ -28,6 +34,78 @@ levelPrefix(LogLevel level)
       case LogLevel::Panic: return "panic";
     }
     return "?";
+}
+
+/**
+ * Printed-output threshold from CARVE_LOG_LEVEL, parsed once per
+ * process. Encoded as int so "silent" can sit above Panic; messages
+ * with static_cast<int>(level) < threshold are not printed (but still
+ * observed/captured — filtering is a display concern only).
+ */
+int
+printThreshold()
+{
+    static const int threshold = [] {
+        const char *env = std::getenv("CARVE_LOG_LEVEL");
+        if (!env || !*env)
+            return static_cast<int>(LogLevel::Inform);
+        const std::string v(env);
+        if (v == "inform" || v == "info")
+            return static_cast<int>(LogLevel::Inform);
+        if (v == "warn")
+            return static_cast<int>(LogLevel::Warn);
+        if (v == "fatal")
+            return static_cast<int>(LogLevel::Fatal);
+        if (v == "panic")
+            return static_cast<int>(LogLevel::Panic);
+        if (v == "silent" || v == "none")
+            return static_cast<int>(LogLevel::Panic) + 1;
+        std::fprintf(stderr,
+                     "warn: CARVE_LOG_LEVEL='%s' not recognised "
+                     "(inform|warn|fatal|panic|silent); using "
+                     "inform\n", env);
+        return static_cast<int>(LogLevel::Inform);
+    }();
+    return threshold;
+}
+
+/**
+ * THE sink: every panic/fatal/warn/inform message lands here exactly
+ * once, fully formatted. Order matters —
+ *  1. observers see everything (the tracer records even messages that
+ *     will be captured or filtered),
+ *  2. capture diverts errors into the upcoming SimAbortError,
+ *  3. CARVE_LOG_LEVEL and the quiet flag filter what gets printed.
+ */
+void
+sinkMessage(LogLevel level, const std::string &msg)
+{
+    if (sink_observer && *sink_observer)
+        (*sink_observer)(level, msg);
+
+    const bool error = (level == LogLevel::Fatal ||
+                        level == LogLevel::Panic);
+    if (error && capture_depth > 0) {
+        // Divert into the upcoming SimAbortError instead of printing:
+        // failed runs report through their RunResult.
+        captured_message = msg;
+        return;
+    }
+
+    if (static_cast<int>(level) < printThreshold())
+        return;
+    if (!error && logQuiet())
+        return;
+
+    // Assemble the full line first so concurrent threads cannot
+    // interleave fragments of each other's messages.
+    std::string line = levelPrefix(level);
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
 }
 
 std::string
@@ -64,6 +142,17 @@ errorCaptureActive()
     return capture_depth > 0;
 }
 
+ScopedLogObserver::ScopedLogObserver(LogObserver obs)
+    : own_(std::move(obs)), prev_(sink_observer)
+{
+    sink_observer = &own_;
+}
+
+ScopedLogObserver::~ScopedLogObserver()
+{
+    sink_observer = prev_;
+}
+
 void
 setLogQuiet(bool quiet)
 {
@@ -83,7 +172,8 @@ logMessage(LogLevel level, const char *fmt, ...)
 {
     const bool error = (level == LogLevel::Fatal ||
                         level == LogLevel::Panic);
-    if (!error && logQuiet())
+    // Fast path: nothing would consume the message, skip formatting.
+    if (!error && logQuiet() && sink_observer == nullptr)
         return;
 
     std::va_list ap;
@@ -91,22 +181,7 @@ logMessage(LogLevel level, const char *fmt, ...)
     const std::string msg = formatMessage(fmt, ap);
     va_end(ap);
 
-    if (error && capture_depth > 0) {
-        // Divert into the upcoming SimAbortError instead of printing:
-        // failed runs report through their RunResult.
-        captured_message = msg;
-        return;
-    }
-
-    // Assemble the full line first so concurrent threads cannot
-    // interleave fragments of each other's messages.
-    std::string line = levelPrefix(level);
-    line += ": ";
-    line += msg;
-    line += '\n';
-    std::FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
-    std::fwrite(line.data(), 1, line.size(), out);
-    std::fflush(out);
+    sinkMessage(level, msg);
 }
 
 void

@@ -12,6 +12,13 @@
  * down. ScopedErrorCapture converts panic()/fatal() on the *current
  * thread* into a SimAbortError exception instead of terminating the
  * process; the harness catches it and reports the run as failed.
+ *
+ * Every message funnels through ONE sink: observers (ScopedLogObserver,
+ * used by the tracer for instant events) and capture both receive the
+ * identical formatted text, and the CARVE_LOG_LEVEL environment
+ * variable ("inform"/"info", "warn", "fatal", "panic", "silent"/"none";
+ * default inform) filters what the sink prints — never what it
+ * captures, observes, or how it terminates.
  */
 
 #ifndef CARVE_COMMON_LOGGING_HH
@@ -19,6 +26,7 @@
 
 #include <cstdarg>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -79,6 +87,34 @@ class ScopedErrorCapture
 
 /** True when the current thread has an active ScopedErrorCapture. */
 bool errorCaptureActive();
+
+/**
+ * Observer of the single log sink: sees (level, message) for every
+ * message on the installing thread, before capture diversion and
+ * before CARVE_LOG_LEVEL/quiet filtering — so an observer (the
+ * tracer's instant events) and ScopedErrorCapture receive the exact
+ * same text. The message carries no "panic:" prefix.
+ */
+using LogObserver = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * While alive, routes every log message on the constructing thread
+ * through @p obs (in addition to the normal sink). Nests: the previous
+ * observer is restored on destruction and is NOT chained.
+ */
+class ScopedLogObserver
+{
+  public:
+    explicit ScopedLogObserver(LogObserver obs);
+    ~ScopedLogObserver();
+
+    ScopedLogObserver(const ScopedLogObserver &) = delete;
+    ScopedLogObserver &operator=(const ScopedLogObserver &) = delete;
+
+  private:
+    LogObserver own_;
+    LogObserver *prev_;
+};
 
 /** Globally silence inform()/warn() output (used by tests). */
 void setLogQuiet(bool quiet);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <optional>
 #include <utility>
 
 #include "common/logging.hh"
@@ -70,6 +72,18 @@ MultiGpuSystem::registerStats()
         return stat_groups_.back().get();
     };
 
+    // Registered even when no session is attached (reads 0): the stat
+    // name set must not depend on tracing, or traced-off and untraced
+    // results files would differ.
+    stats::StatGroup *tracing = child("trace");
+    tracing->addDerivedInt("dropped_events",
+                           [this] {
+                               return trace_ ? trace_->droppedEvents()
+                                             : 0;
+                           },
+                           "trace events overwritten oldest-first by "
+                           "a full ring buffer");
+
     stats::StatGroup *sim = child("sim");
     sim->addScalar("bulk_bytes", &bulk_bytes_,
                    "page-copy bytes moved by the NUMA runtime");
@@ -117,10 +131,34 @@ MultiGpuSystem::registerStats()
         gpus_[g]->registerStats(*child("gpu" + std::to_string(g)));
 }
 
+void
+MultiGpuSystem::setTrace(trace::Session *session)
+{
+    trace_ = session;
+    session->defineProcess(0, "system");
+    session->defineThread(0, 0, "kernels");
+    session->defineThread(0, 1, "log");
+    for (unsigned g = 0; g < numGpus(); ++g)
+        gpus_[g]->setTrace(session, 1 + g);
+    net_.setTrace(session, 1 + numGpus());
+}
+
 Cycle
 MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
 {
     carve_assert(!finished_);
+
+    // Mirror fatal/panic/warn text onto the timeline so the trace and
+    // the harness's error capture tell one story.
+    std::optional<ScopedLogObserver> log_obs;
+    if (trace::active(trace_, trace::Category::Audit)) {
+        log_obs.emplace([this](LogLevel, const std::string &msg) {
+            trace_->instantText(trace::Category::Audit,
+                                trace::makeTrack(0, 1), msg,
+                                eq_.now());
+        });
+    }
+
     launchKernel(0);
 
     // The wall-clock guard catches livelocks that make simulated time
@@ -139,16 +177,39 @@ MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
         return std::chrono::steady_clock::now() < deadline;
     };
 
+    std::function<bool()> keep_going;
     if (max_cycles == 0) {
-        eq_.runWhile([this, &wall_ok] {
+        keep_going = [this, &wall_ok] {
             return !finished_ && wall_ok();
-        });
+        };
     } else {
-        eq_.runWhile([this, max_cycles, &wall_ok] {
+        keep_going = [this, max_cycles, &wall_ok] {
             return !finished_ && eq_.now() <= max_cycles && wall_ok();
-        });
+        };
     }
+
+    // Counter sampling rides the run predicate instead of scheduling
+    // its own events: the queue pops the exact sequence an untraced
+    // run would, which is what keeps traced runs byte-identical.
+    if (trace_ != nullptr && trace_->hasCounters() &&
+        trace_->sampleInterval() > 0) {
+        keep_going = [this, inner = std::move(keep_going),
+                      next = Cycle{0}]() mutable {
+            if (eq_.now() >= next) {
+                trace_->sampleCounters(eq_.now());
+                next = eq_.now() + trace_->sampleInterval();
+            }
+            return inner();
+        };
+    }
+    eq_.runWhile(keep_going);
+
     watchdog_tripped_ = !finished_;
+    if (watchdog_tripped_ &&
+        trace::active(trace_, trace::Category::Audit)) {
+        trace_->instant(trace::Category::Audit, trace::makeTrack(0, 1),
+                        "watchdog_tripped", eq_.now());
+    }
     if (audit_ && finished_) {
         // Drain the posted tail (stores, DRAM callbacks, link
         // deliveries) so every issued token can retire, then prove
@@ -163,6 +224,7 @@ void
 MultiGpuSystem::launchKernel(KernelId k)
 {
     cur_kernel_ = k;
+    kernel_started_at_ = eq_.now();
     gpus_done_ = 0;
     sched_.launchKernel(wl_.numCtas(k));
     for (auto &gpu : gpus_)
@@ -183,6 +245,16 @@ MultiGpuSystem::onGpuKernelDone(NodeId)
     Cycle stall = 0;
     for (auto &gpu : gpus_)
         stall = std::max(stall, gpu->kernelBoundary());
+
+    if (trace::active(trace_, trace::Category::Kernel)) {
+        const std::uint32_t track = trace::makeTrack(0, 0);
+        trace_->span(trace::Category::Kernel, track,
+                     trace_->intern("kernel " +
+                                    std::to_string(cur_kernel_)),
+                     kernel_started_at_, eq_.now(), cur_kernel_);
+        trace_->instant(trace::Category::Kernel, track,
+                        "kernel_boundary", eq_.now(), stall);
+    }
 
     // Epoch snapshot: the counter increase attributable to this
     // kernel, boundary actions included. Live counters are never
@@ -332,6 +404,12 @@ MultiGpuSystem::auditCheck(bool final_pass)
 {
     if (!audit_)
         return;
+
+    if (trace::active(trace_, trace::Category::Audit)) {
+        trace_->instant(trace::Category::Audit, trace::makeTrack(0, 1),
+                        final_pass ? "audit_final_pass" : "audit_pass",
+                        eq_.now());
+    }
 
     std::vector<std::string> fails;
     audit::checkCacheProbes(stat_root_, fails);

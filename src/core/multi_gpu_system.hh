@@ -24,6 +24,7 @@
 #include "gpu/gpu.hh"
 #include "interconnect/network.hh"
 #include "numa/page_manager.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 namespace carve {
@@ -113,6 +114,13 @@ class MultiGpuSystem : public SystemFabric
     /** True when the carve-audit checker is attached. */
     bool auditEnabled() const { return audit_.has_value(); }
 
+    /** Attach the tracer and fan it out to every component: system
+     * rows (kernel markers, log/audit instants), one process per GPU,
+     * and the interconnect process. Counter tracks are sampled from
+     * run()'s predicate, never from scheduled events, so a traced run
+     * executes the exact event sequence of an untraced one. */
+    void setTrace(trace::Session *session);
+
     /** Total warp instructions issued so far. */
     std::uint64_t totalInstsIssued() const;
 
@@ -153,6 +161,9 @@ class MultiGpuSystem : public SystemFabric
     std::optional<GpuVi> vi_;
     std::vector<std::unique_ptr<GpuNode>> gpus_;
     CtaScheduler sched_;
+
+    trace::Session *trace_ = nullptr;
+    Cycle kernel_started_at_ = 0;
 
     KernelId cur_kernel_ = 0;
     unsigned gpus_done_ = 0;

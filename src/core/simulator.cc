@@ -1,7 +1,10 @@
 #include "core/simulator.hh"
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "core/multi_gpu_system.hh"
+#include "trace/chrome_export.hh"
 
 namespace carve {
 
@@ -12,6 +15,18 @@ run(const SimJob &job)
     SyntheticWorkload wl(job.workload, job.config.line_size,
                          opt.seed);
     MultiGpuSystem sys(job.config, wl, opt.profile_lines, opt.audit);
+
+    std::unique_ptr<trace::Session> session;
+    if (opt.trace.enabled) {
+        if (!trace::compiled_in) {
+            warn("tracing requested but this build has "
+                 "CARVE_TRACE=OFF; no trace will be produced");
+        } else {
+            session = std::make_unique<trace::Session>(opt.trace);
+            sys.setTrace(session.get());
+        }
+    }
+
     sys.run(opt.max_cycles, opt.max_wall_seconds);
     if (sys.watchdogTripped() && !opt.tolerate_watchdog) {
         fatal("MultiGpuSystem: simulation did not converge "
@@ -24,6 +39,10 @@ run(const SimJob &job)
     SimResult r =
         collectResult(sys, job.workload.name, job.preset_label);
     r.watchdog_tripped = sys.watchdogTripped();
+    if (session && !opt.trace.out_path.empty()) {
+        trace::writeChromeTrace(*session, opt.trace.out_path,
+                                {job.workload.name, job.preset_label});
+    }
     return r;
 }
 

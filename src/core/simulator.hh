@@ -13,6 +13,7 @@
 #include "common/config.hh"
 #include "core/report.hh"
 #include "core/system_preset.hh"
+#include "trace/trace.hh"
 #include "workloads/synthetic.hh"
 
 namespace carve {
@@ -38,6 +39,10 @@ struct RunOptions
      * invariant passes at kernel boundaries and end of sim. A
      * violation panics with the offending dotted stat names. */
     bool audit = false;
+    /** Cycle-level timeline tracing (see trace/trace.hh). Disabled by
+     * default; enabling never changes simulation results, only emits
+     * a Chrome trace-event JSON file alongside them. */
+    trace::Options trace;
 };
 
 /**

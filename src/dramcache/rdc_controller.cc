@@ -177,10 +177,18 @@ RdcController::kernelBoundarySwc()
         }
         dirty_map_.clear();
         alloy_.cleanAll();
+        if (trace::active(trace_, trace::Category::Rdc)) {
+            trace_->instant(trace::Category::Rdc, trace_track_,
+                            "swc_flush", eq_.now(), bytes);
+        }
     }
     if (epoch_.increment()) {
         // Rollover: the controller physically clears every line.
         alloy_.resetAll();
+        if (trace::active(trace_, trace::Category::Rdc)) {
+            trace_->instant(trace::Category::Rdc, trace_track_,
+                            "epoch_rollover", eq_.now());
+        }
     }
     return stall;
 }

@@ -118,6 +118,17 @@ class RdcController
     /** Attach the in-flight token tracker (audit mode only). */
     void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
 
+    /** Attach the tracer: miss lifetimes become spans on row @p track,
+     * boundary flushes and epoch rollovers become instant markers. */
+    void
+    setTrace(trace::Session *session, std::uint32_t track)
+    {
+        trace_ = session;
+        trace_track_ = track;
+        mshrs_.attachTrace(session, &eq_, trace::Category::Rdc, track,
+                           "rdc miss");
+    }
+
     /** Cross-check alloy dirty bits against the dirty map; failures
      * are appended to @p out prefixed with @p prefix. */
     void auditDirtyState(const std::string &prefix,
@@ -162,6 +173,8 @@ class RdcController
     Addr carve_base_;
 
     audit::InflightTracker *audit_ = nullptr;
+    trace::Session *trace_ = nullptr;
+    std::uint32_t trace_track_ = 0;
 
     stats::Scalar read_hits_;
     stats::Scalar read_misses_;

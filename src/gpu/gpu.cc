@@ -162,6 +162,11 @@ GpuNode::kernelBoundary()
     for (auto &sm : sms_)
         sm->invalidateL1();
 
+    if (trace::active(trace_, trace::Category::Coherence)) {
+        trace_->instant(trace::Category::Coherence, coherence_track_,
+                        "boundary_invalidate", eq_.now());
+    }
+
     Cycle stall = 0;
     const bool hw_coherent = rdc_ &&
         (cfg_.rdc.coherence == RdcCoherence::HardwareVI ||
@@ -202,6 +207,10 @@ void
 GpuNode::invalidateLine(Addr line)
 {
     ++hw_invalidations_in_;
+    if (trace::active(trace_, trace::Category::Coherence)) {
+        trace_->instant(trace::Category::Coherence, coherence_track_,
+                        "hw_invalidate", eq_.now(), line);
+    }
     l2_.invalidateLine(line);
     if (rdc_)
         rdc_->invalidateLine(line);
@@ -357,6 +366,50 @@ GpuNode::handleWrite(Addr line)
         eq_.scheduleAfter(route.stall, std::move(deliver));
     else
         deliver();
+}
+
+void
+GpuNode::setTrace(trace::Session *session, std::uint32_t pid)
+{
+    trace_ = session;
+    coherence_track_ = trace::makeTrack(pid, 120);
+
+    session->defineProcess(pid, "gpu" + std::to_string(id_));
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        const auto tid = static_cast<std::uint32_t>(1 + s);
+        session->defineThread(pid, tid, "sm" + std::to_string(s));
+        sms_[s]->setTrace(session, trace::makeTrack(pid, tid));
+    }
+    session->defineThread(pid, 100, "l2.mshr");
+    l2_mshrs_.attachTrace(session, &eq_, trace::Category::Cache,
+                          trace::makeTrack(pid, 100), "l2 miss");
+    if (rdc_) {
+        session->defineThread(pid, 110, "rdc");
+        rdc_->setTrace(session, trace::makeTrack(pid, 110));
+    }
+    session->defineThread(pid, 120, "coherence");
+    mem_.setTrace(session, pid);
+
+    session->addCounter(pid, "l2_mshr_occupancy", [this] {
+        return static_cast<double>(l2_mshrs_.size());
+    });
+    session->addCounter(pid, "dram_queue_occupancy", [this] {
+        std::size_t total = 0;
+        for (unsigned c = 0; c < mem_.numChannels(); ++c) {
+            total += mem_.channel(c).readQueueSize() +
+                mem_.channel(c).writeQueueSize();
+        }
+        return static_cast<double>(total);
+    });
+    if (rdc_) {
+        session->addCounter(pid, "rdc_hit_rate", [this] {
+            const double hits =
+                static_cast<double>(rdc_->readHits());
+            const double total =
+                hits + static_cast<double>(rdc_->readMisses());
+            return total == 0.0 ? 0.0 : hits / total;
+        });
+    }
 }
 
 void

@@ -162,6 +162,12 @@ class GpuNode
      * system-owned "gpu<i>" group. */
     void registerStats(stats::StatGroup &g);
 
+    /** Attach the tracer under process @p pid: per-SM rows, the L2
+     * MSHR / RDC / coherence rows, the DRAM channel rows, and this
+     * GPU's counter tracks (MSHR + DRAM queue occupancy, RDC hit
+     * rate). */
+    void setTrace(trace::Session *session, std::uint32_t pid);
+
   private:
     void accessFromSm(Addr line, AccessType type, Callback done);
     /** L2 arrival of a read, scheduled as a pre-bound event
@@ -194,6 +200,8 @@ class GpuNode
     std::function<void(NodeId)> kernel_done_cb_;
 
     audit::InflightTracker *audit_ = nullptr;
+    trace::Session *trace_ = nullptr;
+    std::uint32_t coherence_track_ = 0;
 
     GpuTraffic traffic_;
     stats::Scalar hw_invalidations_in_;

@@ -115,6 +115,8 @@ Sm::execute(unsigned slot)
 
     ++read_insts_;
     w.pending_lines = w.cur.num_lines;
+    if (trace::active(trace_, trace::Category::Sm))
+        w.read_started = eq_.now();
     eq_.scheduleAfter(tlb_lat, bindEvent<&Sm::issueLoads>(this, slot));
 }
 
@@ -167,6 +169,10 @@ Sm::allocateMiss(unsigned slot, Addr line)
         break;
       case MshrOutcome::Full:
         ++mshr_stalls_;
+        if (trace::active(trace_, trace::Category::Sm)) {
+            trace_->instant(trace::Category::Sm, trace_track_,
+                            "mshr_stall", eq_.now(), line);
+        }
         eq_.scheduleAfter(
             mshr_retry_delay,
             bindEvent<&Sm::allocateMiss>(this, slot, line));
@@ -180,6 +186,10 @@ Sm::lineDone(unsigned slot)
     WarpContext &w = warps_[slot];
     carve_assert(w.pending_lines > 0);
     if (--w.pending_lines == 0) {
+        if (trace::active(trace_, trace::Category::Sm)) {
+            trace_->span(trace::Category::Sm, trace_track_, "read mem",
+                         w.read_started, eq_.now(), w.cur.num_lines);
+        }
         eq_.scheduleAfter(1 + w.cur.compute_cycles,
                           bindEvent<&Sm::issueWarp>(this, slot));
     }

@@ -101,6 +101,15 @@ class Sm
      * nested "mshrs" group) into @p g. */
     void registerStats(stats::StatGroup &g);
 
+    /** Attach the tracer: warp read-latency spans and MSHR-stall
+     * instants land on this SM's timeline row @p track. */
+    void
+    setTrace(trace::Session *session, std::uint32_t track)
+    {
+        trace_ = session;
+        trace_track_ = track;
+    }
+
   private:
     // The issue loop is driven by pre-bound member-function events
     // (bindEvent) rather than per-call lambdas, so scheduling a hop
@@ -128,6 +137,8 @@ class Sm
     Cycle lsu_free_at_ = 0;
     /** Live warps per resident CTA. */
     std::unordered_map<CtaId, unsigned> cta_live_warps_;
+    trace::Session *trace_ = nullptr;
+    std::uint32_t trace_track_ = 0;
 
     stats::Scalar insts_issued_;
     stats::Scalar read_insts_;

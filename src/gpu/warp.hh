@@ -28,6 +28,7 @@ struct WarpContext
     std::uint64_t next_inst = 0;     ///< next instruction index
     std::uint64_t insts_total = 0;   ///< instructions in this kernel
     unsigned pending_lines = 0;      ///< outstanding read lines
+    Cycle read_started = 0;          ///< read issue cycle (tracer only)
     WarpInstruction cur;             ///< instruction in flight
 };
 

@@ -31,6 +31,11 @@ struct RunSpec
      * carries any sweep-point override such as a link bandwidth). */
     SystemConfig base;
     RunOptions opts;
+    /** Append host-cost stats (sim.wall_seconds, sim.peak_rss_bytes)
+     * to the run's stat tree. They are the one sanctioned exception
+     * to results being a pure function of the specs; byte-compare
+     * workflows (CI determinism checks) turn this off. */
+    bool host_stats = true;
 
     /** "preset/workload/seed" — unique within a well-formed sweep. */
     std::string key() const;

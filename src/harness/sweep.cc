@@ -1,14 +1,44 @@
 #include "harness/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
+
+#include <sys/resource.h>
 
 #include "common/logging.hh"
 #include "harness/thread_pool.hh"
 
 namespace carve {
 namespace harness {
+
+namespace {
+
+/** Peak resident set size of this process, in bytes. */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+/** Insert @p st into @p tree keeping it sorted by dotted name. */
+void
+insertSorted(std::vector<stats::FlatStat> &tree, stats::FlatStat st)
+{
+    const auto pos = std::lower_bound(
+        tree.begin(), tree.end(), st,
+        [](const stats::FlatStat &a, const stats::FlatStat &b) {
+            return a.name < b.name;
+        });
+    tree.insert(pos, std::move(st));
+}
+
+} // namespace
 
 RunResult
 executeRun(const RunSpec &spec)
@@ -27,6 +57,16 @@ executeRun(const RunSpec &spec)
         makePresetJob(spec.preset, spec.base, spec.workload,
                       spec.opts);
     job.options.tolerate_watchdog = true;
+    if (job.options.trace.enabled &&
+        job.options.trace.out_path.empty() &&
+        !job.options.trace.out_dir.empty()) {
+        // Per-run file in the trace directory, named by the run key
+        // with path separators flattened.
+        std::string name = spec.key();
+        std::replace(name.begin(), name.end(), '/', '_');
+        job.options.trace.out_path =
+            job.options.trace.out_dir + "/" + name + ".trace.json";
+    }
     try {
         ScopedErrorCapture capture;
         res.sim = run(job);
@@ -46,6 +86,24 @@ executeRun(const RunSpec &spec)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+
+    // Host-cost stats ride the stat tree (and thus schema v2 results)
+    // so regressions in simulator speed and footprint are visible in
+    // the same reports as simulated metrics. Skipped for Failed runs
+    // (their trees are empty) and when the spec opts out for
+    // byte-reproducible results.
+    if (spec.host_stats && !res.sim.stat_tree.empty()) {
+        stats::FlatStat wall;
+        wall.name = "sim.wall_seconds";
+        wall.integral = false;
+        wall.dbl = res.wall_seconds;
+        insertSorted(res.sim.stat_tree, std::move(wall));
+
+        stats::FlatStat rss;
+        rss.name = "sim.peak_rss_bytes";
+        rss.u64 = peakRssBytes();
+        insertSorted(res.sim.stat_tree, std::move(rss));
+    }
     return res;
 }
 

@@ -32,6 +32,11 @@ Link::send(std::uint64_t bytes, Callback delivered)
     busy_cycles_ += occupancy;
     queue_delay_.sample(static_cast<double>(start - now));
 
+    if (trace::active(trace_, trace::Category::Link)) {
+        trace_->span(trace::Category::Link, trace_track_, "pkt",
+                     start, start + occupancy, bytes);
+    }
+
     if (audit_) {
         // Wrap (and, for posted packets, materialize) the delivery so
         // the token is provably retired at the receiver.

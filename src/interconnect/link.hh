@@ -15,6 +15,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace carve {
 
@@ -72,6 +73,15 @@ class Link
      * accepted packet carries a token until delivery. */
     void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
 
+    /** Attach the tracer: every accepted packet becomes a wire-
+     * occupancy span on this link's timeline row @p track. */
+    void
+    setTrace(trace::Session *session, std::uint32_t track)
+    {
+        trace_ = session;
+        trace_track_ = track;
+    }
+
     /** Register this link's counters into @p g. */
     void
     registerStats(stats::StatGroup &g)
@@ -91,6 +101,8 @@ class Link
     Cycle latency_;
     Cycle wire_free_at_ = 0;
     audit::InflightTracker *audit_ = nullptr;
+    trace::Session *trace_ = nullptr;
+    std::uint32_t trace_track_ = 0;
 
     stats::Scalar bytes_sent_;
     stats::Scalar packets_;

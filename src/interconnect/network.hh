@@ -80,6 +80,10 @@ class Network
             l->setAudit(tracker);
     }
 
+    /** Attach the tracer as process @p pid ("interconnect"): one
+     * thread row + one windowed utilization counter per link. */
+    void setTrace(trace::Session *session, std::uint32_t pid);
+
   private:
     std::size_t index(NodeId src, NodeId dst) const;
 

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/dram_bank.hh"
+#include "trace/trace.hh"
 
 namespace carve {
 
@@ -87,6 +88,15 @@ class DramChannel
     /** Per-bank accessor (tests). */
     const DramBank &bank(unsigned i) const { return banks_[i]; }
 
+    /** Attach the tracer: every issued burst becomes a data-bus busy
+     * span on this channel's timeline row @p track. */
+    void
+    setTrace(trace::Session *session, std::uint32_t track)
+    {
+        trace_ = session;
+        trace_track_ = track;
+    }
+
     /** Register this channel's counters into @p g. */
     void
     registerStats(stats::StatGroup &g)
@@ -124,6 +134,8 @@ class DramChannel
     Cycle bus_free_at_ = 0;
     bool reject_seen_ = false;
     std::function<void()> retry_cb_;
+    trace::Session *trace_ = nullptr;
+    std::uint32_t trace_track_ = 0;
 
     stats::Scalar reads_issued_;
     stats::Scalar writes_issued_;

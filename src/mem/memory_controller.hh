@@ -84,6 +84,19 @@ class MemoryController
      * accepted access carries a token until its channel issues it. */
     void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
 
+    /** Attach the tracer under process @p pid: one "dram.ch<i>" row
+     * per channel (tids 200+i, matching the exporter's row layout). */
+    void
+    setTrace(trace::Session *session, std::uint32_t pid)
+    {
+        for (unsigned c = 0; c < numChannels(); ++c) {
+            session->defineThread(pid, 200 + c,
+                                  "dram.ch" + std::to_string(c));
+            channels_[c]->setTrace(session,
+                                   trace::makeTrack(pid, 200 + c));
+        }
+    }
+
   private:
     void drainStaged(unsigned ch);
 

@@ -1,0 +1,176 @@
+#include "trace/chrome_export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace carve {
+namespace trace {
+
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+/** One "M" metadata event naming a process or thread row. */
+void
+appendMetaRow(std::string &out, const char *what, std::uint32_t pid,
+              std::uint32_t tid, const std::string &name,
+              bool with_tid)
+{
+    out += "{\"ph\":\"M\",\"name\":\"";
+    out += what;
+    out += "\",\"pid\":";
+    appendU64(out, pid);
+    if (with_tid) {
+        out += ",\"tid\":";
+        appendU64(out, tid);
+    }
+    out += ",\"args\":{\"name\":\"";
+    appendEscaped(out, name.c_str());
+    out += "\"}},\n";
+}
+
+void
+appendEvent(std::string &out, const Event &e)
+{
+    const std::uint32_t pid = trackPid(e.track);
+    const std::uint32_t tid = trackTid(e.track);
+    switch (e.kind) {
+      case EventKind::Span:
+        out += "{\"ph\":\"X\",\"name\":\"";
+        appendEscaped(out, e.name);
+        out += "\",\"cat\":\"";
+        out += categoryName(e.cat);
+        out += "\",\"pid\":";
+        appendU64(out, pid);
+        out += ",\"tid\":";
+        appendU64(out, tid);
+        out += ",\"ts\":";
+        appendU64(out, e.ts);
+        out += ",\"dur\":";
+        appendU64(out, e.dur);
+        out += ",\"args\":{\"v\":";
+        appendU64(out, e.arg);
+        out += "}},\n";
+        break;
+      case EventKind::Instant:
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+        appendEscaped(out, e.name);
+        out += "\",\"cat\":\"";
+        out += categoryName(e.cat);
+        out += "\",\"pid\":";
+        appendU64(out, pid);
+        out += ",\"tid\":";
+        appendU64(out, tid);
+        out += ",\"ts\":";
+        appendU64(out, e.ts);
+        out += ",\"args\":{\"v\":";
+        appendU64(out, e.arg);
+        out += "}},\n";
+        break;
+      case EventKind::Counter:
+        out += "{\"ph\":\"C\",\"name\":\"";
+        appendEscaped(out, e.name);
+        out += "\",\"pid\":";
+        appendU64(out, pid);
+        out += ",\"ts\":";
+        appendU64(out, e.ts);
+        out += ",\"args\":{\"value\":";
+        appendDouble(out, e.value);
+        out += "}},\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Session &s, const ExportMeta &meta)
+{
+    std::string out;
+    out.reserve(256 + s.size() * 96);
+    out += "{\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {";
+    out += "\"workload\": \"";
+    appendEscaped(out, meta.workload.c_str());
+    out += "\", \"preset\": \"";
+    appendEscaped(out, meta.preset.c_str());
+    out += "\", \"recorded_events\": ";
+    appendU64(out, s.recordedEvents());
+    out += ", \"dropped_events\": ";
+    appendU64(out, s.droppedEvents());
+    out += ", \"sample_interval\": ";
+    appendU64(out, s.options().sample_interval);
+    out += "},\n\"traceEvents\": [\n";
+
+    for (const Session::ProcessDef &p : s.processes())
+        appendMetaRow(out, "process_name", p.pid, 0, p.name, false);
+    for (const Session::ThreadDef &t : s.threads())
+        appendMetaRow(out, "thread_name", t.pid, t.tid, t.name, true);
+
+    s.forEach([&out](const Event &e) { appendEvent(out, e); });
+
+    // Trailing comma from the last event/metadata row: JSON forbids
+    // it, so close the array with a harmless terminator event.
+    out += "{\"ph\":\"M\",\"name\":\"trace_end\",\"pid\":0,"
+           "\"args\":{}}\n]\n}\n";
+    return out;
+}
+
+void
+writeChromeTrace(const Session &s, const std::string &path,
+                 const ExportMeta &meta)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    const std::string doc = chromeTraceJson(s, meta);
+    f.write(doc.data(),
+            static_cast<std::streamsize>(doc.size()));
+    f.flush();
+    if (!f)
+        fatal("trace: write to '%s' failed", path.c_str());
+}
+
+} // namespace trace
+} // namespace carve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter for trace::Session. The output is
+ * the "JSON object format" both Perfetto and chrome://tracing accept:
+ *
+ *   { "displayTimeUnit": "ns",
+ *     "otherData": { ...run metadata, drop accounting... },
+ *     "traceEvents": [ metadata rows..., X/i/C events... ] }
+ *
+ * Timestamps map one simulated cycle to one microsecond tick, so the
+ * timeline reads directly in cycles. One process row per GPU (plus
+ * "system" and "interconnect"), one thread row per component, counter
+ * tracks alongside their process.
+ */
+
+#ifndef CARVE_TRACE_CHROME_EXPORT_HH
+#define CARVE_TRACE_CHROME_EXPORT_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace carve {
+namespace trace {
+
+/** Run identity recorded into the trace's otherData block. */
+struct ExportMeta
+{
+    std::string workload;
+    std::string preset;
+};
+
+/** Serialise @p s as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const Session &s,
+                            const ExportMeta &meta = {});
+
+/** chromeTraceJson() to @p path; fatal() when the file cannot be
+ * written. */
+void writeChromeTrace(const Session &s, const std::string &path,
+                      const ExportMeta &meta = {});
+
+} // namespace trace
+} // namespace carve
+
+#endif // CARVE_TRACE_CHROME_EXPORT_HH

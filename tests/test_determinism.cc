@@ -77,6 +77,23 @@ TEST(EngineDeterminism, RepeatRunsAreByteIdentical)
               statBytesUnder("calendar", job));
 }
 
+TEST(EngineDeterminism, TracingOnVsOffIsByteIdentical)
+{
+    // Tracing must be a pure observer: a traced run (all categories,
+    // counters sampled, no file written) and an untraced run of the
+    // same job serialize to byte-identical stat trees.
+    const SimJob plain = fig08Job(Preset::CarveHwc);
+
+    SimJob traced = plain;
+    traced.options.trace.enabled = true;
+    traced.options.trace.categories = trace::all_categories;
+    traced.options.trace.buffer_capacity = std::size_t{1} << 21;
+    traced.options.trace.sample_interval = 1000;
+
+    EXPECT_EQ(statBytesUnder("calendar", plain),
+              statBytesUnder("calendar", traced));
+}
+
 // ---- SimJob API ---------------------------------------------------
 
 TEST(SimJob, MakePresetJobFillsEveryField)

@@ -40,6 +40,9 @@ miniSpec(Preset preset, const std::string &name,
     s.base = miniConfig();
     s.opts.seed = seed;
     s.opts.max_cycles = 50'000'000;
+    // Byte-compare tests below need results that are a pure function
+    // of the specs; host wall/RSS stats would differ per execution.
+    s.host_stats = false;
     return s;
 }
 

@@ -270,6 +270,29 @@ main(int argc, char **argv)
                 rep.cells.push_back(runCell(
                     makePresetJob(p, base, params, opts)));
         }
+
+        // Tracing-overhead cells. "trace-off" attaches a session but
+        // masks every category and disables sampling, so it prices
+        // the per-event enabled checks alone; the baseline compare
+        // against the plain NUMA-GPU cell gates that cost. "trace-on"
+        // records everything (no file written) as the worst case.
+        const WorkloadParams lulesh = suiteWorkload("Lulesh", suite);
+        SimJob off =
+            makePresetJob(Preset::NumaGpu, base, lulesh, opts);
+        off.preset_label = "NUMA-GPU+trace-off";
+        off.options.trace.enabled = true;
+        off.options.trace.categories = 0;
+        off.options.trace.sample_interval = 0;
+        rep.cells.push_back(runCell(off));
+
+        SimJob on =
+            makePresetJob(Preset::NumaGpu, base, lulesh, opts);
+        on.preset_label = "NUMA-GPU+trace-on";
+        on.options.trace.enabled = true;
+        on.options.trace.categories = trace::all_categories;
+        on.options.trace.buffer_capacity = std::size_t{1} << 20;
+        on.options.trace.sample_interval = 1000;
+        rep.cells.push_back(runCell(on));
     }
 
     // ---- write + gate ---------------------------------------------

@@ -14,14 +14,18 @@
  * errors (bad flags, unreadable files) also exit 1.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "core/report.hh"
+#include "trace/trace.hh"
 #include "harness/fuzz.hh"
 #include "harness/results_io.hh"
 #include "harness/sweep.hh"
@@ -53,6 +57,13 @@ struct CliOptions
     std::string baseline_path;
     std::string compare_path;
     double tolerance = 0.05;
+    bool trace = false;
+    std::string trace_categories = "all";
+    std::string trace_out = "traces";
+    std::uint64_t trace_capacity = 0;         ///< 0 == library default
+    std::uint64_t trace_sample_interval = 0;  ///< 0 == library default
+    bool trace_sample_interval_set = false;
+    bool host_stats = true;
     bool quiet = false;
     bool list_presets = false;
     bool list_workloads = false;
@@ -99,8 +110,26 @@ usage()
         "  --max-wall-seconds S      per-run wall watchdog\n"
         "                            (default off)\n"
         "\n"
+        "tracing:\n"
+        "  --trace                   write one Chrome trace-event\n"
+        "                            JSON timeline per run (open in\n"
+        "                            Perfetto / chrome://tracing)\n"
+        "  --trace-categories a,b    category mask: sm, cache, rdc,\n"
+        "                            dram, link, coherence, kernel,\n"
+        "                            audit, all (default all)\n"
+        "  --trace-out DIR           trace directory (default\n"
+        "                            'traces', created if missing)\n"
+        "  --trace-capacity N        ring capacity in events\n"
+        "                            (default 1M; overflow drops\n"
+        "                            oldest-first)\n"
+        "  --trace-sample-interval N cycles between counter samples\n"
+        "                            (default 1000; 0 disables)\n"
+        "\n"
         "results:\n"
         "  --out FILE                write JSON results\n"
+        "  --no-host-stats           omit sim.wall_seconds and\n"
+        "                            sim.peak_rss_bytes so results\n"
+        "                            are byte-reproducible\n"
         "  --baseline FILE           gate against FILE; candidate is\n"
         "                            this sweep, or --compare FILE\n"
         "  --compare FILE            diff --baseline vs FILE without\n"
@@ -222,6 +251,24 @@ parseArgs(int argc, char **argv)
             cli.overrides.push_back(need(i, "--set"));
         } else if (a == "--profile-lines") {
             cli.profile_lines = true;
+        } else if (a == "--trace") {
+            cli.trace = true;
+        } else if (a == "--trace-categories") {
+            cli.trace_categories = need(i, "--trace-categories");
+        } else if (a == "--trace-out") {
+            cli.trace_out = need(i, "--trace-out");
+        } else if (a == "--trace-capacity") {
+            cli.trace_capacity = parseU64("--trace-capacity",
+                                          need(i, "--trace-capacity"));
+            if (cli.trace_capacity == 0)
+                fatal("--trace-capacity: expected a positive count");
+        } else if (a == "--trace-sample-interval") {
+            cli.trace_sample_interval =
+                parseU64("--trace-sample-interval",
+                         need(i, "--trace-sample-interval"));
+            cli.trace_sample_interval_set = true;
+        } else if (a == "--no-host-stats") {
+            cli.host_stats = false;
         } else if (a == "--out") {
             cli.out_path = need(i, "--out");
         } else if (a == "--baseline") {
@@ -247,6 +294,30 @@ parseArgs(int argc, char **argv)
         }
     }
     return cli;
+}
+
+/** Per-run progress printer: status line plus elapsed wall time and a
+ * running ETA extrapolated from the mean time per finished run. */
+std::function<void(std::size_t, std::size_t, const RunResult &)>
+makeProgress()
+{
+    const auto start = std::chrono::steady_clock::now();
+    return [start](std::size_t done, std::size_t total,
+                   const RunResult &r) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const double eta = done == 0
+            ? 0.0
+            : elapsed / static_cast<double>(done) *
+                static_cast<double>(total - done);
+        std::fprintf(stderr,
+                     "[%zu/%zu] %-8s %s (%.2fs) "
+                     "[elapsed %.1fs, eta %.1fs]\n",
+                     done, total, runStatusName(r.status),
+                     r.key().c_str(), r.wall_seconds, elapsed, eta);
+    };
 }
 
 int
@@ -328,19 +399,13 @@ main(int argc, char **argv)
         for (const FuzzSpec &f : fuzzes) {
             std::fprintf(stderr, "  %s\n", f.describe().c_str());
             specs.push_back(f.spec);
+            specs.back().host_stats = cli.host_stats;
         }
 
         SweepOptions sweep;
         sweep.threads = cli.threads;
-        if (!cli.quiet) {
-            sweep.on_progress = [](std::size_t done,
-                                   std::size_t total,
-                                   const RunResult &r) {
-                std::fprintf(stderr, "[%zu/%zu] %-8s %s (%.2fs)\n",
-                             done, total, runStatusName(r.status),
-                             r.key().c_str(), r.wall_seconds);
-            };
-        }
+        if (!cli.quiet)
+            sweep.on_progress = makeProgress();
         const std::vector<RunResult> results =
             runSweep(specs, sweep);
 
@@ -416,20 +481,33 @@ main(int argc, char **argv)
     opts.profile_lines = cli.profile_lines;
     opts.audit = cli.audit;
 
-    const std::vector<RunSpec> specs =
+    if (cli.trace) {
+        opts.trace.enabled = true;
+        opts.trace.categories =
+            trace::parseCategoryList(cli.trace_categories);
+        opts.trace.out_dir = cli.trace_out;
+        if (cli.trace_capacity != 0)
+            opts.trace.buffer_capacity = cli.trace_capacity;
+        if (cli.trace_sample_interval_set)
+            opts.trace.sample_interval = cli.trace_sample_interval;
+        std::error_code ec;
+        std::filesystem::create_directories(cli.trace_out, ec);
+        if (ec) {
+            fatal("--trace-out: cannot create '%s': %s",
+                  cli.trace_out.c_str(), ec.message().c_str());
+        }
+    }
+
+    std::vector<RunSpec> specs =
         expandGrid(presets, workloads, cli.seeds, base, opts);
+    for (RunSpec &s : specs)
+        s.host_stats = cli.host_stats;
 
     // ---- execute ---------------------------------------------------
     SweepOptions sweep;
     sweep.threads = cli.threads;
-    if (!cli.quiet) {
-        sweep.on_progress = [](std::size_t done, std::size_t total,
-                               const RunResult &r) {
-            std::fprintf(stderr, "[%zu/%zu] %-8s %s (%.2fs)\n", done,
-                         total, runStatusName(r.status),
-                         r.key().c_str(), r.wall_seconds);
-        };
-    }
+    if (!cli.quiet)
+        sweep.on_progress = makeProgress();
 
     std::fprintf(stderr,
                  "carve-sweep: %zu runs (%zu presets x %zu workloads "

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * carve-trace: offline analysis of the Chrome trace-event JSON files
+ * written by carve-sweep --trace (trace/chrome_export.cc). Three
+ * reports, all derived from the span timeline:
+ *
+ *   - the top-N longest miss lifetimes (L2 and RDC MSHR spans), the
+ *     first place to look when a preset's memory latency regresses;
+ *   - per-kernel link-busy fractions: how much of each kernel's
+ *     lifetime each NUMA link spent occupied — the timeline view of
+ *     the paper's bandwidth arguments;
+ *   - a per-row gap/overlap report: busy coverage, idle gaps and
+ *     overlapping spans per timeline row, which doubles as a sanity
+ *     check on the instrumentation itself.
+ *
+ * Usage: carve-trace FILE [--top N]
+ * Exit status: 0 on success, 1 on unreadable/malformed input.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/json.hh"
+
+namespace {
+
+using namespace carve;
+
+/** One ph="X" row pulled out of traceEvents. */
+struct Span
+{
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::uint64_t arg = 0;
+    std::string name;
+    std::string cat;
+};
+
+struct TraceDoc
+{
+    std::map<std::uint32_t, std::string> process_names;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+        thread_names;
+    std::vector<Span> spans;
+    std::string workload;
+    std::string preset;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+};
+
+std::string
+rowName(const TraceDoc &doc, std::uint32_t pid, std::uint32_t tid)
+{
+    const auto p = doc.process_names.find(pid);
+    std::string out = p == doc.process_names.end()
+        ? "pid" + std::to_string(pid) : p->second;
+    const auto t = doc.thread_names.find({pid, tid});
+    out += "/";
+    out += t == doc.thread_names.end()
+        ? "tid" + std::to_string(tid) : t->second;
+    return out;
+}
+
+TraceDoc
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("carve-trace: cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const json::Value doc = json::parse(buf.str(), path);
+    if (!doc.at("traceEvents").isArray())
+        fatal("carve-trace: '%s' has no traceEvents array",
+              path.c_str());
+
+    TraceDoc out;
+    const json::Value &other = doc.at("otherData");
+    if (other.isObject()) {
+        if (other.has("workload"))
+            out.workload = other.at("workload").asString();
+        if (other.has("preset"))
+            out.preset = other.at("preset").asString();
+        if (other.has("recorded_events")) {
+            out.recorded = static_cast<std::uint64_t>(
+                other.at("recorded_events").asInt());
+        }
+        if (other.has("dropped_events")) {
+            out.dropped = static_cast<std::uint64_t>(
+                other.at("dropped_events").asInt());
+        }
+    }
+
+    for (const json::Value &ev : doc.at("traceEvents").asArray()) {
+        const std::string &ph = ev.at("ph").asString();
+        const auto pid =
+            static_cast<std::uint32_t>(ev.at("pid").asInt());
+        const auto tid = ev.has("tid")
+            ? static_cast<std::uint32_t>(ev.at("tid").asInt()) : 0u;
+        if (ph == "M") {
+            const std::string &kind = ev.at("name").asString();
+            const json::Value &name = ev.at("args").at("name");
+            if (!name.isString())
+                continue;
+            if (kind == "process_name")
+                out.process_names[pid] = name.asString();
+            else if (kind == "thread_name")
+                out.thread_names[{pid, tid}] = name.asString();
+        } else if (ph == "X") {
+            Span s;
+            s.pid = pid;
+            s.tid = tid;
+            s.ts = static_cast<std::uint64_t>(ev.at("ts").asInt());
+            s.dur = static_cast<std::uint64_t>(ev.at("dur").asInt());
+            s.name = ev.at("name").asString();
+            if (ev.at("cat").isString())
+                s.cat = ev.at("cat").asString();
+            if (ev.at("args").has("v")) {
+                s.arg = static_cast<std::uint64_t>(
+                    ev.at("args").at("v").asInt());
+            }
+            out.spans.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+void
+reportMissLifetimes(const TraceDoc &doc, std::size_t top_n)
+{
+    std::vector<const Span *> misses;
+    for (const Span &s : doc.spans) {
+        if (s.cat == "cache" || s.cat == "rdc")
+            misses.push_back(&s);
+    }
+    std::printf("miss lifetimes (%zu L2/RDC spans):\n",
+                misses.size());
+    if (misses.empty())
+        return;
+    std::sort(misses.begin(), misses.end(),
+              [](const Span *a, const Span *b) {
+                  if (a->dur != b->dur)
+                      return a->dur > b->dur;
+                  return a->ts < b->ts;
+              });
+    const std::size_t n = std::min(top_n, misses.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const Span &s = *misses[i];
+        std::printf("  %2zu. %8llu cycles  %-9s %-18s "
+                    "at %llu (line 0x%llx)\n",
+                    i + 1,
+                    static_cast<unsigned long long>(s.dur),
+                    s.name.c_str(),
+                    rowName(doc, s.pid, s.tid).c_str(),
+                    static_cast<unsigned long long>(s.ts),
+                    static_cast<unsigned long long>(s.arg));
+    }
+}
+
+/** Cycles of [ts, ts+dur) falling inside [lo, hi). */
+std::uint64_t
+overlapWith(const Span &s, std::uint64_t lo, std::uint64_t hi)
+{
+    const std::uint64_t a = std::max(s.ts, lo);
+    const std::uint64_t b = std::min(s.ts + s.dur, hi);
+    return b > a ? b - a : 0;
+}
+
+void
+reportLinkBusy(const TraceDoc &doc)
+{
+    std::vector<const Span *> kernels;
+    for (const Span &s : doc.spans) {
+        if (s.cat == "kernel" && s.pid == 0)
+            kernels.push_back(&s);
+    }
+    std::sort(kernels.begin(), kernels.end(),
+              [](const Span *a, const Span *b) {
+                  return a->ts < b->ts;
+              });
+
+    std::printf("\nper-kernel link-busy fractions:\n");
+    if (kernels.empty()) {
+        std::printf("  (no kernel spans; enable the 'kernel' "
+                    "category)\n");
+        return;
+    }
+
+    for (const Span *k : kernels) {
+        const std::uint64_t lo = k->ts, hi = k->ts + k->dur;
+        // Busy cycles per link row over this kernel's lifetime.
+        std::map<std::pair<std::uint32_t, std::uint32_t>,
+                 std::uint64_t> busy;
+        for (const Span &s : doc.spans) {
+            if (s.cat != "link")
+                continue;
+            busy[{s.pid, s.tid}] += overlapWith(s, lo, hi);
+        }
+        std::printf("  %s [%llu, %llu) dur %llu:\n", k->name.c_str(),
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi),
+                    static_cast<unsigned long long>(k->dur));
+        if (busy.empty()) {
+            std::printf("    (no link spans; enable the 'link' "
+                        "category)\n");
+            continue;
+        }
+        for (const auto &[row, cycles] : busy) {
+            const double frac = k->dur == 0
+                ? 0.0
+                : static_cast<double>(cycles) /
+                    static_cast<double>(k->dur);
+            std::printf("    %-28s %10llu busy  %6.2f%%\n",
+                        rowName(doc, row.first, row.second).c_str(),
+                        static_cast<unsigned long long>(cycles),
+                        100.0 * frac);
+        }
+    }
+}
+
+void
+reportGapsOverlaps(const TraceDoc &doc)
+{
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::vector<const Span *>> rows;
+    for (const Span &s : doc.spans)
+        rows[{s.pid, s.tid}].push_back(&s);
+
+    std::printf("\nper-row gap/overlap report (span rows only):\n");
+    if (rows.empty()) {
+        std::printf("  (no spans recorded)\n");
+        return;
+    }
+    std::printf("  %-28s %7s %12s %12s %12s %9s\n", "row", "spans",
+                "busy", "gap", "overlap", "coverage");
+    for (auto &[row, spans] : rows) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const Span *a, const Span *b) {
+                      if (a->ts != b->ts)
+                          return a->ts < b->ts;
+                      return a->dur > b->dur;
+                  });
+        std::uint64_t busy = 0, gap = 0, overlap = 0;
+        std::uint64_t cursor = spans.front()->ts;
+        for (const Span *s : spans) {
+            busy += s->dur;
+            if (s->ts > cursor)
+                gap += s->ts - cursor;
+            else
+                overlap += std::min(cursor - s->ts, s->dur);
+            cursor = std::max(cursor, s->ts + s->dur);
+        }
+        const std::uint64_t extent = cursor - spans.front()->ts;
+        const double coverage = extent == 0
+            ? 0.0
+            : static_cast<double>(busy) /
+                static_cast<double>(extent);
+        std::printf("  %-28s %7zu %12llu %12llu %12llu %8.2f%%\n",
+                    rowName(doc, row.first, row.second).c_str(),
+                    spans.size(),
+                    static_cast<unsigned long long>(busy),
+                    static_cast<unsigned long long>(gap),
+                    static_cast<unsigned long long>(overlap),
+                    100.0 * coverage);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::size_t top_n = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            std::puts("usage: carve-trace FILE [--top N]\n"
+                      "\n"
+                      "Analyse a Chrome trace-event JSON file written "
+                      "by carve-sweep --trace:\n"
+                      "top-N longest L2/RDC miss lifetimes, "
+                      "per-kernel link-busy fractions,\n"
+                      "and a per-row gap/overlap report.\n"
+                      "\n"
+                      "  --top N   miss lifetimes to list "
+                      "(default 10)");
+            return 0;
+        } else if (a == "--top") {
+            if (i + 1 >= argc)
+                fatal("--top requires an argument");
+            top_n = static_cast<std::size_t>(
+                std::stoull(argv[++i]));
+        } else if (!a.empty() && a[0] == '-') {
+            fatal("unknown flag '%s' (see --help)", a.c_str());
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            fatal("more than one input file given");
+        }
+    }
+    if (path.empty())
+        fatal("usage: carve-trace FILE [--top N]");
+
+    const TraceDoc doc = loadTrace(path);
+    std::printf("%s: workload %s, preset %s, %llu events recorded",
+                path.c_str(),
+                doc.workload.empty() ? "?" : doc.workload.c_str(),
+                doc.preset.empty() ? "?" : doc.preset.c_str(),
+                static_cast<unsigned long long>(doc.recorded));
+    if (doc.dropped > 0) {
+        std::printf(", %llu DROPPED (oldest-first; raise "
+                    "--trace-capacity)",
+                    static_cast<unsigned long long>(doc.dropped));
+    }
+    std::printf("\n\n");
+
+    reportMissLifetimes(doc, top_n);
+    reportLinkBusy(doc);
+    reportGapsOverlaps(doc);
+    return 0;
+}
