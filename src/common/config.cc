@@ -356,6 +356,17 @@ SystemConfig::toOverrides() const
     return out;
 }
 
+std::vector<ConfigOverride>
+SystemConfig::canonicalOverrides() const
+{
+    std::vector<ConfigOverride> out = toOverrides();
+    std::sort(out.begin(), out.end(),
+              [](const ConfigOverride &a, const ConfigOverride &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
 void
 SystemConfig::validate() const
 {

@@ -202,6 +202,15 @@ struct SystemConfig
      */
     std::vector<ConfigOverride> toOverrides() const;
 
+    /**
+     * toOverrides() sorted by key: the canonical serialization order.
+     * Two SystemConfigs describing the same machine — no matter how
+     * or in what order their overrides were applied — produce
+     * identical canonical sequences, which is what content-addressed
+     * consumers (the carve-served job key) hash.
+     */
+    std::vector<ConfigOverride> canonicalOverrides() const;
+
     /** fatal() on any inconsistent combination of parameters. */
     void validate() const;
 

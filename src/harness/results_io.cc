@@ -16,6 +16,33 @@ namespace harness {
 
 namespace {
 
+std::uint64_t
+u64At(const json::Value &v, const char *key)
+{
+    if (v.at(key).kind() != json::Value::Kind::Int)
+        fatal("results: run record member '%s' is missing or not an "
+              "integer", key);
+    return static_cast<std::uint64_t>(v.at(key).asInt());
+}
+
+double
+dblAt(const json::Value &v, const char *key)
+{
+    if (!v.at(key).isNumber())
+        fatal("results: run record member '%s' is missing or not a "
+              "number", key);
+    return v.at(key).asDouble();
+}
+
+const std::string &
+strAt(const json::Value &v, const char *key)
+{
+    if (!v.at(key).isString())
+        fatal("results: run record member '%s' is missing or not a "
+              "string", key);
+    return v.at(key).asString();
+}
+
 json::Value
 trafficToJson(const GpuTraffic &t)
 {
@@ -35,26 +62,17 @@ GpuTraffic
 trafficFromJson(const json::Value &v)
 {
     GpuTraffic t;
-    t.local_reads =
-        static_cast<std::uint64_t>(v.at("local_reads").asInt());
-    t.remote_reads =
-        static_cast<std::uint64_t>(v.at("remote_reads").asInt());
-    t.rdc_hit_reads =
-        static_cast<std::uint64_t>(v.at("rdc_hit_reads").asInt());
-    t.cpu_reads =
-        static_cast<std::uint64_t>(v.at("cpu_reads").asInt());
-    t.local_writes =
-        static_cast<std::uint64_t>(v.at("local_writes").asInt());
-    t.remote_writes =
-        static_cast<std::uint64_t>(v.at("remote_writes").asInt());
+    t.local_reads = u64At(v, "local_reads");
+    t.remote_reads = u64At(v, "remote_reads");
+    t.rdc_hit_reads = u64At(v, "rdc_hit_reads");
+    t.cpu_reads = u64At(v, "cpu_reads");
+    t.local_writes = u64At(v, "local_writes");
+    t.remote_writes = u64At(v, "remote_writes");
     // Absent in results files written before write-back RDC writes
     // were classified separately.
-    if (v.has("rdc_hit_writes")) {
-        t.rdc_hit_writes = static_cast<std::uint64_t>(
-            v.at("rdc_hit_writes").asInt());
-    }
-    t.cpu_writes =
-        static_cast<std::uint64_t>(v.at("cpu_writes").asInt());
+    if (v.has("rdc_hit_writes"))
+        t.rdc_hit_writes = u64At(v, "rdc_hit_writes");
+    t.cpu_writes = u64At(v, "cpu_writes");
     return t;
 }
 
@@ -72,19 +90,10 @@ SharingBreakdown
 sharingFromJson(const json::Value &v)
 {
     SharingBreakdown s;
-    s.private_accesses =
-        static_cast<std::uint64_t>(v.at("private").asInt());
-    s.read_only_shared =
-        static_cast<std::uint64_t>(v.at("read_only_shared").asInt());
-    s.read_write_shared =
-        static_cast<std::uint64_t>(v.at("read_write_shared").asInt());
+    s.private_accesses = u64At(v, "private");
+    s.read_only_shared = u64At(v, "read_only_shared");
+    s.read_write_shared = u64At(v, "read_write_shared");
     return s;
-}
-
-std::uint64_t
-u64At(const json::Value &v, const char *key)
-{
-    return static_cast<std::uint64_t>(v.at(key).asInt());
 }
 
 } // namespace
@@ -155,22 +164,28 @@ resultToJson(const RunResult &r)
 RunResult
 resultFromJson(const json::Value &v)
 {
+    if (!v.isObject())
+        fatal("results: run record is not a JSON object");
     RunResult r;
-    r.preset = v.at("preset").asString();
-    r.workload = v.at("workload").asString();
-    r.seed = static_cast<std::uint64_t>(v.at("seed").asInt());
-    r.status = parseRunStatus(v.at("status").asString());
+    r.preset = strAt(v, "preset");
+    r.workload = strAt(v, "workload");
+    r.seed = u64At(v, "seed");
+    r.status = parseRunStatus(strAt(v, "status"));
     if (v.has("error"))
-        r.error = v.at("error").asString();
+        r.error = strAt(v, "error");
     if (!v.has("stats"))
         return r;
 
     const json::Value &s = v.at("stats");
+    if (!s.isObject())
+        fatal("results: run record member 'stats' is not an object");
     r.sim.workload = r.workload;
     r.sim.preset = r.preset;
     r.sim.cycles = u64At(s, "cycles");
     r.sim.warp_insts = u64At(s, "warp_insts");
-    r.sim.frac_remote = s.at("frac_remote").asDouble();
+    r.sim.frac_remote = dblAt(s, "frac_remote");
+    if (!s.at("traffic").isObject())
+        fatal("results: run record member 'traffic' is not an object");
     r.sim.traffic = trafficFromJson(s.at("traffic"));
     r.sim.gpu_gpu_bytes = u64At(s, "gpu_gpu_bytes");
     r.sim.cpu_gpu_bytes = u64At(s, "cpu_gpu_bytes");
@@ -181,8 +196,8 @@ resultFromJson(const json::Value &v)
     r.sim.replications = u64At(s, "replications");
     r.sim.collapses = u64At(s, "collapses");
     r.sim.um_migrations = u64At(s, "um_migrations");
-    r.sim.capacity_pressure = s.at("capacity_pressure").asDouble();
-    r.sim.l2_hit_rate = s.at("l2_hit_rate").asDouble();
+    r.sim.capacity_pressure = dblAt(s, "capacity_pressure");
+    r.sim.l2_hit_rate = dblAt(s, "l2_hit_rate");
     r.sim.page_sharing = sharingFromJson(s.at("page_sharing"));
     r.sim.line_sharing = sharingFromJson(s.at("line_sharing"));
     r.sim.shared_page_footprint = u64At(s, "shared_page_footprint");
@@ -258,6 +273,8 @@ readResultsFile(const std::string &path)
 std::vector<RunResult>
 resultsFromJson(const json::Value &doc)
 {
+    if (!doc.at("runs").isArray())
+        fatal("results: document has no 'runs' array");
     std::vector<RunResult> out;
     for (const auto &r : doc.at("runs").asArray())
         out.push_back(resultFromJson(r));

@@ -1,6 +1,11 @@
 #include "harness/thread_pool.hh"
 
 #include <atomic>
+#include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
 
 namespace carve {
 namespace harness {
@@ -20,6 +25,15 @@ ThreadPool::ThreadPool(unsigned threads)
     for (unsigned i = 0; i < threads; ++i) {
         workers_.emplace_back(
             [this](std::stop_token st) { workerLoop(st); });
+#ifdef __linux__
+        // Name the workers so traces, gdb and `top -H` attribute
+        // simulation work to the pool (comm limit is 15 chars).
+        std::string name = "carve-wkr-" + std::to_string(i);
+        if (name.size() > 15)
+            name.resize(15);
+        pthread_setname_np(workers_.back().native_handle(),
+                           name.c_str());
+#endif
     }
 }
 

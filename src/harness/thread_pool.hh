@@ -24,7 +24,9 @@ namespace harness {
 /**
  * N worker threads draining a FIFO job queue. Destruction requests
  * stop, drains any still-queued jobs, and joins. Jobs must not
- * throw — wrap fallible work in its own try/catch.
+ * throw — wrap fallible work in its own try/catch. Workers are named
+ * "carve-wkr-N" (Linux) so traces, gdb and `top -H` attribute
+ * simulation work to the pool.
  */
 class ThreadPool
 {

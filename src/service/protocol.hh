@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Wire protocol of the carve-served sweep service.
+ *
+ * Transport: a SOCK_STREAM AF_UNIX socket carrying newline-delimited
+ * JSON — every request, response, and streamed event is exactly one
+ * '\n'-terminated line holding one JSON object. Requests carry an
+ * "op" member ("ping", "submit", "status", "result", "cancel",
+ * "stats"); responses answer with "ok" plus op-specific members;
+ * server-pushed progress lines carry an "event" member instead of
+ * "ok" and may precede the response to a blocking "result" request.
+ *
+ * A JobSpec is the protocol's unit of work: one fully-described
+ * simulation (preset, complete workload description, complete system
+ * configuration as override key/values, run options, seed). Its
+ * canonical JSON form — fixed member order, configuration keys sorted
+ * — is also the preimage of the content-addressed job key
+ * (see job_key.hh), so two JobSpecs that describe the same simulation
+ * always serialize to identical bytes.
+ */
+
+#ifndef CARVE_SERVICE_PROTOCOL_HH
+#define CARVE_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "harness/json.hh"
+#include "workloads/synthetic.hh"
+
+namespace carve {
+namespace service {
+
+/** Protocol identifier exchanged in ping; bump on breaking change. */
+inline constexpr const char *kProtocolSchema = "carve-served/1";
+
+/**
+ * Job-description schema version. Part of the cache-key preimage:
+ * bump it whenever simulation semantics change in a way that makes
+ * previously cached results stale (stat additions are fine — they
+ * change the result bytes, which invalidates byte-compare workflows,
+ * not the mapping from spec to behaviour).
+ */
+inline constexpr const char *kJobSchema = "carve-job/1";
+
+/** One fully-described simulation request. */
+struct JobSpec
+{
+    /** Preset label (exact presetName() form, e.g. "CARVE-HWC"). */
+    std::string preset;
+    /** Complete workload description (regions included) — the server
+     * never consults the suite tables, so client and server need not
+     * agree on them. */
+    WorkloadParams workload;
+    /** Base configuration the preset derives from, transmitted as the
+     * full override-registry dump (54 keys), so the spec is
+     * self-contained. */
+    SystemConfig config;
+
+    /** Run options (the subset that affects results or result bytes). */
+    std::uint64_t seed = 1;
+    std::uint64_t max_cycles = 0;
+    double max_wall_seconds = 0.0;
+    bool profile_lines = false;
+    bool audit = false;
+    /** Append host wall/RSS stats to the stat tree (nondeterministic;
+     * off for byte-reproducible results). Part of the cache key since
+     * it changes the result bytes. */
+    bool host_stats = true;
+};
+
+/**
+ * Canonical JSON form of a JobSpec: fixed member order, configuration
+ * serialized via SystemConfig::canonicalOverrides() (sorted by key).
+ * Deterministic: equal specs produce identical dump(0) bytes
+ * regardless of how their configs were built.
+ */
+json::Value jobSpecToJson(const JobSpec &spec);
+
+/**
+ * Inverse of jobSpecToJson(). fatal() (capturable) on missing or
+ * ill-typed members and on unknown config/region keys.
+ */
+JobSpec jobSpecFromJson(const json::Value &v);
+
+/** Build the uniform failure response {"ok":false,"error":...}. */
+json::Value errorResponse(const std::string &op,
+                          const std::string &error,
+                          bool retriable = false);
+
+/**
+ * Newline-delimited message framing over a connected socket fd (owns
+ * and closes the fd). Reads are buffered; writes are atomic per line
+ * and suppress SIGPIPE so a vanished peer surfaces as an error
+ * return, never a signal.
+ */
+class LineChannel
+{
+  public:
+    /** Takes ownership of @p fd (-1 == empty channel). */
+    explicit LineChannel(int fd = -1) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(LineChannel &&other) noexcept;
+    LineChannel &operator=(LineChannel &&other) noexcept;
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Read one '\n'-terminated line into @p out (terminator
+     * stripped). Returns false on orderly EOF or error; a partial
+     * line at EOF is discarded.
+     */
+    bool readLine(std::string &out);
+
+    /** Write @p line plus '\n'. Returns false when the peer is gone. */
+    bool writeLine(const std::string &line);
+
+    /** shutdown(2) both directions to unblock a reader; keeps fd. */
+    void shutdownBoth();
+
+    /** Close the fd now (also done by the destructor). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_;  ///< bytes received beyond the last line
+};
+
+/** Connect to the unix socket at @p path; empty channel on failure
+ * (errno preserved for the caller's diagnostic). */
+LineChannel connectUnix(const std::string &path);
+
+/** Create, bind and listen on @p path (unlinking any stale socket
+ * file first). Returns the listening fd, or -1 with errno set. */
+int listenUnix(const std::string &path, int backlog);
+
+} // namespace service
+} // namespace carve
+
+#endif // CARVE_SERVICE_PROTOCOL_HH

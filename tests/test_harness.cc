@@ -393,6 +393,69 @@ TEST_F(HarnessTest, SchemaV2StatTreeSurvivesRoundTrip)
     }
 }
 
+TEST_F(HarnessTest, MalformedResultsDocumentsFailGracefully)
+{
+    ScopedErrorCapture capture;
+    // Truncated document: the parser must throw, not crash.
+    EXPECT_THROW(resultsFromJson(
+                     json::parse("{\"runs\": [{\"preset\"", "t")),
+                 SimAbortError);
+    // No runs member at all.
+    EXPECT_THROW(resultsFromJson(json::parse("{}", "t")),
+                 SimAbortError);
+    // runs is not an array.
+    EXPECT_THROW(resultsFromJson(json::parse("{\"runs\": 3}", "t")),
+                 SimAbortError);
+    // A run record that is not an object.
+    EXPECT_THROW(resultsFromJson(
+                     json::parse("{\"runs\": [42]}", "t")),
+                 SimAbortError);
+    // A run record missing every identity member.
+    EXPECT_THROW(resultsFromJson(
+                     json::parse("{\"runs\": [{}]}", "t")),
+                 SimAbortError);
+    // Ill-typed stat members.
+    EXPECT_THROW(
+        resultsFromJson(json::parse(
+            "{\"runs\": [{\"preset\":\"CARVE-HWC\","
+            "\"workload\":\"w\",\"seed\":1,\"status\":\"ok\","
+            "\"stats\":{\"cycles\":\"nope\"}}]}",
+            "t")),
+        SimAbortError);
+    // stats present but not an object.
+    EXPECT_THROW(
+        resultsFromJson(json::parse(
+            "{\"runs\": [{\"preset\":\"CARVE-HWC\","
+            "\"workload\":\"w\",\"seed\":1,\"status\":\"ok\","
+            "\"stats\":[]}]}",
+            "t")),
+        SimAbortError);
+}
+
+TEST_F(HarnessTest, MissingAndTruncatedResultsFilesFailGracefully)
+{
+    ScopedErrorCapture capture;
+    EXPECT_THROW(
+        readResultsFile(::testing::TempDir() +
+                        "no-such-results-file.json"),
+        SimAbortError);
+
+    // A results file cut off mid-write must error, not crash or
+    // silently gate nothing.
+    SweepMeta meta;
+    meta.git_version = "test";
+    const std::string text =
+        sweepToJson(meta, syntheticResults()).dump();
+    const std::string path =
+        ::testing::TempDir() + "truncated-results.json";
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text.substr(0, text.size() * 2 / 3);
+    }
+    EXPECT_THROW(resultsFromJson(readResultsFile(path)),
+                 SimAbortError);
+}
+
 TEST_F(HarnessTest, V1FilesWithoutStatTreesStillParse)
 {
     RunSpec spec = miniSpec(Preset::NumaGpu, "v1");

@@ -1,0 +1,463 @@
+/** @file Tests for the carve-served sweep service: content-addressed
+ * job keys (stable across override orderings), JobSpec protocol round
+ * trips, the LRU on-disk result cache, and an end-to-end daemon over
+ * a real unix socket — memoization, byte-identical cached results,
+ * disk-cache survival across restarts, cancellation, backpressure,
+ * and graceful drain. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "harness/results_io.hh"
+#include "harness/sweep.hh"
+#include "service/client.hh"
+#include "service/job_key.hh"
+#include "service/result_cache.hh"
+#include "service/server.hh"
+#include "sim_test_util.hh"
+
+namespace carve {
+namespace service {
+namespace {
+
+using test::miniConfig;
+using test::miniWorkload;
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+    void TearDown() override { setLogQuiet(false); }
+};
+
+harness::RunSpec
+miniSpec(std::uint64_t seed = 1)
+{
+    harness::RunSpec s;
+    s.preset = Preset::CarveHwc;
+    s.workload = miniWorkload(RegionKind::SharedStream, 0.1);
+    s.workload.name = "svc";
+    s.base = miniConfig();
+    s.opts.seed = seed;
+    s.opts.max_cycles = 50'000'000;
+    // Byte-compare assertions below need results that are a pure
+    // function of the spec; host wall/RSS stats would differ per run.
+    s.host_stats = false;
+    return s;
+}
+
+JobSpec
+miniJob(std::uint64_t seed = 1)
+{
+    return jobFromRunSpec(miniSpec(seed));
+}
+
+/** Fresh scratch directory under the gtest temp dir. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Connect with retries: the server thread binds asynchronously. */
+std::optional<Client>
+connectRetry(const std::string &sock)
+{
+    for (int i = 0; i < 250; ++i) {
+        if (std::filesystem::exists(sock)) {
+            auto c = Client::connect(sock);
+            if (c)
+                return c;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return std::nullopt;
+}
+
+// ---- job identity --------------------------------------------------
+
+TEST_F(ServiceTest, JobKeyIgnoresOverrideApplicationOrder)
+{
+    JobSpec a = miniJob();
+    JobSpec b = miniJob();
+    a.config.applyOverride("rdc.size", "1048576");
+    a.config.applyOverride("numa.replication", "readonly");
+    a.config.applyOverride("link.gpu_gpu_bw", "32");
+    b.config.applyOverride("link.gpu_gpu_bw", "32");
+    b.config.applyOverride("numa.replication", "readonly");
+    b.config.applyOverride("rdc.size", "1048576");
+    EXPECT_EQ(jobKey(a), jobKey(b))
+        << "override application order must not change job identity";
+    EXPECT_TRUE(isJobKey(jobKey(a)));
+    EXPECT_EQ(jobSpecToJson(a).dump(0), jobSpecToJson(b).dump(0));
+}
+
+TEST_F(ServiceTest, JobKeySeparatesSemanticDifferences)
+{
+    const JobSpec base = miniJob();
+
+    JobSpec seed = base;
+    seed.seed = 2;
+    EXPECT_NE(jobKey(seed), jobKey(base));
+
+    JobSpec hs = base;
+    hs.host_stats = true;  // changes result bytes, so changes the key
+    EXPECT_NE(jobKey(hs), jobKey(base));
+
+    JobSpec cfg = base;
+    cfg.config.applyOverride("rdc.size", "1048576");
+    EXPECT_NE(jobKey(cfg), jobKey(base));
+
+    JobSpec wl = base;
+    wl.workload.insts_per_warp += 1;
+    EXPECT_NE(jobKey(wl), jobKey(base));
+}
+
+TEST_F(ServiceTest, CanonicalOverridesAreSortedAndComplete)
+{
+    const SystemConfig cfg = miniConfig();
+    const auto canon = cfg.canonicalOverrides();
+    ASSERT_EQ(canon.size(), cfg.toOverrides().size());
+    for (std::size_t i = 1; i < canon.size(); ++i)
+        EXPECT_LT(canon[i - 1].key, canon[i].key);
+
+    // Applying the canonical sequence reproduces the config.
+    SystemConfig back;
+    for (const auto &ov : canon)
+        back.applyOverride(ov.key, ov.value);
+    EXPECT_EQ(back.toOverrides().size(), cfg.toOverrides().size());
+    const auto a = cfg.canonicalOverrides();
+    const auto b = back.canonicalOverrides();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].value, b[i].value) << a[i].key;
+    }
+}
+
+TEST_F(ServiceTest, JobSpecSurvivesJsonRoundTrip)
+{
+    JobSpec spec = miniJob(7);
+    spec.max_cycles = 123456;
+    spec.audit = true;
+    const JobSpec back = jobSpecFromJson(jobSpecToJson(spec));
+    EXPECT_EQ(back.preset, spec.preset);
+    EXPECT_EQ(back.workload.name, spec.workload.name);
+    ASSERT_EQ(back.workload.regions.size(),
+              spec.workload.regions.size());
+    EXPECT_EQ(back.seed, 7u);
+    EXPECT_EQ(back.max_cycles, 123456u);
+    EXPECT_TRUE(back.audit);
+    EXPECT_FALSE(back.host_stats);
+    EXPECT_EQ(jobKey(back), jobKey(spec))
+        << "round trip must preserve content identity";
+}
+
+TEST_F(ServiceTest, JobSpecFromJsonRejectsGarbage)
+{
+    ScopedErrorCapture capture;
+    EXPECT_THROW(jobSpecFromJson(json::parse("{}", "t")),
+                 SimAbortError);
+    EXPECT_THROW(jobSpecFromJson(json::parse("42", "t")),
+                 SimAbortError);
+    // Wrong job schema version (edit the canonical dump textually:
+    // json::Value::set appends, it does not replace).
+    const std::string dump = jobSpecToJson(miniJob()).dump(0);
+    std::string wrong_schema = dump;
+    wrong_schema.replace(wrong_schema.find("carve-job/1"),
+                         std::strlen("carve-job/1"), "carve-job/999");
+    EXPECT_THROW(jobSpecFromJson(json::parse(wrong_schema, "t")),
+                 SimAbortError);
+    // Unknown config key.
+    std::string bad_key = dump;
+    bad_key.replace(bad_key.find("\"num_gpus\""),
+                    std::strlen("\"num_gpus\""), "\"no_such_key\"");
+    EXPECT_THROW(jobSpecFromJson(json::parse(bad_key, "t")),
+                 SimAbortError);
+}
+
+// ---- result cache --------------------------------------------------
+
+TEST_F(ServiceTest, ResultCacheRoundTripsAndSurvivesReopen)
+{
+    const std::string dir = scratchDir("svc-cache-rt");
+    const std::string key = "00112233445566aa";
+    {
+        ResultCache c(dir, 0);
+        EXPECT_TRUE(c.enabled());
+        EXPECT_FALSE(c.get(key).has_value());
+        c.put(key, "{\"x\":1}");
+        const auto got = c.get(key);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, "{\"x\":1}");
+        EXPECT_EQ(c.stats().stores, 1u);
+        EXPECT_EQ(c.stats().misses, 1u);
+        EXPECT_EQ(c.stats().hits, 1u);
+    }
+    // A new instance adopts the directory: entries persist.
+    ResultCache c2(dir, 0);
+    const auto got = c2.get(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"x\":1}");
+}
+
+TEST_F(ServiceTest, ResultCacheEvictsLeastRecentlyUsed)
+{
+    const std::string dir = scratchDir("svc-cache-lru");
+    ResultCache c(dir, 100);
+    const std::string k1 = "1111111111111111";
+    const std::string k2 = "2222222222222222";
+    const std::string k3 = "3333333333333333";
+    c.put(k1, std::string(40, 'a'));
+    c.put(k2, std::string(40, 'b'));
+    ASSERT_TRUE(c.get(k1).has_value());  // k1 now more recent than k2
+    c.put(k3, std::string(40, 'c'));     // 120 > 100: k2 must go
+    EXPECT_TRUE(c.get(k1).has_value());
+    EXPECT_FALSE(c.get(k2).has_value());
+    EXPECT_TRUE(c.get(k3).has_value());
+    EXPECT_EQ(c.stats().evictions, 1u);
+    EXPECT_LE(c.stats().bytes, 100u);
+    EXPECT_FALSE(
+        std::filesystem::exists(dir + "/" + k2 + ".json"));
+}
+
+TEST_F(ServiceTest, DisabledResultCacheIsInert)
+{
+    ResultCache c("", 0);
+    EXPECT_FALSE(c.enabled());
+    c.put("aaaaaaaaaaaaaaaa", "{}");
+    EXPECT_FALSE(c.get("aaaaaaaaaaaaaaaa").has_value());
+    EXPECT_EQ(c.stats().stores, 0u);
+}
+
+// ---- end-to-end daemon ---------------------------------------------
+
+TEST_F(ServiceTest, ServerMemoizesAndServesByteIdenticalRecords)
+{
+    const std::string dir = scratchDir("svc-e2e");
+    Server::Options opt;
+    opt.socket_path = dir + "/s.sock";
+    opt.threads = 2;
+    opt.cache_dir = dir + "/cache";
+    opt.quiet = true;
+
+    std::string first_record;
+    const JobSpec job = miniJob();
+
+    {
+        Server server(opt);
+        std::jthread serving([&] { server.serve(); });
+        auto client = connectRetry(opt.socket_path);
+        ASSERT_TRUE(client.has_value());
+
+        const SubmitReply s1 = client->submit(job);
+        ASSERT_TRUE(s1.ok) << s1.error;
+        EXPECT_TRUE(isJobKey(s1.id));
+        EXPECT_EQ(s1.id, jobKey(job));
+
+        bool saw_event = false;
+        const ResultReply r1 = client->result(
+            s1.id, [&](const std::string &ev, const std::string &,
+                       const std::string &) {
+                saw_event |= ev == "state";
+            });
+        ASSERT_TRUE(r1.ok) << r1.error;
+        EXPECT_EQ(r1.state, "done");
+        EXPECT_FALSE(r1.cached);
+        EXPECT_TRUE(saw_event);
+        EXPECT_EQ(r1.run.status, harness::RunStatus::Ok);
+        EXPECT_GT(r1.run.sim.cycles, 0u);
+        first_record = r1.record_json;
+
+        // The served record is byte-identical to in-process
+        // execution of the same spec.
+        const harness::RunResult local =
+            harness::executeRun(miniSpec());
+        EXPECT_EQ(harness::resultToJson(local).dump(0),
+                  first_record);
+
+        // Identical resubmission: answered from the registry
+        // without re-simulating, byte-identical.
+        const SubmitReply s2 = client->submit(job);
+        ASSERT_TRUE(s2.ok) << s2.error;
+        EXPECT_EQ(s2.id, s1.id);
+        EXPECT_TRUE(s2.cached);
+        const ResultReply r2 = client->result(s1.id);
+        ASSERT_TRUE(r2.ok) << r2.error;
+        EXPECT_EQ(r2.record_json, first_record);
+
+        const json::Value st = client->stats();
+        EXPECT_GE(st.at("memo_hits").asInt(), 1);
+        EXPECT_EQ(st.at("completed").asInt(), 1);
+        EXPECT_GE(st.at("cache").at("stores").asInt(), 1);
+
+        server.requestDrain();
+        serving.join();
+        EXPECT_FALSE(
+            std::filesystem::exists(opt.socket_path))
+            << "drain must remove the socket file";
+    }
+
+    // Restarted daemon, same cache dir: the disk cache answers the
+    // resubmission without re-simulating, byte-identically.
+    {
+        Server server(opt);
+        std::jthread serving([&] { server.serve(); });
+        auto client = connectRetry(opt.socket_path);
+        ASSERT_TRUE(client.has_value());
+
+        const SubmitReply s = client->submit(job);
+        ASSERT_TRUE(s.ok) << s.error;
+        EXPECT_TRUE(s.cached) << "disk cache must answer the restart";
+        const ResultReply r = client->result(s.id);
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_TRUE(r.cached);
+        EXPECT_EQ(r.record_json, first_record);
+
+        const json::Value st = client->stats();
+        EXPECT_EQ(st.at("completed").asInt(), 0)
+            << "nothing may have been simulated after the restart";
+        EXPECT_GE(st.at("cache").at("hits").asInt(), 1);
+
+        server.requestDrain();
+        serving.join();
+    }
+}
+
+TEST_F(ServiceTest, ServerHandlesFailedRunsAndBadRequests)
+{
+    const std::string dir = scratchDir("svc-fail");
+    Server::Options opt;
+    opt.socket_path = dir + "/s.sock";
+    opt.threads = 1;
+    opt.cache_dir = dir + "/cache";
+    opt.quiet = true;
+
+    Server server(opt);
+    std::jthread serving([&] { server.serve(); });
+    auto client = connectRetry(opt.socket_path);
+    ASSERT_TRUE(client.has_value());
+
+    // A spec whose config fails validation deep inside system
+    // construction: the run must come back Failed, not kill the
+    // daemon.
+    harness::RunSpec bad = miniSpec();
+    bad.base.line_size = 100;  // not a power of two
+    const SubmitReply s = client->submit(jobFromRunSpec(bad));
+    ASSERT_TRUE(s.ok) << s.error;
+    const ResultReply r = client->result(s.id);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.run.status, harness::RunStatus::Failed);
+    EXPECT_FALSE(r.run.error.empty());
+
+    // Failed runs are memoized in the registry but never persisted.
+    const SubmitReply again = client->submit(jobFromRunSpec(bad));
+    ASSERT_TRUE(again.ok);
+    EXPECT_TRUE(again.cached);
+    const json::Value st = client->stats();
+    EXPECT_EQ(st.at("failed_runs").asInt(), 1);
+    EXPECT_EQ(st.at("cache").at("stores").asInt(), 0);
+
+    // Malformed submissions and unknown ids error without dropping
+    // the connection.
+    json::Value req{json::Members{}};
+    req.set("op", "submit");
+    req.set("job", json::Value{json::Members{}});
+    const json::Value resp = client->request(req);
+    ASSERT_TRUE(resp.isObject());
+    EXPECT_FALSE(resp.at("ok").asBool());
+
+    json::Value status{json::Members{}};
+    status.set("op", "status");
+    status.set("id", "ffffffffffffffff");
+    const json::Value sresp = client->request(status);
+    ASSERT_TRUE(sresp.isObject());
+    EXPECT_FALSE(sresp.at("ok").asBool());
+
+    EXPECT_FALSE(client->cancel("ffffffffffffffff"));
+
+    // The connection survived all of the above.
+    const json::Value st2 = client->stats();
+    EXPECT_TRUE(st2.at("ok").asBool());
+
+    server.requestDrain();
+    serving.join();
+}
+
+TEST_F(ServiceTest, ServerAppliesBackpressureAndCancellation)
+{
+    const std::string dir = scratchDir("svc-queue");
+    Server::Options opt;
+    opt.socket_path = dir + "/s.sock";
+    opt.threads = 1;
+    opt.cache_dir = "";  // cache off so every job needs a worker
+    opt.queue_depth = 1;
+    opt.quiet = true;
+
+    Server server(opt);
+    std::jthread serving([&] { server.serve(); });
+    auto client = connectRetry(opt.socket_path);
+    ASSERT_TRUE(client.has_value());
+
+    // Occupy the single worker with a longer run.
+    harness::RunSpec slow = miniSpec(11);
+    slow.workload.insts_per_warp *= 16;
+    const SubmitReply s1 = client->submit(jobFromRunSpec(slow));
+    ASSERT_TRUE(s1.ok) << s1.error;
+
+    // Wait until it is actually running so the queue is empty.
+    json::Value status{json::Members{}};
+    status.set("op", "status");
+    status.set("id", s1.id);
+    for (int i = 0; i < 250; ++i) {
+        const json::Value sr = client->request(status);
+        if (sr.at("state").isString() &&
+            sr.at("state").asString() != "queued")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // Fill the one queue slot, then overflow it.
+    const SubmitReply s2 = client->submit(jobFromRunSpec(miniSpec(12)));
+    ASSERT_TRUE(s2.ok) << s2.error;
+    const SubmitReply s3 = client->submit(jobFromRunSpec(miniSpec(13)));
+    EXPECT_FALSE(s3.ok);
+    EXPECT_TRUE(s3.retriable)
+        << "queue-full rejection must be marked retriable";
+
+    // Cancel the queued job; its waiters get a cancelled error.
+    EXPECT_TRUE(client->cancel(s2.id));
+    const ResultReply r2 = client->result(s2.id);
+    EXPECT_FALSE(r2.ok);
+    EXPECT_EQ(r2.state, "cancelled");
+
+    // Cancelling a running (or done) job is a no-op.
+    EXPECT_FALSE(client->cancel(s1.id));
+
+    // Resubmitting after cancellation runs the job for real.
+    const SubmitReply s2b = client->submit(jobFromRunSpec(miniSpec(12)));
+    ASSERT_TRUE(s2b.ok) << s2b.error;
+    EXPECT_FALSE(s2b.cached);
+    const ResultReply r2b = client->result(s2b.id);
+    ASSERT_TRUE(r2b.ok) << r2b.error;
+    EXPECT_EQ(r2b.run.status, harness::RunStatus::Ok);
+
+    const ResultReply r1 = client->result(s1.id);
+    ASSERT_TRUE(r1.ok) << r1.error;
+
+    server.requestDrain();
+    serving.join();
+}
+
+} // namespace
+} // namespace service
+} // namespace carve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * carve-served: persistent simulation daemon for the experiment
+ * harness. Accepts SimJob submissions over a unix-domain socket
+ * (NDJSON protocol, see src/service/protocol.hh), executes them on
+ * the harness thread pool with the same per-run isolation as
+ * carve-sweep, and memoizes completed runs in a content-addressed
+ * on-disk cache so identical resubmissions return byte-identical
+ * results without re-simulating.
+ *
+ * Examples:
+ *   carve-served --socket /tmp/carve.sock --cache-dir /tmp/carve-cache
+ *   carve-sweep --server /tmp/carve.sock --fig13 --out fig13.json
+ *   carve-served --socket /tmp/carve.sock --stats
+ *
+ * SIGTERM/SIGINT request a graceful drain: stop accepting work, let
+ * every queued and running job finish, answer all waiting clients,
+ * remove the socket, exit 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+
+namespace {
+
+using namespace carve;
+using namespace carve::service;
+
+void
+usage()
+{
+    std::puts(
+        "usage: carve-served [options]\n"
+        "\n"
+        "  --socket PATH         unix socket to listen on (default\n"
+        "                        carve-served.sock); removed on exit\n"
+        "  --threads N           simulation worker threads\n"
+        "                        (0 = all cores; default 0)\n"
+        "  --cache-dir DIR       on-disk result cache directory\n"
+        "                        (default carve-cache; '' disables)\n"
+        "  --cache-budget-mb N   cache byte budget in MiB, LRU\n"
+        "                        eviction (default 512; 0 = unlimited)\n"
+        "  --queue-depth N       max queued jobs before submits are\n"
+        "                        bounced as retriable (default 1024)\n"
+        "  --stats               query a running daemon's stats on\n"
+        "                        --socket, print them, and exit\n"
+        "  --quiet               suppress per-job status lines\n"
+        "  --help                this text\n");
+}
+
+std::uint64_t
+parseU64(const char *flag, const std::string &v)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t out = std::stoull(v, &used);
+        if (used == v.size())
+            return out;
+    } catch (...) {
+    }
+    fatal("%s: expected an unsigned integer, got '%s'", flag,
+          v.c_str());
+}
+
+Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestDrain();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Server::Options opt;
+    bool stats_mode = false;
+
+    const auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("%s requires an argument", flag);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            opt.socket_path = need(i, "--socket");
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(
+                parseU64("--threads", need(i, "--threads")));
+        } else if (a == "--cache-dir") {
+            opt.cache_dir = need(i, "--cache-dir");
+        } else if (a == "--cache-budget-mb") {
+            opt.cache_budget =
+                parseU64("--cache-budget-mb",
+                         need(i, "--cache-budget-mb")) *
+                1024 * 1024;
+        } else if (a == "--queue-depth") {
+            opt.queue_depth = static_cast<std::size_t>(
+                parseU64("--queue-depth", need(i, "--queue-depth")));
+            if (opt.queue_depth == 0)
+                fatal("--queue-depth: expected a positive count");
+        } else if (a == "--stats") {
+            stats_mode = true;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else {
+            fatal("unknown flag '%s' (see --help)", a.c_str());
+        }
+    }
+
+    if (stats_mode) {
+        auto client = Client::connect(opt.socket_path);
+        if (!client)
+            fatal("no carve-served daemon answering on '%s'",
+                  opt.socket_path.c_str());
+        const json::Value stats = client->stats();
+        std::puts(stats.dump().c_str());
+        return 0;
+    }
+
+    Server server(opt);
+    g_server = &server;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    // Writes to a connection that a client abandoned must surface as
+    // EPIPE errors, not process death.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    server.serve();
+    g_server = nullptr;
+    return 0;
+}

@@ -19,7 +19,9 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.hh"
@@ -30,6 +32,7 @@
 #include "harness/results_io.hh"
 #include "harness/sweep.hh"
 #include "harness/thread_pool.hh"
+#include "service/client.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -48,6 +51,7 @@ struct CliOptions
     unsigned threads = 0;  ///< 0 == all hardware threads
     Cycle max_cycles = 1'000'000'000;
     double max_wall_seconds = 0.0;
+    std::string server_path;  ///< carve-served socket; empty == local
     bool profile_lines = false;
     bool audit = false;
     unsigned fuzz = 0;  ///< 0 == grid mode
@@ -109,6 +113,13 @@ usage()
         "                            (default 1e9; 0 = unlimited)\n"
         "  --max-wall-seconds S      per-run wall watchdog\n"
         "                            (default off)\n"
+        "  --server SOCKET           submit runs to a carve-served\n"
+        "                            daemon instead of simulating\n"
+        "                            in-process (falls back to local\n"
+        "                            execution if unreachable);\n"
+        "                            repeated identical runs come\n"
+        "                            back from the daemon's result\n"
+        "                            cache without re-simulating\n"
         "\n"
         "tracing:\n"
         "  --trace                   write one Chrome trace-event\n"
@@ -247,6 +258,8 @@ parseArgs(int argc, char **argv)
         } else if (a == "--max-wall-seconds") {
             cli.max_wall_seconds = parseDouble(
                 "--max-wall-seconds", need(i, "--max-wall-seconds"));
+        } else if (a == "--server") {
+            cli.server_path = need(i, "--server");
         } else if (a == "--set") {
             cli.overrides.push_back(need(i, "--set"));
         } else if (a == "--profile-lines") {
@@ -320,6 +333,96 @@ makeProgress()
     };
 }
 
+/**
+ * Execute @p specs on a carve-served daemon: submit ahead as far as
+ * the server's queue allows, then collect records in spec order so
+ * the assembled results (and any --out file) are byte-identical to
+ * in-process execution. nullopt when the daemon is unreachable.
+ */
+std::optional<std::vector<RunResult>>
+runViaServer(const std::vector<RunSpec> &specs, const CliOptions &cli)
+{
+    auto client = service::Client::connect(cli.server_path);
+    if (!client)
+        return std::nullopt;
+
+    std::fprintf(stderr,
+                 "carve-sweep: %zu runs via carve-served at %s "
+                 "(%u server thread(s))\n",
+                 specs.size(), cli.server_path.c_str(),
+                 client->serverThreads());
+
+    const auto progress = cli.quiet
+        ? std::function<void(std::size_t, std::size_t,
+                             const RunResult &)>{}
+        : makeProgress();
+
+    std::vector<std::string> ids(specs.size());
+    std::vector<RunResult> results(specs.size());
+    std::size_t next_submit = 0;  ///< first spec not yet submitted
+    std::size_t next_fetch = 0;   ///< first spec not yet collected
+
+    while (next_fetch < specs.size()) {
+        // Submit ahead until the grid is in or the queue pushes back.
+        while (next_submit < specs.size()) {
+            const service::SubmitReply reply = client->submit(
+                service::jobFromRunSpec(specs[next_submit]));
+            if (reply.ok) {
+                ids[next_submit] = reply.id;
+                ++next_submit;
+                continue;
+            }
+            if (!reply.retriable) {
+                fatal("carve-sweep: server rejected %s: %s",
+                      specs[next_submit].key().c_str(),
+                      reply.error.c_str());
+            }
+            if (next_fetch < next_submit)
+                break;  // queue full: drain one of ours first
+            // Queue full with nothing of ours outstanding: another
+            // client owns the queue; wait for it to drain a little.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+
+        service::ResultReply res = client->result(ids[next_fetch]);
+        if (!res.ok) {
+            fatal("carve-sweep: server lost %s: %s",
+                  specs[next_fetch].key().c_str(),
+                  res.error.c_str());
+        }
+        results[next_fetch] = std::move(res.run);
+        // Server-side execution time; 0 for cache hits. Display
+        // only -- wall time is never serialised into results files.
+        results[next_fetch].wall_seconds = res.wall_seconds;
+        ++next_fetch;
+        if (progress)
+            progress(next_fetch, specs.size(),
+                     results[next_fetch - 1]);
+    }
+    return results;
+}
+
+/** Run @p specs via --server when set (with in-process fallback),
+ * locally otherwise. */
+std::vector<RunResult>
+executeSpecs(const std::vector<RunSpec> &specs, const CliOptions &cli)
+{
+    if (!cli.server_path.empty()) {
+        auto served = runViaServer(specs, cli);
+        if (served)
+            return std::move(*served);
+        warn("carve-sweep: no carve-served daemon at '%s'; "
+             "running in-process",
+             cli.server_path.c_str());
+    }
+    SweepOptions sweep;
+    sweep.threads = cli.threads;
+    if (!cli.quiet)
+        sweep.on_progress = makeProgress();
+    return runSweep(specs, sweep);
+}
+
 int
 compareMode(const CliOptions &cli)
 {
@@ -331,6 +434,14 @@ compareMode(const CliOptions &cli)
         compareResults(baseline, candidate, cli.tolerance);
     std::fputs(formatCompareReport(rep, cli.tolerance).c_str(),
                stdout);
+    if (rep.compared_runs == 0) {
+        std::fprintf(stderr,
+                     "carve-sweep: error: '%s' and '%s' have no runs "
+                     "in common; nothing was compared\n",
+                     cli.baseline_path.c_str(),
+                     cli.compare_path.c_str());
+        return 1;
+    }
     return rep.hasRegression() ? 1 : 0;
 }
 
@@ -375,6 +486,22 @@ main(int argc, char **argv)
         return compareMode(cli);
     }
 
+    if (cli.trace && !cli.server_path.empty())
+        fatal("--trace cannot be combined with --server: trace files "
+              "would be written on the daemon side");
+
+    // Read the baseline up-front: a missing or unparsable file must
+    // fail the invocation immediately, not after the whole sweep has
+    // been simulated.
+    std::vector<RunResult> baseline;
+    if (!cli.baseline_path.empty()) {
+        baseline =
+            resultsFromJson(readResultsFile(cli.baseline_path));
+        if (baseline.empty())
+            fatal("--baseline: '%s' contains no runs to gate "
+                  "against", cli.baseline_path.c_str());
+    }
+
     // ---- fuzz mode -------------------------------------------------
     if (cli.fuzz > 0) {
         FuzzOptions fopt;
@@ -402,12 +529,8 @@ main(int argc, char **argv)
             specs.back().host_stats = cli.host_stats;
         }
 
-        SweepOptions sweep;
-        sweep.threads = cli.threads;
-        if (!cli.quiet)
-            sweep.on_progress = makeProgress();
         const std::vector<RunResult> results =
-            runSweep(specs, sweep);
+            executeSpecs(specs, cli);
 
         unsigned bad = 0;
         for (std::size_t i = 0; i < results.size(); ++i) {
@@ -504,20 +627,15 @@ main(int argc, char **argv)
         s.host_stats = cli.host_stats;
 
     // ---- execute ---------------------------------------------------
-    SweepOptions sweep;
-    sweep.threads = cli.threads;
-    if (!cli.quiet)
-        sweep.on_progress = makeProgress();
-
     std::fprintf(stderr,
                  "carve-sweep: %zu runs (%zu presets x %zu workloads "
                  "x %zu seeds), %u thread(s)\n",
                  specs.size(), presets.size(), workloads.size(),
                  cli.seeds.size(),
-                 sweep.threads == 0 ? ThreadPool::hardwareThreads()
-                                    : sweep.threads);
+                 cli.threads == 0 ? ThreadPool::hardwareThreads()
+                                  : cli.threads);
 
-    const std::vector<RunResult> results = runSweep(specs, sweep);
+    const std::vector<RunResult> results = executeSpecs(specs, cli);
 
     unsigned bad = 0;
     for (const auto &r : results) {
@@ -548,14 +666,19 @@ main(int argc, char **argv)
 
     int status = bad ? 1 : 0;
     if (!cli.baseline_path.empty()) {
-        const auto baseline =
-            resultsFromJson(readResultsFile(cli.baseline_path));
         const CompareReport rep =
             compareResults(baseline, results, cli.tolerance);
         std::fputs(formatCompareReport(rep, cli.tolerance).c_str(),
                    stdout);
-        if (rep.hasRegression())
+        if (rep.compared_runs == 0) {
+            std::fprintf(stderr,
+                         "carve-sweep: error: no run in '%s' matches "
+                         "this sweep; the gate compared nothing\n",
+                         cli.baseline_path.c_str());
             status = 1;
+        } else if (rep.hasRegression()) {
+            status = 1;
+        }
     }
     return status;
 }
