@@ -54,7 +54,7 @@ BM_TagArrayInsertEvict(benchmark::State &state)
     TagArray tags(64 * KiB, 8, 128);
     Addr a = 0;
     for (auto _ : state) {
-        if (tags.lookup(a * 128) == nullptr)
+        if (tags.lookup(a * 128) == TagArray::no_line)
             tags.insert(a * 128, false);
         ++a;
     }

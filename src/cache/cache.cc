@@ -15,7 +15,7 @@ bool
 Cache::readProbe(Addr addr)
 {
     ++probes_;
-    if (tags_.lookup(addr) != nullptr) {
+    if (tags_.lookup(addr) != TagArray::no_line) {
         ++hits_;
         return true;
     }
@@ -27,9 +27,10 @@ bool
 Cache::writeProbe(Addr addr, bool mark_dirty)
 {
     ++probes_;
-    if (CacheLine *line = tags_.lookup(addr)) {
+    const TagArray::LineIdx line = tags_.lookup(addr);
+    if (line != TagArray::no_line) {
         if (mark_dirty)
-            line->dirty = true;
+            tags_.setDirty(line, true);
         ++hits_;
         return true;
     }
@@ -42,7 +43,7 @@ Cache::fill(Addr addr, bool remote)
 {
     // A racing fill may have already installed the line (MSHR-merged
     // requesters all call fill on completion); treat that as a no-op.
-    if (tags_.peek(addr) != nullptr)
+    if (tags_.peek(addr) != TagArray::no_line)
         return std::nullopt;
     auto evicted = tags_.insert(addr, remote);
     if (evicted)

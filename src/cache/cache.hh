@@ -60,7 +60,11 @@ class Cache
     std::optional<Evicted> fill(Addr addr, bool remote);
 
     /** True when the line is resident (no stats, no recency update). */
-    bool contains(Addr addr) const { return tags_.peek(addr) != nullptr; }
+    bool
+    contains(Addr addr) const
+    {
+        return tags_.peek(addr) != TagArray::no_line;
+    }
 
     /** Drop one line (hardware-coherence invalidation).
      * @return true when a valid line was dropped */

@@ -1,59 +1,116 @@
 #include "cache/mshr.hh"
 
-#include <utility>
+#include <bit>
 
 #include "common/logging.hh"
 
 namespace carve {
 
-MshrFile::MshrFile(unsigned num_entries)
-    : capacity_(num_entries)
+MshrFile::MshrFile(unsigned num_entries, Arena *arena)
+    : capacity_(num_entries), waiters_(arena)
 {
     if (num_entries == 0)
         fatal("MshrFile: need at least one entry");
+    const std::uint32_t table = std::bit_ceil(
+        std::max<std::uint32_t>(16, num_entries * 2));
+    mask_ = table - 1;
+    slot_addr_.assign(table, kEmpty);
+    head_.assign(table, npos);
+    tail_.assign(table, npos);
+    born_.assign(table, 0);
+}
+
+std::uint32_t
+MshrFile::insertSlot(Addr a)
+{
+    std::uint32_t i = homeSlot(a);
+    while (slot_addr_[i] != kEmpty)
+        i = (i + 1) & mask_;
+    slot_addr_[i] = a;
+    return i;
+}
+
+void
+MshrFile::eraseSlot(std::uint32_t i)
+{
+    // Backward-shift deletion: walk the probe chain after the hole
+    // and pull back any entry whose home slot does not lie strictly
+    // between the hole and its current position.
+    std::uint32_t j = i;
+    for (;;) {
+        slot_addr_[i] = kEmpty;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (slot_addr_[j] == kEmpty)
+                return;
+            const std::uint32_t k = homeSlot(slot_addr_[j]);
+            const bool stays = i <= j ? (i < k && k <= j)
+                                      : (i < k || k <= j);
+            if (!stays)
+                break;
+        }
+        slot_addr_[i] = slot_addr_[j];
+        head_[i] = head_[j];
+        tail_[i] = tail_[j];
+        born_[i] = born_[j];
+        i = j;
+    }
 }
 
 MshrOutcome
 MshrFile::allocate(Addr line_addr, Callback cb)
 {
-    auto it = entries_.find(line_addr);
-    if (it != entries_.end()) {
-        it->second.waiters.push_back(std::move(cb));
+    const std::uint32_t found = findSlot(line_addr);
+    if (found != npos) {
+        const std::uint32_t w = waiters_.alloc({cb, npos});
+        waiters_[tail_[found]].next = w;
+        tail_[found] = w;
         ++merges_;
         return MshrOutcome::Merged;
     }
-    if (entries_.size() >= capacity_) {
+    if (live_ >= capacity_) {
         ++rejections_;
         return MshrOutcome::Full;
     }
-    Entry &e = entries_[line_addr];
-    e.waiters.push_back(std::move(cb));
+    const std::uint32_t i = insertSlot(line_addr);
+    const std::uint32_t w = waiters_.alloc({cb, npos});
+    head_[i] = tail_[i] = w;
     if (trace::active(trace_, trace_cat_))
-        e.born = trace_eq_->now();
+        born_[i] = trace_eq_->now();
+    ++live_;
     return MshrOutcome::NewEntry;
 }
 
 std::size_t
 MshrFile::complete(Addr line_addr)
 {
-    auto it = entries_.find(line_addr);
-    if (it == entries_.end())
+    const std::uint32_t i = findSlot(line_addr);
+    if (i == npos)
         panic("MshrFile: completing untracked line %llx",
               static_cast<unsigned long long>(line_addr));
 
     if (trace::active(trace_, trace_cat_)) {
-        trace_->span(trace_cat_, trace_track_, trace_name_,
-                     it->second.born, trace_eq_->now(), line_addr);
+        trace_->span(trace_cat_, trace_track_, trace_name_, born_[i],
+                     trace_eq_->now(), line_addr);
     }
 
-    // Move out before erasing: callbacks may allocate new entries.
-    std::vector<Callback> waiters = std::move(it->second.waiters);
-    entries_.erase(it);
-    for (auto &cb : waiters) {
-        if (cb)
-            cb();
+    // Detach the entry before firing: callbacks may allocate new
+    // entries (even for this same line).
+    std::uint32_t w = head_[i];
+    head_[i] = tail_[i] = npos;
+    eraseSlot(i);
+    --live_;
+
+    std::size_t fired = 0;
+    while (w != npos) {
+        const Waiter wt = waiters_[w];
+        waiters_.free(w);
+        w = wt.next;
+        ++fired;
+        if (wt.fn)
+            wt.fn();
     }
-    return waiters.size();
+    return fired;
 }
 
 } // namespace carve

@@ -2,16 +2,26 @@
  * @file
  * Miss Status Holding Registers: merge concurrent misses to the same
  * line and bound the number of distinct outstanding lines.
+ *
+ * Layout is structure-of-arrays: an open-addressed, linear-probe
+ * table of line addresses with parallel head/tail/born arrays, plus
+ * a Pool of index-linked waiter records. The table is sized to <=50%
+ * load at the configured capacity so probes stay short, and deletion
+ * uses backward shifting, so there are no tombstones and no
+ * rehashing — outstanding() and allocate() on the L2 retry storm
+ * (tens of millions of calls per run) touch one or two cache lines.
+ * Waiters fire in registration order, exactly as the previous
+ * node-based implementation did.
  */
 
 #ifndef CARVE_CACHE_MSHR_HH
 #define CARVE_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/completion.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -33,10 +43,11 @@ enum class MshrOutcome : std::uint8_t {
 class MshrFile
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Completion;
 
-    /** @param num_entries max distinct outstanding lines */
-    explicit MshrFile(unsigned num_entries);
+    /** @param num_entries max distinct outstanding lines
+     *  @param arena optional backing store for waiter records */
+    explicit MshrFile(unsigned num_entries, Arena *arena = nullptr);
 
     /**
      * Track a miss to @p line_addr.
@@ -55,13 +66,13 @@ class MshrFile
     bool
     outstanding(Addr line_addr) const
     {
-        return entries_.contains(line_addr);
+        return findSlot(line_addr) != npos;
     }
 
     /** Distinct lines currently in flight. */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return live_; }
     /** True when no further distinct line can be tracked. */
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return live_ >= capacity_; }
     unsigned capacity() const { return capacity_; }
 
     /** Total misses merged behind an existing entry. */
@@ -97,15 +108,50 @@ class MshrFile
     }
 
   private:
-    /** Waiters plus the miss-lifetime birth stamp for the tracer. */
-    struct Entry
+    /** Sentinel for an empty table slot; line addresses are aligned
+     * so all-ones can never be a tracked line. */
+    static constexpr Addr kEmpty = ~Addr{0};
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    struct Waiter
     {
-        std::vector<Callback> waiters;
-        Cycle born = 0;
+        Completion fn;
+        std::uint32_t next;
     };
 
+    std::uint32_t
+    homeSlot(Addr a) const
+    {
+        return static_cast<std::uint32_t>(
+                   (a * 0x9e3779b97f4a7c15ULL) >> 32) &
+            mask_;
+    }
+
+    /** Linear probe; inline because the L2 retry storm polls it tens
+     * of millions of times per run. */
+    std::uint32_t
+    findSlot(Addr a) const
+    {
+        for (std::uint32_t i = homeSlot(a);; i = (i + 1) & mask_) {
+            if (slot_addr_[i] == a)
+                return i;
+            if (slot_addr_[i] == kEmpty)
+                return npos;
+        }
+    }
+
+    std::uint32_t insertSlot(Addr a);
+    void eraseSlot(std::uint32_t i);
+
     unsigned capacity_;
-    std::unordered_map<Addr, Entry> entries_;
+    std::uint32_t mask_;
+    std::size_t live_ = 0;
+    std::vector<Addr> slot_addr_;        ///< kEmpty == free
+    std::vector<std::uint32_t> head_;    ///< first waiter, or npos
+    std::vector<std::uint32_t> tail_;    ///< last waiter, or npos
+    std::vector<Cycle> born_;            ///< allocate stamp (tracing)
+    Pool<Waiter> waiters_;
+
     stats::Scalar merges_;
     stats::Scalar rejections_;
 

@@ -15,8 +15,9 @@ TagArray::TagArray(std::uint64_t size, unsigned ways,
     if (size % (static_cast<std::uint64_t>(ways) * line_size) != 0)
         fatal("TagArray: size not divisible by ways*line_size");
     sets_ = size / (static_cast<std::uint64_t>(ways) * line_size);
-    lines_.resize(sets_ * ways_);
-    last_use_.resize(sets_ * ways_, 0);
+    tags_.assign(sets_ * ways_, kFreeTag);
+    flags_.assign(sets_ * ways_, 0);
+    last_use_.assign(sets_ * ways_, 0);
     valid_scratch_.resize(ways_);
     use_scratch_.resize(ways_);
 }
@@ -27,78 +28,84 @@ TagArray::setIndex(Addr addr) const
     return (addr / line_size_) % sets_;
 }
 
-CacheLine *
+TagArray::LineIdx
 TagArray::lookup(Addr addr, bool touch)
 {
     const Addr line_addr = alignDown(addr, line_size_);
     const std::size_t base = wayBase(setIndex(addr));
     for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &line = lines_[base + w];
-        if (line.valid && line.tag == line_addr) {
+        if (tags_[base + w] == line_addr) {
             if (touch)
                 last_use_[base + w] = ++tick_;
-            return &line;
+            return static_cast<LineIdx>(base + w);
         }
     }
-    return nullptr;
+    return no_line;
 }
 
-const CacheLine *
+TagArray::LineIdx
 TagArray::peek(Addr addr) const
 {
     const Addr line_addr = alignDown(addr, line_size_);
     const std::size_t base = wayBase(setIndex(addr));
     for (unsigned w = 0; w < ways_; ++w) {
-        const CacheLine &line = lines_[base + w];
-        if (line.valid && line.tag == line_addr)
-            return &line;
+        if (tags_[base + w] == line_addr)
+            return static_cast<LineIdx>(base + w);
     }
-    return nullptr;
+    return no_line;
 }
 
 std::optional<Evicted>
 TagArray::insert(Addr addr, bool remote)
 {
     const Addr line_addr = alignDown(addr, line_size_);
-    carve_assert(peek(addr) == nullptr);
+    carve_assert(peek(addr) == no_line);
 
     const std::size_t base = wayBase(setIndex(addr));
     for (unsigned w = 0; w < ways_; ++w) {
-        valid_scratch_[w] = lines_[base + w].valid ? 1 : 0;
+        valid_scratch_[w] = flags_[base + w] & kValid;
         use_scratch_[w] = last_use_[base + w];
     }
     const unsigned way = replacer_.victim(valid_scratch_, use_scratch_);
 
-    CacheLine &line = lines_[base + way];
+    const std::size_t i = base + way;
     std::optional<Evicted> evicted;
-    if (line.valid)
-        evicted = Evicted{line.tag, line.dirty, line.remote};
+    if (flags_[i] & kValid)
+        evicted = Evicted{tags_[i], (flags_[i] & kDirty) != 0,
+                          (flags_[i] & kRemote) != 0};
 
-    line.tag = line_addr;
-    line.valid = true;
-    line.dirty = false;
-    line.remote = remote;
-    last_use_[base + way] = ++tick_;
+    tags_[i] = line_addr;
+    flags_[i] = static_cast<std::uint8_t>(
+        kValid | (remote ? kRemote : 0));
+    last_use_[i] = ++tick_;
     return evicted;
+}
+
+void
+TagArray::dropLine(std::uint64_t i)
+{
+    tags_[i] = kFreeTag;
+    flags_[i] = 0;
 }
 
 bool
 TagArray::invalidate(Addr addr)
 {
-    if (CacheLine *line = lookup(addr, false)) {
-        line->valid = false;
-        return true;
-    }
-    return false;
+    const LineIdx i = peek(addr);
+    if (i == no_line)
+        return false;
+    dropLine(i);
+    return true;
 }
 
 std::uint64_t
 TagArray::invalidateAll()
 {
     std::uint64_t dropped = 0;
-    for (auto &line : lines_) {
-        if (line.valid) {
-            line.valid = false;
+    const std::uint64_t n = sets_ * ways_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (flags_[i] & kValid) {
+            dropLine(i);
             ++dropped;
         }
     }
@@ -109,30 +116,22 @@ std::uint64_t
 TagArray::invalidateRemote()
 {
     std::uint64_t dropped = 0;
-    for (auto &line : lines_) {
-        if (line.valid && line.remote) {
-            line.valid = false;
+    const std::uint64_t n = sets_ * ways_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if ((flags_[i] & (kValid | kRemote)) == (kValid | kRemote)) {
+            dropLine(i);
             ++dropped;
         }
     }
     return dropped;
 }
 
-void
-TagArray::forEachDirty(const std::function<void(CacheLine &)> &visitor)
-{
-    for (auto &line : lines_) {
-        if (line.valid && line.dirty)
-            visitor(line);
-    }
-}
-
 std::uint64_t
 TagArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines_) {
-        if (line.valid)
+    for (const std::uint8_t f : flags_) {
+        if (f & kValid)
             ++n;
     }
     return n;

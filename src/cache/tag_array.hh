@@ -4,13 +4,19 @@
  *
  * Purely structural: lookup / insert / invalidate and recency state.
  * All timing and request routing lives in the owning controller.
+ *
+ * Layout is structure-of-arrays: one contiguous Addr array of line
+ * tags, one byte array of state flags, one recency-stamp array. The
+ * hit probe scans only the 8-byte tag lane of a set — invalid slots
+ * hold an impossible sentinel tag, so the scan needs no flag load —
+ * and callers address lines by a stable 32-bit LineIdx instead of a
+ * pointer that the next insert could conceptually invalidate.
  */
 
 #ifndef CARVE_CACHE_TAG_ARRAY_HH
 #define CARVE_CACHE_TAG_ARRAY_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -18,15 +24,6 @@
 #include "common/types.hh"
 
 namespace carve {
-
-/** One resident line's metadata. */
-struct CacheLine
-{
-    Addr tag = 0;        ///< full line address (not just the tag bits)
-    bool valid = false;
-    bool dirty = false;
-    bool remote = false; ///< line's home is another GPU's memory
-};
 
 /** Outcome of an eviction: metadata of the displaced line. */
 struct Evicted
@@ -38,11 +35,18 @@ struct Evicted
 
 /**
  * Tag array with per-way recency stamps. Addresses are full byte
- * addresses; the array derives the line/set internally.
+ * addresses; the array derives the line/set internally. Resident
+ * lines are addressed by LineIdx (set * ways + way), which stays
+ * valid until the line is evicted or invalidated.
  */
 class TagArray
 {
   public:
+    /** Stable handle to a resident line (set * ways + way). */
+    using LineIdx = std::uint32_t;
+    /** lookup()/peek() miss result. */
+    static constexpr LineIdx no_line = 0xffffffffu;
+
     /**
      * @param size total capacity in bytes
      * @param ways associativity
@@ -56,13 +60,12 @@ class TagArray
     /**
      * Probe for the line containing @p addr.
      * @param touch update recency on hit
-     * @return pointer to resident line metadata, or nullptr on miss.
-     *         The pointer is invalidated by the next insert().
+     * @return index of the resident line, or no_line on miss
      */
-    CacheLine *lookup(Addr addr, bool touch = true);
+    LineIdx lookup(Addr addr, bool touch = true);
 
     /** Const probe without recency update. */
-    const CacheLine *peek(Addr addr) const;
+    LineIdx peek(Addr addr) const;
 
     /**
      * Insert the line containing @p addr (must not already be
@@ -84,10 +87,33 @@ class TagArray
 
     /**
      * Visit every valid dirty line (e.g., to flush at a kernel
-     * boundary). The visitor may clear the dirty bit via the
-     * reference it receives.
+     * boundary); the visitor receives its LineIdx and may clear the
+     * dirty bit through it.
      */
-    void forEachDirty(const std::function<void(CacheLine &)> &visitor);
+    template <class Visitor>
+    void
+    forEachDirty(Visitor &&visitor)
+    {
+        const std::uint64_t n = sets_ * ways_;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if ((flags_[i] & (kValid | kDirty)) == (kValid | kDirty))
+                visitor(static_cast<LineIdx>(i));
+        }
+    }
+
+    /** Full line address of a resident line. */
+    Addr lineAddr(LineIdx i) const { return tags_[i]; }
+    bool isDirty(LineIdx i) const { return flags_[i] & kDirty; }
+    bool isRemote(LineIdx i) const { return flags_[i] & kRemote; }
+
+    void
+    setDirty(LineIdx i, bool dirty)
+    {
+        if (dirty)
+            flags_[i] |= kDirty;
+        else
+            flags_[i] &= static_cast<std::uint8_t>(~kDirty);
+    }
 
     std::uint64_t numSets() const { return sets_; }
     unsigned numWays() const { return ways_; }
@@ -97,15 +123,24 @@ class TagArray
     std::uint64_t validCount() const;
 
   private:
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
+    static constexpr std::uint8_t kRemote = 4;
+    /** Tag stored in invalid slots; line addresses are aligned, so
+     * all-ones never matches a probe. */
+    static constexpr Addr kFreeTag = ~Addr{0};
+
     std::uint64_t setIndex(Addr addr) const;
     std::size_t wayBase(std::uint64_t set) const { return set * ways_; }
+    void dropLine(std::uint64_t i);
 
     std::uint64_t sets_;
     unsigned ways_;
     std::uint64_t line_size_;
     Replacer replacer_;
 
-    std::vector<CacheLine> lines_;
+    std::vector<Addr> tags_;           ///< kFreeTag == invalid slot
+    std::vector<std::uint8_t> flags_;  ///< kValid | kDirty | kRemote
     std::vector<std::uint64_t> last_use_;
     std::uint64_t tick_ = 0;
 

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Completion: a 32-byte trivially-copyable "done" delegate for the
+ * request hot path (SM -> L2 -> RDC -> DRAM).
+ *
+ * std::function<void()> costs a heap allocation whenever a capture
+ * exceeds its tiny SBO and an indirect wrapper call always; on the
+ * request path those captures are invariably (object, line-address,
+ * small-int) triples. Completion stores exactly that shape — a free
+ * thunk pointer, an object pointer and two 64-bit payload words — so
+ * it is POD, copies by memcpy, nests inside bindEvent tuples (a
+ * bound (Addr, Completion) event fills the EventFn SBO exactly) and
+ * parks in Pool<> records without ownership questions.
+ *
+ * Typical use:
+ *     mem_.access(line, Read,
+ *                 Completion::bind<&GpuNode::finishFill>(this, line,
+ *                                                        remote));
+ * The bound member may take zero, one or two trailing integral /
+ * enum / bool parameters; payload words are static_cast back to the
+ * declared parameter types at invoke time. The raw (fn, ctx, a, b)
+ * constructor exists for tests and C-style call sites.
+ */
+
+#ifndef CARVE_COMMON_COMPLETION_HH
+#define CARVE_COMMON_COMPLETION_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace carve {
+
+namespace detail {
+
+template <class M> struct MemFn0;
+template <class C, class R> struct MemFn0<R (C::*)()>
+{
+    using Class = C;
+};
+
+template <class M> struct MemFn1;
+template <class C, class R, class A> struct MemFn1<R (C::*)(A)>
+{
+    using Class = C;
+    using A1 = A;
+};
+
+template <class M> struct MemFn2;
+template <class C, class R, class A, class B>
+struct MemFn2<R (C::*)(A, B)>
+{
+    using Class = C;
+    using A1 = A;
+    using A2 = B;
+};
+
+template <class M>
+concept NullaryMember = requires { typename MemFn0<M>::Class; };
+template <class M>
+concept UnaryMember = requires { typename MemFn1<M>::Class; };
+template <class M>
+concept BinaryMember = requires { typename MemFn2<M>::Class; };
+
+} // namespace detail
+
+class Completion
+{
+  public:
+    /** Raw thunk shape: (context, payload a, payload b). */
+    using Fn = void (*)(void *, std::uint64_t, std::uint64_t);
+
+    constexpr Completion() = default;
+
+    /** Raw form for tests and non-member call sites. */
+    constexpr Completion(Fn fn, void *ctx, std::uint64_t a = 0,
+                         std::uint64_t b = 0)
+        : fn_(fn), ctx_(ctx), a_(a), b_(b)
+    {
+    }
+
+    /** Bind a member function; trailing payload words are cast back
+     * to the member's declared parameter types on invoke. */
+    template <auto Method, class C>
+    static Completion
+    bind(C *obj, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        using M = decltype(Method);
+        if constexpr (detail::NullaryMember<M>) {
+            static_assert(
+                std::is_base_of_v<typename detail::MemFn0<M>::Class,
+                                  C>);
+            return Completion(
+                [](void *ctx, std::uint64_t, std::uint64_t) {
+                    (static_cast<C *>(ctx)->*Method)();
+                },
+                obj, a, b);
+        } else if constexpr (detail::UnaryMember<M>) {
+            using A1 = typename detail::MemFn1<M>::A1;
+            return Completion(
+                [](void *ctx, std::uint64_t x, std::uint64_t) {
+                    (static_cast<C *>(ctx)->*Method)(
+                        static_cast<A1>(x));
+                },
+                obj, a, b);
+        } else {
+            static_assert(detail::BinaryMember<M>,
+                          "bind supports 0-2 integral parameters");
+            using A1 = typename detail::MemFn2<M>::A1;
+            using A2 = typename detail::MemFn2<M>::A2;
+            return Completion(
+                [](void *ctx, std::uint64_t x, std::uint64_t y) {
+                    (static_cast<C *>(ctx)->*Method)(
+                        static_cast<A1>(x), static_cast<A2>(y));
+                },
+                obj, a, b);
+        }
+    }
+
+    void
+    operator()() const
+    {
+        fn_(ctx_, a_, b_);
+    }
+
+    explicit
+    operator bool() const
+    {
+        return fn_ != nullptr;
+    }
+
+  private:
+    Fn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    std::uint64_t a_ = 0;
+    std::uint64_t b_ = 0;
+};
+
+static_assert(sizeof(Completion) == 32);
+static_assert(std::is_trivially_copyable_v<Completion>);
+static_assert(std::is_trivially_destructible_v<Completion>);
+
+} // namespace carve
+
+#endif // CARVE_COMMON_COMPLETION_HH

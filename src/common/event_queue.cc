@@ -101,6 +101,8 @@ EventQueue::schedule(Cycle when, EventFn fn)
 void
 EventQueue::advanceTo(Cycle t)
 {
+    if (t == now_)
+        return;  // same-tick cascade: window already correct
     now_ = t;
     if (engine_ != EventEngine::Calendar)
         return;
@@ -119,24 +121,44 @@ EventQueue::advanceTo(Cycle t)
 EventQueue::EventNode *
 EventQueue::popNext()
 {
-    if (engine_ != EventEngine::Calendar || ring_count_ == 0) {
-        if (ring_count_ == 0 && !far_.empty() &&
-            engine_ == EventEngine::Calendar) {
-            // Ring drained: jump straight to the earliest far event,
-            // migrating its whole window in.
-            advanceTo(far_.top()->when);
-        } else if (engine_ != EventEngine::Calendar) {
-            EventNode *n = far_.top();
-            far_.pop();
-            return n;
-        }
+    if (engine_ != EventEngine::Calendar) {
+        EventNode *n = far_.top();
+        far_.pop();
+        return n;
+    }
+    if (ring_count_ == 0 && !far_.empty()) {
+        // Ring drained: jump straight to the earliest far event,
+        // migrating its whole window in.
+        advanceTo(far_.top()->when);
     }
 
+    const std::size_t start =
+        static_cast<std::size_t>(now_) & (horizon - 1);
+
+    // Fast path: the bucket for the current tick can only hold events
+    // at exactly now_ (now_ + horizon is past window_end_), and
+    // same-tick cascades dominate the workload — pop its head without
+    // touching the occupancy bitmap scan.
+    if (EventNode *n = ring_[start].head) {
+        Bucket &b = ring_[start];
+        b.head = n->next;
+        if (!b.head) {
+            b.tail = nullptr;
+            occ_[start / 64] &= ~(std::uint64_t{1} << (start % 64));
+        }
+        n->next = nullptr;
+        --ring_count_;
+        return n;
+    }
+    return popScan(start);
+}
+
+EventQueue::EventNode *
+EventQueue::popScan(std::size_t start)
+{
     // Find the first non-empty bucket at or after now_. Bucket
     // indices wrap mod horizon, so circular bit-scan order from
     // (now_ % horizon) is exactly ascending-tick order.
-    const std::size_t start =
-        static_cast<std::size_t>(now_) & (horizon - 1);
     std::size_t w = start / 64;
     std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start % 64));
     for (std::size_t i = 0; i <= occ_words; ++i) {
@@ -169,11 +191,22 @@ EventQueue::fireNext()
     EventNode *n = popNext();
     advanceTo(n->when);
     ++executed_;
-    // Move the callback out before recycling the node so the callback
-    // may freely schedule further events.
-    EventFn fn = std::move(n->fn);
-    freeNode(n);
-    fn();
+    // Invoke in place: the node is off every list, so the callback may
+    // freely schedule further events (the pool just can't recycle this
+    // one node until it returns). Saves a relocate per event.
+    firing_ = n;
+    repeat_ = false;
+    n->fn();
+    firing_ = nullptr;
+    if (repeat_) {
+        // repeatAfter() already stamped when/seq; requeue as-is.
+        if (engine_ == EventEngine::Calendar && n->when < window_end_)
+            pushRing(n);
+        else
+            far_.push(n);
+    } else {
+        freeNode(n);
+    }
 }
 
 std::uint64_t

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace carve {
@@ -55,8 +56,11 @@ namespace carve {
 class EventFn
 {
   public:
-    /** Inline storage: fits every hot-path closure in the simulator. */
-    static constexpr std::size_t inline_size = 48;
+    /** Inline storage: fits every hot-path closure in the simulator
+     * (a Completion, a moved-in std::function, or a bindEvent closure
+     * of a this-pointer plus a few words), sized so a pooled EventNode
+     * is exactly one 64-byte cache line. */
+    static constexpr std::size_t inline_size = 32;
 
     EventFn() noexcept = default;
     EventFn(std::nullptr_t) noexcept {}
@@ -69,7 +73,7 @@ class EventFn
     {
         using Fn = std::decay_t<F>;
         if constexpr (sizeof(Fn) <= inline_size &&
-                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      alignof(Fn) <= alignof(void *) &&
                       std::is_nothrow_move_constructible_v<Fn>) {
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
             ops_ = &inline_ops<Fn>;
@@ -150,7 +154,7 @@ class EventFn
         [](void *p) { delete *static_cast<Fn **>(p); },
     };
 
-    alignas(std::max_align_t) unsigned char buf_[inline_size];
+    alignas(void *) unsigned char buf_[inline_size];
     const Ops *ops_ = nullptr;
 };
 
@@ -239,6 +243,26 @@ class EventQueue
         schedule(now_ + delay, std::move(fn));
     }
 
+    /**
+     * Re-arm the currently firing event @p delay cycles from now,
+     * reusing its node and callback in place: no allocation, no
+     * callback reconstruction. Only valid while a callback is running
+     * (fatal otherwise). The sequence number is claimed immediately,
+     * so ordering is byte-identical to calling scheduleAfter() with an
+     * equivalent callback at the same point. The poster child is a
+     * fixed-cadence retry poll that re-parks itself while a resource
+     * stays full.
+     */
+    void
+    repeatAfter(Cycle delay)
+    {
+        if (!firing_)
+            fatal("EventQueue: repeatAfter outside a callback");
+        firing_->when = now_ + delay;
+        firing_->seq = next_seq_++;
+        repeat_ = true;
+    }
+
     /** Number of pending events. */
     std::size_t
     pending() const
@@ -269,7 +293,10 @@ class EventQueue
 
   private:
     /** One pending event. Nodes are pooled and recycled through a
-     * free list; fn is the only non-POD member. */
+     * free list; fn is the only non-POD member. Sized to one cache
+     * line: in MSHR-saturated phases the pending-event working set is
+     * thousands of nodes, and halving the node footprint keeps the
+     * fire/re-arm loop in L2. */
     struct EventNode
     {
         Cycle when = 0;
@@ -277,6 +304,8 @@ class EventQueue
         EventNode *next = nullptr;
         EventFn fn;
     };
+    static_assert(sizeof(EventNode) == 64,
+                  "EventNode must stay a single cache line");
 
     /** Far-horizon order: min-heap by (when, seq). */
     struct FarLater
@@ -310,12 +339,20 @@ class EventQueue
     void advanceTo(Cycle t);
     /** Detach the next event in (when, seq) order (queue non-empty). */
     EventNode *popNext();
+    /** Cold path of popNext: bit-scan for the next occupied bucket
+     * when the current tick's bucket is empty. */
+    EventNode *popScan(std::size_t start);
     void fireNext();
 
     EventEngine engine_ = EventEngine::Calendar;
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+
+    // In-place re-arm support (repeatAfter): the node whose callback
+    // is currently executing, and whether it asked to fire again.
+    EventNode *firing_ = nullptr;
+    bool repeat_ = false;
 
     // Near-horizon ring: bucket (t % horizon) holds exactly the
     // pending events at tick t for t in [now_, now_ + horizon), in

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/hostnuma.hh"
 #include "common/logging.hh"
 
 namespace carve {
@@ -15,6 +16,15 @@ namespace {
 /** Events between wall-clock watchdog polls. */
 constexpr std::uint64_t kClockCheckInterval = 8192;
 
+/** NUMA node the constructing thread runs on (-1 == unbound). The
+ * harness binds workers before building systems, so arenas land on
+ * the worker's local node when CARVE_NUMA is enabled. */
+int
+homeNumaNode()
+{
+    return hostnuma::available() ? hostnuma::currentNode() : -1;
+}
+
 } // namespace
 
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
@@ -23,6 +33,9 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     : cfg_(cfg), wl_(wl),
       pages_(cfg_, true, profile_lines),
       net_(eq_, cfg_.link, cfg_.num_gpus),
+      sys_arena_(Arena::default_chunk_bytes, homeNumaNode()),
+      remote_read_ops_(&sys_arena_),
+      cpu_read_ops_(&sys_arena_),
       sched_(cfg_.num_gpus),
       stat_root_("")
 {
@@ -44,10 +57,13 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
         vi_.emplace(cfg_, cfg_.num_gpus, std::move(ops));
     }
 
+    gpu_arenas_.reserve(cfg_.num_gpus);
     gpus_.reserve(cfg_.num_gpus);
     for (unsigned g = 0; g < cfg_.num_gpus; ++g) {
-        gpus_.push_back(std::make_unique<GpuNode>(eq_, cfg_, g,
-                                                  pages_, *this));
+        gpu_arenas_.emplace_back(Arena::default_chunk_bytes,
+                                 homeNumaNode());
+        gpus_.push_back(std::make_unique<GpuNode>(
+            eq_, cfg_, g, pages_, *this, &gpu_arenas_.back()));
         gpus_.back()->setWorkload(&wl_);
         gpus_.back()->setKernelDoneCallback(
             [this](NodeId id) { onGpuKernelDone(id); });
@@ -288,19 +304,36 @@ MultiGpuSystem::remoteRead(NodeId src, NodeId home, Addr line,
 {
     carve_assert(src != home && home < gpus_.size());
     ++fabric_remote_read_msgs_;
+    // The op's state lives in a pooled record so each hop of the
+    // request/service/data chain is a two-word bound event.
+    const std::uint32_t op =
+        remote_read_ops_.alloc(RemoteReadOp{line, done, src, home});
     // Request packet to the home node...
     net_.send(src, home, cfg_.link.ctrl_packet_size,
-        [this, src, home, line, done = std::move(done)]() mutable {
-            if (vi_)
-                vi_->onRead(home, src, line);
-            // ...home DRAM access...
-            gpus_[home]->serviceRemoteRead(line,
-                [this, src, home, done = std::move(done)]() mutable {
-                    // ...data line back to the requester.
-                    net_.send(home, src, cfg_.line_size,
-                              std::move(done));
-                });
-        });
+              bindEvent<&MultiGpuSystem::remoteReadAtHome>(this, op));
+}
+
+void
+MultiGpuSystem::remoteReadAtHome(std::uint32_t op)
+{
+    const RemoteReadOp &r = remote_read_ops_[op];
+    if (vi_)
+        vi_->onRead(r.home, r.src, r.line);
+    // ...home DRAM access...
+    gpus_[r.home]->serviceRemoteRead(
+        r.line,
+        Completion::bind<&MultiGpuSystem::remoteReadServiced>(this,
+                                                              op));
+}
+
+void
+MultiGpuSystem::remoteReadServiced(std::uint32_t op)
+{
+    const RemoteReadOp r = remote_read_ops_[op];
+    remote_read_ops_.free(op);
+    // ...data line back to the requester.
+    net_.send(r.home, r.src, cfg_.line_size,
+              r.done ? Network::Callback(r.done) : Network::Callback());
 }
 
 void
@@ -308,11 +341,17 @@ MultiGpuSystem::remoteWrite(NodeId src, NodeId home, Addr line)
 {
     carve_assert(src != home && home < gpus_.size());
     ++fabric_remote_write_msgs_;
-    net_.send(src, home, cfg_.line_size, [this, src, home, line] {
-        gpus_[home]->serviceRemoteWrite(line);
-        if (vi_)
-            vi_->onWrite(home, src, line);
-    });
+    net_.send(src, home, cfg_.line_size,
+              bindEvent<&MultiGpuSystem::deliverRemoteWrite>(
+                  this, src, home, line));
+}
+
+void
+MultiGpuSystem::deliverRemoteWrite(NodeId src, NodeId home, Addr line)
+{
+    gpus_[home]->serviceRemoteWrite(line);
+    if (vi_)
+        vi_->onWrite(home, src, line);
 }
 
 void
@@ -320,14 +359,27 @@ MultiGpuSystem::cpuRead(NodeId src, Addr line, Callback done)
 {
     (void)line;
     ++fabric_cpu_read_msgs_;
+    const std::uint32_t op = cpu_read_ops_.alloc(CpuReadOp{done, src});
     net_.sendToCpu(src, cfg_.link.ctrl_packet_size,
-        [this, src, done = std::move(done)]() mutable {
-            eq_.scheduleAfter(cfg_.link.cpu_mem_latency,
-                [this, src, done = std::move(done)]() mutable {
-                    net_.sendFromCpu(src, cfg_.line_size,
-                                     std::move(done));
-                });
-        });
+                   bindEvent<&MultiGpuSystem::cpuReadAtCpu>(this, op));
+}
+
+void
+MultiGpuSystem::cpuReadAtCpu(std::uint32_t op)
+{
+    eq_.scheduleAfter(cfg_.link.cpu_mem_latency,
+                      bindEvent<&MultiGpuSystem::cpuReadData>(this,
+                                                              op));
+}
+
+void
+MultiGpuSystem::cpuReadData(std::uint32_t op)
+{
+    const CpuReadOp r = cpu_read_ops_[op];
+    cpu_read_ops_.free(op);
+    net_.sendFromCpu(r.src, cfg_.line_size,
+                     r.done ? Network::Callback(r.done)
+                            : Network::Callback());
 }
 
 void

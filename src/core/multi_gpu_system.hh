@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "coherence/gpu_vi.hh"
+#include "common/arena.hh"
 #include "common/audit.hh"
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -145,8 +147,33 @@ class MultiGpuSystem : public SystemFabric
     }
 
   private:
+    /** A remote read crossing the fabric; pooled so the three-hop
+     * request/service/data chain schedules only bound events. */
+    struct RemoteReadOp
+    {
+        Addr line;
+        Completion done;
+        NodeId src;
+        NodeId home;
+    };
+
+    /** A CPU (Unified Memory) read in flight. */
+    struct CpuReadOp
+    {
+        Completion done;
+        NodeId src;
+    };
+
     void launchKernel(KernelId k);
     void onGpuKernelDone(NodeId gpu);
+    /** Remote-read pipeline stages, keyed by pool handle. */
+    void remoteReadAtHome(std::uint32_t op);
+    void remoteReadServiced(std::uint32_t op);
+    /** Remote write landed at its home node. */
+    void deliverRemoteWrite(NodeId src, NodeId home, Addr line);
+    /** CPU-read pipeline stages, keyed by pool handle. */
+    void cpuReadAtCpu(std::uint32_t op);
+    void cpuReadData(std::uint32_t op);
     void registerStats();
     /** Run every applicable invariant; panics listing all failures.
      * @param final_pass the event queue has drained, so checks over
@@ -159,6 +186,19 @@ class MultiGpuSystem : public SystemFabric
     PageManager pages_;
     Network net_;
     std::optional<GpuVi> vi_;
+
+    /**
+     * Host placement: one arena backing the fabric's in-flight op
+     * pools plus one arena per GPU node for its request pools, all
+     * bound to the constructing thread's NUMA node when CARVE_NUMA is
+     * enabled. Declared before gpus_ so every pool they back drains
+     * before the memory goes away.
+     */
+    Arena sys_arena_;
+    std::vector<Arena> gpu_arenas_;
+    Pool<RemoteReadOp> remote_read_ops_;
+    Pool<CpuReadOp> cpu_read_ops_;
+
     std::vector<std::unique_ptr<GpuNode>> gpus_;
     CtaScheduler sched_;
 

@@ -10,12 +10,13 @@ namespace carve {
 
 RdcController::RdcController(EventQueue &eq, const SystemConfig &cfg,
                              NodeId self, MemoryController &local_mem,
-                             RdcRemoteOps ops)
+                             RdcRemoteOps ops, Arena *arena)
     : eq_(eq), cfg_(cfg), self_(self), local_mem_(local_mem),
       ops_(std::move(ops)),
       alloy_(cfg.rdc.size, cfg.line_size),
       epoch_(cfg.rdc.epoch_bits),
-      mshrs_(1024),
+      mshrs_(1024, arena),
+      pending_misses_(arena),
       carve_base_(cfg.dram.capacity - cfg.rdc.size)
 {
     carve_assert(cfg.rdc.enabled);
@@ -45,45 +46,65 @@ RdcController::read(NodeId home, Addr line_addr, Callback done)
     if (hit) {
         ++read_hits_;
         // Tags-with-data: the single probe access returns the line.
+        // Park the payload; the bound handle keeps the event inline.
+        const std::uint32_t pending = pending_misses_.alloc(
+            PendingMiss{line_addr, done, home});
         eq_.scheduleAfter(cfg_.rdc.controller_latency,
-                          bindEvent<&RdcController::probeHit>(
-                              this, line_addr, std::move(done)));
+                          bindEvent<&RdcController::probeHitParked>(
+                              this, pending));
         return;
     }
 
     ++read_misses_;
-    // The serialized miss continuation below carries (home, line,
-    // done) — one word past EventFn's inline storage — so it stays a
-    // lambda and takes the boxed path, same as std::function did.
     if (use_predictor && !predicted_hit) {
         // Predicted miss: overlap the verification probe with the
         // remote fetch. The probe still consumes local bandwidth.
         ++bypasses_;
         local_mem_.access(storageAddr(line_addr), AccessType::Read,
                           Callback());
-        handleMiss(home, line_addr, /* serialized */ false,
-                   std::move(done));
+        handleMiss(home, line_addr, /* serialized */ false, done);
     } else {
-        // Serialized probe-then-fetch: the RandAccess pathology.
+        // Serialized probe-then-fetch: the RandAccess pathology. The
+        // in-flight state (home, line, done) lives in the pool, so
+        // each stage hop is a two-word bound event.
+        const std::uint32_t pending = pending_misses_.alloc(
+            PendingMiss{line_addr, done, home});
         eq_.scheduleAfter(cfg_.rdc.controller_latency,
-            [this, home, line_addr,
-             done = std::move(done)]() mutable {
-                local_mem_.access(storageAddr(line_addr),
-                                  AccessType::Read,
-                    [this, home, line_addr,
-                     done = std::move(done)]() mutable {
-                        handleMiss(home, line_addr, true,
-                                   std::move(done));
-                    });
-            });
+                          bindEvent<&RdcController::probeMiss>(
+                              this, pending));
     }
 }
 
 void
-RdcController::probeHit(Addr line_addr, Callback &done)
+RdcController::probeHit(Addr line_addr, Callback done)
 {
-    local_mem_.access(storageAddr(line_addr), AccessType::Read,
-                      std::move(done));
+    local_mem_.access(storageAddr(line_addr), AccessType::Read, done);
+}
+
+void
+RdcController::probeHitParked(std::uint32_t pending)
+{
+    const PendingMiss miss = pending_misses_[pending];
+    pending_misses_.free(pending);
+    probeHit(miss.line_addr, miss.done);
+}
+
+void
+RdcController::probeMiss(std::uint32_t pending)
+{
+    local_mem_.access(storageAddr(pending_misses_[pending].line_addr),
+                      AccessType::Read,
+                      Completion::bind<&RdcController::probeMissDone>(
+                          this, pending));
+}
+
+void
+RdcController::probeMissDone(std::uint32_t pending)
+{
+    const PendingMiss miss = pending_misses_[pending];
+    pending_misses_.free(pending);
+    handleMiss(miss.home, miss.line_addr, /* serialized */ true,
+               miss.done);
 }
 
 void
@@ -91,7 +112,7 @@ RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
                           Callback done)
 {
     (void)serialized;
-    const MshrOutcome out = mshrs_.allocate(line_addr, std::move(done));
+    const MshrOutcome out = mshrs_.allocate(line_addr, done);
     if (out == MshrOutcome::Full) {
         // The RDC MSHR file is generously sized; overflowing it means
         // a pathological configuration rather than expected load.
@@ -103,16 +124,22 @@ RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
 
     if (audit_)
         audit_->issue(audit::Boundary::RdcFetch);
-    ops_.fetch_remote(home, line_addr, [this, home, line_addr] {
-        if (audit_)
-            audit_->retire(audit::Boundary::RdcFetch);
-        handleVictim(alloy_.insert(line_addr, epoch_.current(),
-                                   /* dirty */ false, home));
-        // Fill write into the carve-out is posted.
-        local_mem_.access(storageAddr(line_addr), AccessType::Write,
-                          Callback());
-        mshrs_.complete(line_addr);
-    });
+    ops_.fetch_remote(home, line_addr,
+                      Completion::bind<&RdcController::fetchArrived>(
+                          this, line_addr, home));
+}
+
+void
+RdcController::fetchArrived(Addr line_addr, NodeId home)
+{
+    if (audit_)
+        audit_->retire(audit::Boundary::RdcFetch);
+    handleVictim(alloy_.insert(line_addr, epoch_.current(),
+                               /* dirty */ false, home));
+    // Fill write into the carve-out is posted.
+    local_mem_.access(storageAddr(line_addr), AccessType::Write,
+                      Callback());
+    mshrs_.complete(line_addr);
 }
 
 void

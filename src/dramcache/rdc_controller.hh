@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "cache/mshr.hh"
+#include "common/arena.hh"
 #include "common/audit.hh"
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -40,8 +42,8 @@ struct RdcRemoteOps
 {
     /** Fetch @p line from @p home; callback fires when the data has
      * arrived at this GPU. */
-    std::function<void(NodeId home, Addr line,
-                       std::function<void()> done)> fetch_remote;
+    std::function<void(NodeId home, Addr line, Completion done)>
+        fetch_remote;
     /** Posted write-through of @p line to @p home. */
     std::function<void(NodeId home, Addr line)> write_remote;
     /** Posted bulk flush of @p bytes of dirty data to @p home
@@ -58,7 +60,8 @@ struct RdcRemoteOps
 class RdcController
 {
   public:
-    using Callback = std::function<void()>;
+    /** POD completion delegate (no allocation per hand-off). */
+    using Callback = Completion;
 
     /**
      * @param eq shared event queue
@@ -66,9 +69,11 @@ class RdcController
      * @param self this GPU's node id
      * @param local_mem this GPU's memory controller
      * @param ops remote fetch / write-through plumbing
+     * @param arena backing store for the miss pools (optional)
      */
     RdcController(EventQueue &eq, const SystemConfig &cfg, NodeId self,
-                  MemoryController &local_mem, RdcRemoteOps ops);
+                  MemoryController &local_mem, RdcRemoteOps ops,
+                  Arena *arena = nullptr);
 
     /**
      * Service an LLC read miss to a remote-homed line.
@@ -147,14 +152,29 @@ class RdcController
     void registerStats(stats::StatGroup &g);
 
   private:
+    /** A serialized miss in flight: probe, then fetch from home. */
+    struct PendingMiss
+    {
+        Addr line_addr;
+        Completion done;
+        NodeId home;
+    };
+
     void handleMiss(NodeId home, Addr line_addr, bool serialized,
                     Callback done);
     /** Write a displaced dirty victim back to its home (its carve-out
      * copy was the only up-to-date one) and drop its dirty-map set. */
     void handleVictim(const std::optional<RdcVictim> &victim);
     /** Hit-path probe, scheduled as a pre-bound event after the
-     * controller pipeline latency (@p done is moved from). */
-    void probeHit(Addr line_addr, Callback &done);
+     * controller pipeline latency. */
+    void probeHit(Addr line_addr, Callback done);
+    /** Unparks a hit-probe payload staged in the pending pool. */
+    void probeHitParked(std::uint32_t pending);
+    /** Serialized-miss pipeline stages, keyed by pool handle. */
+    void probeMiss(std::uint32_t pending);
+    void probeMissDone(std::uint32_t pending);
+    /** Remote fetch landed: install into the carve-out and complete. */
+    void fetchArrived(Addr line_addr, NodeId home);
     Addr storageAddr(Addr line_addr) const;
 
     EventQueue &eq_;
@@ -168,6 +188,7 @@ class RdcController
     DirtyMap dirty_map_;
     HitPredictor predictor_;
     MshrFile mshrs_;
+    Pool<PendingMiss> pending_misses_;
 
     /** Carve-out base inside local physical memory (top of DRAM). */
     Addr carve_base_;

@@ -9,8 +9,8 @@
 #define CARVE_GPU_FABRIC_HH
 
 #include <cstdint>
-#include <functional>
 
+#include "common/completion.hh"
 #include "common/types.hh"
 
 namespace carve {
@@ -21,12 +21,13 @@ namespace carve {
  * All read calls deliver data to the requester via the callback; all
  * write calls are posted. Coherence notifications happen inside the
  * fabric at the access's home node, so protocol logic lives in one
- * place regardless of which GPU initiated the access.
+ * place regardless of which GPU initiated the access. Callbacks are
+ * POD Completion delegates, so crossing the fabric never allocates.
  */
 class SystemFabric
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Completion;
 
     virtual ~SystemFabric() = default;
 

@@ -26,18 +26,20 @@ GpuTraffic::fracRemote() const
 }
 
 GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
-                 PageManager &pages, SystemFabric &fabric)
+                 PageManager &pages, SystemFabric &fabric,
+                 Arena *arena)
     : eq_(eq), cfg_(cfg), id_(id), pages_(pages), fabric_(fabric),
       l2_("l2", cfg.l2, cfg.line_size),
-      l2_mshrs_(cfg.l2.mshrs),
+      l2_mshrs_(cfg.l2.mshrs, arena),
+      parked_misses_(arena),
       tlb_(cfg.tlb, cfg.core.sms_per_gpu, cfg.page_size),
-      mem_(eq, cfg)
+      mem_(eq, cfg, arena)
 {
     if (cfg.rdc.enabled) {
         RdcRemoteOps ops;
         ops.fetch_remote = [this](NodeId home, Addr line,
-                                  std::function<void()> done) {
-            fabric_.remoteRead(id_, home, line, std::move(done));
+                                  Completion done) {
+            fabric_.remoteRead(id_, home, line, done);
         };
         ops.write_remote = [this](NodeId home, Addr line) {
             fabric_.remoteWrite(id_, home, line);
@@ -46,13 +48,13 @@ GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
             fabric_.rdcFlush(id_, home, bytes);
         };
         rdc_ = std::make_unique<RdcController>(eq, cfg, id, mem_,
-                                               std::move(ops));
+                                               std::move(ops), arena);
     }
 
     Sm::Hooks hooks;
     hooks.access_l2 = [this](Addr line, AccessType type,
                              Callback done) {
-        accessFromSm(line, type, std::move(done));
+        accessFromSm(line, type, done);
     };
     hooks.record_access = [this](Addr line, AccessType type) {
         pages_.recordAccess(line, id_, type);
@@ -69,7 +71,7 @@ GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
         const std::uint64_t jitter =
             (static_cast<std::uint64_t>(id) << 32) | s;
         sms_.push_back(std::make_unique<Sm>(eq, cfg, s, hooks,
-                                            jitter));
+                                            jitter, arena));
     }
 }
 
@@ -184,7 +186,7 @@ void
 GpuNode::serviceRemoteRead(Addr line, Callback done)
 {
     ++serviced_remote_reads_;
-    mem_.access(line, AccessType::Read, std::move(done));
+    mem_.access(line, AccessType::Read, done);
 }
 
 void
@@ -231,37 +233,51 @@ GpuNode::accessFromSm(Addr line, AccessType type, Callback done)
                           bindEvent<&GpuNode::handleWrite>(this, line));
         return;
     }
+    // (line, done) is a 40-byte payload — park it and bind the pool
+    // handle so the event stays within EventFn's inline storage.
+    const std::uint32_t parked = parked_misses_.alloc(
+        ParkedMiss{line, done});
     eq_.scheduleAfter(cfg_.core.l1_to_l2_latency,
-                      bindEvent<&GpuNode::arriveAtL2>(
-                          this, line, std::move(done)));
+                      bindEvent<&GpuNode::arriveAtL2Parked>(this,
+                                                           parked));
 }
 
 void
-GpuNode::arriveAtL2(Addr line, Callback &done)
+GpuNode::arriveAtL2Parked(std::uint32_t parked)
+{
+    const ParkedMiss miss = parked_misses_[parked];
+    parked_misses_.free(parked);
+    arriveAtL2(miss.line, miss.done);
+}
+
+void
+GpuNode::arriveAtL2(Addr line, Callback done)
 {
     if (audit_)
         audit_->retire(audit::Boundary::SmL2);
     if (l2_.readProbe(line)) {
-        eq_.scheduleAfter(l2_.hitLatency(), std::move(done));
+        eq_.scheduleAfter(l2_.hitLatency(), done);
         return;
     }
-    handleL2ReadMiss(line, std::move(done));
+    handleL2ReadMiss(line, done);
 }
 
 void
 GpuNode::handleL2ReadMiss(Addr line, Callback done)
 {
-    // A full MSHR file cannot merge a new line: hold the request and
-    // retry without losing its callback.
-    if (!l2_mshrs_.outstanding(line) && l2_mshrs_.full()) {
-        eq_.scheduleAfter(l2_mshr_retry_delay,
-            [this, line, done = std::move(done)]() mutable {
-                handleL2ReadMiss(line, std::move(done));
-            });
+    // A full MSHR file cannot merge a new line: park the request in
+    // the pool and poll by handle, so each retry hop is a two-word
+    // bound event instead of a captured closure.
+    if (l2_mshrs_.full() && !l2_mshrs_.outstanding(line)) {
+        const std::uint32_t parked =
+            parked_misses_.alloc(ParkedMiss{line, done});
+        eq_.scheduleAfter(
+            l2_mshr_retry_delay,
+            bindEvent<&GpuNode::retryL2Miss>(this, parked, line));
         return;
     }
 
-    const MshrOutcome out = l2_mshrs_.allocate(line, std::move(done));
+    const MshrOutcome out = l2_mshrs_.allocate(line, done);
     carve_assert(out != MshrOutcome::Full);
     if (out == MshrOutcome::NewEntry) {
         if (audit_)
@@ -273,6 +289,23 @@ GpuNode::handleL2ReadMiss(Addr line, Callback done)
 }
 
 void
+GpuNode::retryL2Miss(std::uint32_t parked, Addr line)
+{
+    // The line rides in the bound event so the still-full poll (the
+    // dominant event in MSHR-saturated phases) touches only the MSHR
+    // occupancy word and probe — not the parked-request pool.
+    if (l2_mshrs_.full() && !l2_mshrs_.outstanding(line)) {
+        // Still full: re-arm this very event in place — no alloc, no
+        // rebind.
+        eq_.repeatAfter(l2_mshr_retry_delay);
+        return;
+    }
+    const ParkedMiss miss = parked_misses_[parked];
+    parked_misses_.free(parked);
+    handleL2ReadMiss(miss.line, miss.done);
+}
+
+void
 GpuNode::startFill(Addr line)
 {
     Route route = pages_.route(line, id_, AccessType::Read);
@@ -281,37 +314,46 @@ GpuNode::startFill(Addr line)
                              pages_.table().pageSize());
     }
 
-    auto launch = [this, line, route] {
-        if (route.service == id_) {
-            ++traffic_.local_reads;
-            fabric_.coherenceLocalAccess(id_, line, AccessType::Read);
-            mem_.access(line, AccessType::Read,
-                        [this, line] { finishFill(line, false); });
-        } else if (route.service == cpu_node) {
-            ++traffic_.cpu_reads;
-            fabric_.cpuRead(id_, line,
-                            [this, line] { finishFill(line, true); });
-        } else if (rdc_) {
-            // CARVE: the RDC fields the remote read. Classify by what
-            // actually happened (hit => local bandwidth).
-            const bool was_resident = rdc_->contains(line);
-            if (was_resident)
-                ++traffic_.rdc_hit_reads;
-            else
-                ++traffic_.remote_reads;
-            rdc_->read(route.service, line,
-                       [this, line] { finishFill(line, true); });
-        } else {
-            ++traffic_.remote_reads;
-            fabric_.remoteRead(id_, route.service, line,
-                               [this, line] { finishFill(line, true); });
-        }
-    };
+    if (route.stall > 0) {
+        eq_.scheduleAfter(route.stall,
+                          bindEvent<&GpuNode::launchFill>(
+                              this, line, route.service));
+    } else {
+        launchFill(line, route.service);
+    }
+}
 
-    if (route.stall > 0)
-        eq_.scheduleAfter(route.stall, std::move(launch));
-    else
-        launch();
+void
+GpuNode::launchFill(Addr line, NodeId service)
+{
+    if (service == id_) {
+        ++traffic_.local_reads;
+        fabric_.coherenceLocalAccess(id_, line, AccessType::Read);
+        mem_.access(line, AccessType::Read,
+                    Completion::bind<&GpuNode::finishFill>(this, line,
+                                                           false));
+    } else if (service == cpu_node) {
+        ++traffic_.cpu_reads;
+        fabric_.cpuRead(id_, line,
+                        Completion::bind<&GpuNode::finishFill>(
+                            this, line, true));
+    } else if (rdc_) {
+        // CARVE: the RDC fields the remote read. Classify by what
+        // actually happened (hit => local bandwidth).
+        const bool was_resident = rdc_->contains(line);
+        if (was_resident)
+            ++traffic_.rdc_hit_reads;
+        else
+            ++traffic_.remote_reads;
+        rdc_->read(service, line,
+                   Completion::bind<&GpuNode::finishFill>(this, line,
+                                                          true));
+    } else {
+        ++traffic_.remote_reads;
+        fabric_.remoteRead(id_, service, line,
+                           Completion::bind<&GpuNode::finishFill>(
+                               this, line, true));
+    }
 }
 
 void
@@ -339,33 +381,38 @@ GpuNode::handleWrite(Addr line)
                              pages_.table().pageSize());
     }
 
-    auto deliver = [this, line, route] {
-        if (route.service == id_) {
-            ++traffic_.local_writes;
-            mem_.access(line, AccessType::Write, Callback());
-            fabric_.coherenceLocalAccess(id_, line, AccessType::Write);
-        } else if (route.service == cpu_node) {
-            ++traffic_.cpu_writes;
-            fabric_.cpuWrite(id_, line);
-        } else if (rdc_) {
-            // Classify by where the data actually goes: a write-back
-            // RDC absorbs the store locally until the boundary flush,
-            // so counting it as NUMA write traffic double-charges.
-            if (rdc_->absorbsWrites())
-                ++traffic_.rdc_hit_writes;
-            else
-                ++traffic_.remote_writes;
-            rdc_->write(route.service, line);
-        } else {
-            ++traffic_.remote_writes;
-            fabric_.remoteWrite(id_, route.service, line);
-        }
-    };
+    if (route.stall > 0) {
+        eq_.scheduleAfter(route.stall,
+                          bindEvent<&GpuNode::deliverWrite>(
+                              this, line, route.service));
+    } else {
+        deliverWrite(line, route.service);
+    }
+}
 
-    if (route.stall > 0)
-        eq_.scheduleAfter(route.stall, std::move(deliver));
-    else
-        deliver();
+void
+GpuNode::deliverWrite(Addr line, NodeId service)
+{
+    if (service == id_) {
+        ++traffic_.local_writes;
+        mem_.access(line, AccessType::Write, Callback());
+        fabric_.coherenceLocalAccess(id_, line, AccessType::Write);
+    } else if (service == cpu_node) {
+        ++traffic_.cpu_writes;
+        fabric_.cpuWrite(id_, line);
+    } else if (rdc_) {
+        // Classify by where the data actually goes: a write-back
+        // RDC absorbs the store locally until the boundary flush,
+        // so counting it as NUMA write traffic double-charges.
+        if (rdc_->absorbsWrites())
+            ++traffic_.rdc_hit_writes;
+        else
+            ++traffic_.remote_writes;
+        rdc_->write(service, line);
+    } else {
+        ++traffic_.remote_writes;
+        fabric_.remoteWrite(id_, service, line);
+    }
 }
 
 void

@@ -16,7 +16,9 @@
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/arena.hh"
 #include "common/audit.hh"
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -82,7 +84,8 @@ struct GpuTraffic
 class GpuNode
 {
   public:
-    using Callback = std::function<void()>;
+    /** POD completion delegate (no allocation per hand-off). */
+    using Callback = Completion;
 
     /**
      * @param eq shared event queue
@@ -90,9 +93,12 @@ class GpuNode
      * @param id this node's id
      * @param pages shared NUMA runtime
      * @param fabric off-chip services (remote memories, coherence)
+     * @param arena backing store for this node's request pools; when
+     *        null the pools fall back to the global heap
      */
     GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
-            PageManager &pages, SystemFabric &fabric);
+            PageManager &pages, SystemFabric &fabric,
+            Arena *arena = nullptr);
 
     GpuNode(const GpuNode &) = delete;
     GpuNode &operator=(const GpuNode &) = delete;
@@ -169,14 +175,29 @@ class GpuNode
     void setTrace(trace::Session *session, std::uint32_t pid);
 
   private:
+    /** A read parked on a full L2 MSHR file, awaiting retry. */
+    struct ParkedMiss
+    {
+        Addr line;
+        Completion done;
+    };
+
     void accessFromSm(Addr line, AccessType type, Callback done);
-    /** L2 arrival of a read, scheduled as a pre-bound event
-     * (@p done is moved from). */
-    void arriveAtL2(Addr line, Callback &done);
+    /** L2 arrival of a read, scheduled as a pre-bound event. */
+    void arriveAtL2(Addr line, Callback done);
+    /** Unparks an (addr, completion) record staged by accessFromSm. */
+    void arriveAtL2Parked(std::uint32_t parked);
     void handleL2ReadMiss(Addr line, Callback done);
+    /** Retry a parked read; reschedules itself while the file is
+     * still full, preserving the poll cadence exactly. */
+    void retryL2Miss(std::uint32_t parked, Addr line);
     void startFill(Addr line);
+    /** Issue the fill at @p service once any routing stall elapsed. */
+    void launchFill(Addr line, NodeId service);
     void finishFill(Addr line, bool remote);
     void handleWrite(Addr line);
+    /** Deliver a post-LLC write at @p service after routing stall. */
+    void deliverWrite(Addr line, NodeId service);
     void onCtaRetired(SmId sm, CtaId cta);
     void maybeFinishKernel();
 
@@ -189,6 +210,7 @@ class GpuNode
     std::vector<std::unique_ptr<Sm>> sms_;
     Cache l2_;
     MshrFile l2_mshrs_;
+    Pool<ParkedMiss> parked_misses_;
     TlbHierarchy tlb_;
     MemoryController mem_;
     std::unique_ptr<RdcController> rdc_;

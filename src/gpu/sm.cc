@@ -14,11 +14,11 @@ constexpr Cycle mshr_retry_delay = 8;
 } // namespace
 
 Sm::Sm(EventQueue &eq, const SystemConfig &cfg, SmId id, Hooks hooks,
-       std::uint64_t jitter_seed)
+       std::uint64_t jitter_seed, Arena *arena)
     : eq_(eq), cfg_(cfg), id_(id), hooks_(std::move(hooks)),
       jitter_seed_(jitter_seed),
       l1_("l1", cfg.l1, cfg.line_size),
-      l1_mshrs_(cfg.l1.mshrs),
+      l1_mshrs_(cfg.l1.mshrs, arena),
       warps_(cfg.core.max_warps_per_sm)
 {
     carve_assert(hooks_.access_l2 && hooks_.record_access &&
@@ -156,28 +156,50 @@ Sm::startRead(unsigned slot, Addr line)
 void
 Sm::allocateMiss(unsigned slot, Addr line)
 {
-    const MshrOutcome out =
-        l1_mshrs_.allocate(line, [this, slot] { lineDone(slot); });
+    if (!tryAllocateMiss(slot, line)) {
+        eq_.scheduleAfter(
+            mshr_retry_delay,
+            bindEvent<&Sm::retryL1Miss>(this, slot, line));
+    }
+}
+
+void
+Sm::retryL1Miss(unsigned slot, Addr line)
+{
+    // Runs only as its own bound event, so a still-full MSHR file can
+    // re-arm the firing node in place instead of scheduling afresh.
+    if (!tryAllocateMiss(slot, line))
+        eq_.repeatAfter(mshr_retry_delay);
+}
+
+bool
+Sm::tryAllocateMiss(unsigned slot, Addr line)
+{
+    const MshrOutcome out = l1_mshrs_.allocate(
+        line, Completion::bind<&Sm::lineDone>(this, slot));
     switch (out) {
       case MshrOutcome::NewEntry:
-        hooks_.access_l2(line, AccessType::Read, [this, line] {
-            l1_.fill(line, false);
-            l1_mshrs_.complete(line);
-        });
-        break;
+        hooks_.access_l2(line, AccessType::Read,
+                         Completion::bind<&Sm::finishL1Fill>(this, line));
+        return true;
       case MshrOutcome::Merged:
-        break;
+        return true;
       case MshrOutcome::Full:
         ++mshr_stalls_;
         if (trace::active(trace_, trace::Category::Sm)) {
             trace_->instant(trace::Category::Sm, trace_track_,
                             "mshr_stall", eq_.now(), line);
         }
-        eq_.scheduleAfter(
-            mshr_retry_delay,
-            bindEvent<&Sm::allocateMiss>(this, slot, line));
-        break;
+        return false;
     }
+    return false;
+}
+
+void
+Sm::finishL1Fill(Addr line)
+{
+    l1_.fill(line, false);
+    l1_mshrs_.complete(line);
 }
 
 void

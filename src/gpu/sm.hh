@@ -16,6 +16,8 @@
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/arena.hh"
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -31,7 +33,9 @@ namespace carve {
 class Sm
 {
   public:
-    using Callback = std::function<void()>;
+    /** POD completion delegate: passing one across the hook boundary
+     * never allocates (unlike a captured std::function). */
+    using Callback = Completion;
 
     /** Hooks into the owning GPU node. */
     struct Hooks
@@ -53,9 +57,11 @@ class Sm
      * @param cfg system configuration
      * @param id SM index within the GPU
      * @param hooks GPU-node plumbing
+     * @param jitter_seed deterministic first-issue skew seed
+     * @param arena backing store for the MSHR waiter pool (optional)
      */
     Sm(EventQueue &eq, const SystemConfig &cfg, SmId id, Hooks hooks,
-       std::uint64_t jitter_seed = 0);
+       std::uint64_t jitter_seed = 0, Arena *arena = nullptr);
 
     Sm(const Sm &) = delete;
     Sm &operator=(const Sm &) = delete;
@@ -120,6 +126,12 @@ class Sm
     void issueLoads(unsigned slot);
     void startRead(unsigned slot, Addr line);
     void allocateMiss(unsigned slot, Addr line);
+    /** Event-context retry of a Full L1 MSHR allocation; re-arms its
+     * own event node while the file stays full. */
+    void retryL1Miss(unsigned slot, Addr line);
+    /** @return false when the MSHR file is full (stall counted). */
+    bool tryAllocateMiss(unsigned slot, Addr line);
+    void finishL1Fill(Addr line);
     void lineDone(unsigned slot);
     void finishWarp(unsigned slot);
 

@@ -48,6 +48,8 @@ cellToJson(const CellResult &c)
     o.set("cycles", c.cycles);
     o.set("events", c.events);
     o.set("warp_insts", c.warp_insts);
+    o.set("allocations", c.allocations);
+    o.set("peak_rss_bytes", c.peak_rss_bytes);
     o.set("host_seconds", c.host_seconds);
     o.set("events_per_sec", c.events_per_sec);
     o.set("warp_insts_per_sec", c.warp_insts_per_sec);
@@ -63,6 +65,12 @@ cellFromJson(const json::Value &v)
     c.cycles = u64At(v, "cycles");
     c.events = u64At(v, "events");
     c.warp_insts = u64At(v, "warp_insts");
+    // Optional: bench files written before the memory columns existed
+    // read back with zeros (compareBench never gates on them).
+    if (v.has("allocations"))
+        c.allocations = u64At(v, "allocations");
+    if (v.has("peak_rss_bytes"))
+        c.peak_rss_bytes = u64At(v, "peak_rss_bytes");
     c.host_seconds = v.at("host_seconds").asDouble();
     c.events_per_sec = v.at("events_per_sec").asDouble();
     c.warp_insts_per_sec = v.at("warp_insts_per_sec").asDouble();

@@ -45,6 +45,10 @@ struct CellResult
     std::uint64_t cycles = 0;      ///< simulated cycles
     std::uint64_t events = 0;      ///< engine events executed
     std::uint64_t warp_insts = 0;  ///< warp instructions issued
+    /** Heap allocations during the cell (carve-bench counts them via
+     * a replacement global operator new in its own TU; 0 elsewhere). */
+    std::uint64_t allocations = 0;
+    std::uint64_t peak_rss_bytes = 0;  ///< process peak RSS after run
     double host_seconds = 0.0;
     double events_per_sec = 0.0;
     double warp_insts_per_sec = 0.0;

@@ -7,6 +7,8 @@
 #include <pthread.h>
 #endif
 
+#include "common/hostnuma.hh"
+
 namespace carve {
 namespace harness {
 
@@ -21,10 +23,11 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = hardwareThreads();
+    state_ = std::make_unique<WorkerState[]>(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
         workers_.emplace_back(
-            [this](std::stop_token st) { workerLoop(st); });
+            [this, i](std::stop_token st) { workerLoop(st, i); });
 #ifdef __linux__
         // Name the workers so traces, gdb and `top -H` attribute
         // simulation work to the pool (comm limit is 15 chars).
@@ -65,8 +68,19 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop(std::stop_token st)
+ThreadPool::workerLoop(std::stop_token st, unsigned index)
 {
+    WorkerState &me = state_[index];
+    // Spread workers round-robin over host NUMA nodes so each one's
+    // simulation allocates from (and runs near) its own node. A
+    // CARVE_NUMA=OFF build or a non-NUMA host leaves numa_node at -1.
+    if (hostnuma::available()) {
+        const int node =
+            static_cast<int>(index) % hostnuma::nodeCount();
+        if (hostnuma::bindThreadToNode(node))
+            me.numa_node = node;
+    }
+
     while (true) {
         Job job;
         {
@@ -80,6 +94,7 @@ ThreadPool::workerLoop(std::stop_token st)
             ++in_flight_;
         }
         job();
+        ++me.jobs_run;  // own padded line: no cross-worker sharing
         {
             std::lock_guard lock(mutex_);
             --in_flight_;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -21,7 +22,8 @@
 
 namespace carve {
 
-/** One queued channel request. */
+/** One queued channel request. Plain data: queue churn (staging,
+ * FR-FCFS erasure) moves flat 56-byte records, never a heap box. */
 struct DramRequest
 {
     unsigned bank = 0;
@@ -29,7 +31,7 @@ struct DramRequest
     AccessType type = AccessType::Read;
     Cycle enqueued_at = 0;
     /** Completion callback; may be empty for posted writes. */
-    std::function<void()> on_done;
+    Completion on_done;
 };
 
 /**

@@ -7,12 +7,14 @@
 namespace carve {
 
 MemoryController::MemoryController(EventQueue &eq,
-                                   const SystemConfig &cfg)
+                                   const SystemConfig &cfg,
+                                   Arena *arena)
     : eq_(eq),
       mapping_(cfg.line_size, cfg.dram.channels,
                cfg.dram.banks_per_channel, cfg.dram.row_size),
       line_size_(cfg.line_size),
-      staged_(cfg.dram.channels)
+      staged_(cfg.dram.channels),
+      audit_done_(arena)
 {
     channels_.reserve(cfg.dram.channels);
     for (unsigned i = 0; i < cfg.dram.channels; ++i) {
@@ -36,25 +38,33 @@ MemoryController::access(Addr addr, AccessType type, Callback done)
     req.bank = coord.bank;
     req.row = coord.row;
     req.type = type;
-    req.on_done = std::move(done);
+    req.on_done = done;
 
     if (audit_) {
         // Wrap (and, for posted writes, materialize) the completion so
         // the token is provably retired when the channel issues it.
+        // The wrapped completion is parked in a pool keyed by handle.
         audit_->issue(audit::Boundary::DramAccess);
-        req.on_done = [tracker = audit_,
-                       done = std::move(req.on_done)] {
-            tracker->retire(audit::Boundary::DramAccess);
-            if (done)
-                done();
-        };
+        const std::uint32_t handle = audit_done_.alloc(req.on_done);
+        req.on_done = Completion::bind<&MemoryController::auditRetire>(
+            this, handle);
     }
 
     auto &stage = staged_[coord.channel];
     if (!stage.empty() || !channels_[coord.channel]->enqueue(req)) {
         // Preserve arrival order behind already-staged requests.
-        stage.push_back(std::move(req));
+        stage.push_back(req);
     }
+}
+
+void
+MemoryController::auditRetire(std::uint32_t handle)
+{
+    audit_->retire(audit::Boundary::DramAccess);
+    const Completion done = audit_done_[handle];
+    audit_done_.free(handle);
+    if (done)
+        done();
 }
 
 void

@@ -12,7 +12,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/audit.hh"
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -33,13 +35,16 @@ namespace carve {
 class MemoryController
 {
   public:
-    using Callback = std::function<void()>;
+    /** POD completion delegate (no allocation per hand-off). */
+    using Callback = Completion;
 
     /**
      * @param eq shared event queue
      * @param cfg full system configuration (DRAM + line size)
+     * @param arena backing store for audit-wrap pool (optional)
      */
-    MemoryController(EventQueue &eq, const SystemConfig &cfg);
+    MemoryController(EventQueue &eq, const SystemConfig &cfg,
+                     Arena *arena = nullptr);
 
     MemoryController(const MemoryController &) = delete;
     MemoryController &operator=(const MemoryController &) = delete;
@@ -99,6 +104,9 @@ class MemoryController
 
   private:
     void drainStaged(unsigned ch);
+    /** Audit-mode completion shim: retire the DRAM token, then fire
+     * the wrapped caller completion parked at @p handle. */
+    void auditRetire(std::uint32_t handle);
 
     EventQueue &eq_;
     AddressMapping mapping_;
@@ -107,6 +115,7 @@ class MemoryController
     std::vector<std::deque<DramRequest>> staged_;
     std::vector<std::unique_ptr<stats::StatGroup>> channel_groups_;
     audit::InflightTracker *audit_ = nullptr;
+    Pool<Completion> audit_done_;
 
     stats::Scalar reads_;
     stats::Scalar writes_;

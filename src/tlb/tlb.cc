@@ -41,14 +41,14 @@ TlbHierarchy::translate(SmId sm, Addr vaddr)
     const Addr vpage = alignDown(vaddr, page_size_);
 
     TlbResult res{cfg_.l1_latency, true, false};
-    if (l1_[sm].lookup(vpage) != nullptr) {
+    if (l1_[sm].lookup(vpage) != TagArray::no_line) {
         ++l1_hits_;
         return res;
     }
 
     res.l1_hit = false;
     res.latency += cfg_.l2_latency;
-    if (l2_.lookup(vpage) != nullptr) {
+    if (l2_.lookup(vpage) != TagArray::no_line) {
         ++l2_hits_;
         res.l2_hit = true;
     } else {

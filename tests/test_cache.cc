@@ -51,12 +51,12 @@ TEST(TagArray, GeometryFromSize)
 TEST(TagArray, MissThenHitAfterInsert)
 {
     TagArray t(8192, 4, 128);
-    EXPECT_EQ(t.lookup(0x1000), nullptr);
+    EXPECT_EQ(t.lookup(0x1000), TagArray::no_line);
     t.insert(0x1000, false);
-    EXPECT_NE(t.lookup(0x1000), nullptr);
+    EXPECT_NE(t.lookup(0x1000), TagArray::no_line);
     // Sub-line offsets resolve to the same line.
-    EXPECT_NE(t.lookup(0x1000 + 127), nullptr);
-    EXPECT_EQ(t.lookup(0x1000 + 128), nullptr);
+    EXPECT_NE(t.lookup(0x1000 + 127), TagArray::no_line);
+    EXPECT_EQ(t.lookup(0x1000 + 128), TagArray::no_line);
 }
 
 TEST(TagArray, LruEvictionOrder)
@@ -71,14 +71,14 @@ TEST(TagArray, LruEvictionOrder)
     auto ev = t.insert(4 * 128, false);
     ASSERT_TRUE(ev.has_value());
     EXPECT_EQ(ev->line_addr, 1u * 128);
-    EXPECT_NE(t.lookup(0), nullptr);
+    EXPECT_NE(t.lookup(0), TagArray::no_line);
 }
 
 TEST(TagArray, EvictionReportsDirtyAndRemote)
 {
     TagArray t(128, 1, 128);  // a single line
     t.insert(0, true);
-    t.lookup(0)->dirty = true;
+    t.setDirty(t.lookup(0), true);
     auto ev = t.insert(128, false);
     ASSERT_TRUE(ev.has_value());
     EXPECT_TRUE(ev->dirty);
@@ -91,7 +91,7 @@ TEST(TagArray, InvalidateSingleLine)
     t.insert(0x2000, false);
     EXPECT_TRUE(t.invalidate(0x2000));
     EXPECT_FALSE(t.invalidate(0x2000));
-    EXPECT_EQ(t.lookup(0x2000), nullptr);
+    EXPECT_EQ(t.lookup(0x2000), TagArray::no_line);
 }
 
 TEST(TagArray, InvalidateRemoteKeepsLocalLines)
@@ -101,8 +101,8 @@ TEST(TagArray, InvalidateRemoteKeepsLocalLines)
     t.insert(0x1000, true);
     t.insert(0x2000, true);
     EXPECT_EQ(t.invalidateRemote(), 2u);
-    EXPECT_NE(t.lookup(0x0000), nullptr);
-    EXPECT_EQ(t.lookup(0x1000), nullptr);
+    EXPECT_NE(t.lookup(0x0000), TagArray::no_line);
+    EXPECT_EQ(t.lookup(0x1000), TagArray::no_line);
     EXPECT_EQ(t.validCount(), 1u);
 }
 
@@ -120,14 +120,14 @@ TEST(TagArray, ForEachDirtyVisitsOnlyDirty)
     TagArray t(8192, 4, 128);
     t.insert(0, false);
     t.insert(128, false);
-    t.lookup(128)->dirty = true;
+    t.setDirty(t.lookup(128), true);
     unsigned visited = 0;
-    t.forEachDirty([&](CacheLine &line) {
+    t.forEachDirty([&](TagArray::LineIdx line) {
         ++visited;
-        line.dirty = false;
+        t.setDirty(line, false);
     });
     EXPECT_EQ(visited, 1u);
-    t.forEachDirty([&](CacheLine &) { ++visited; });
+    t.forEachDirty([&](TagArray::LineIdx) { ++visited; });
     EXPECT_EQ(visited, 1u);
 }
 
@@ -162,7 +162,7 @@ TEST(Cache, WriteProbeUpdatesWithoutAllocating)
     c.fill(0x100, false);
     EXPECT_TRUE(c.writeProbe(0x100, true));
     // Dirty was requested: the resident line carries it.
-    EXPECT_TRUE(c.tags().peek(0x100)->dirty);
+    EXPECT_TRUE(c.tags().isDirty(c.tags().peek(0x100)));
 }
 
 TEST(Cache, DoubleFillIsIdempotent)
@@ -187,10 +187,34 @@ TEST(Cache, EvictionCounter)
 
 // ---- mshr -----------------------------------------------------------
 
+/** Test helper: bindable member-function targets for Completion. */
+struct CallLog
+{
+    std::vector<int> order;
+    int count = 0;
+
+    void hit() { ++count; }
+    void push(std::uint64_t v)
+    {
+        order.push_back(static_cast<int>(v));
+    }
+};
+
+/** Test helper: a waiter that re-allocates when fired. */
+struct Reallocator
+{
+    MshrFile *m;
+    MshrOutcome out = MshrOutcome::Full;
+
+    void run() { out = m->allocate(0x200, Completion()); }
+};
+
 TEST(Mshr, FirstAllocationIsNewEntry)
 {
     MshrFile m(4);
-    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::NewEntry);
+    CallLog log;
+    EXPECT_EQ(m.allocate(0x100, Completion::bind<&CallLog::hit>(&log)),
+              MshrOutcome::NewEntry);
     EXPECT_TRUE(m.outstanding(0x100));
     EXPECT_EQ(m.size(), 1u);
 }
@@ -198,8 +222,10 @@ TEST(Mshr, FirstAllocationIsNewEntry)
 TEST(Mshr, SecondAllocationMerges)
 {
     MshrFile m(4);
-    m.allocate(0x100, [] {});
-    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::Merged);
+    CallLog log;
+    const Completion cb = Completion::bind<&CallLog::hit>(&log);
+    m.allocate(0x100, cb);
+    EXPECT_EQ(m.allocate(0x100, cb), MshrOutcome::Merged);
     EXPECT_EQ(m.size(), 1u);
     EXPECT_EQ(m.merges(), 1u);
 }
@@ -207,33 +233,36 @@ TEST(Mshr, SecondAllocationMerges)
 TEST(Mshr, FullRejectsNewLinesButMergesExisting)
 {
     MshrFile m(2);
-    m.allocate(0x100, [] {});
-    m.allocate(0x200, [] {});
+    CallLog log;
+    const Completion cb = Completion::bind<&CallLog::hit>(&log);
+    m.allocate(0x100, cb);
+    m.allocate(0x200, cb);
     EXPECT_TRUE(m.full());
-    EXPECT_EQ(m.allocate(0x300, [] {}), MshrOutcome::Full);
-    EXPECT_EQ(m.allocate(0x100, [] {}), MshrOutcome::Merged);
+    EXPECT_EQ(m.allocate(0x300, cb), MshrOutcome::Full);
+    EXPECT_EQ(m.allocate(0x100, cb), MshrOutcome::Merged);
     EXPECT_EQ(m.rejections(), 1u);
 }
 
 TEST(Mshr, CompleteFiresAllWaitersInOrder)
 {
     MshrFile m(4);
-    std::vector<int> order;
-    m.allocate(0x100, [&] { order.push_back(1); });
-    m.allocate(0x100, [&] { order.push_back(2); });
-    m.allocate(0x100, [&] { order.push_back(3); });
+    CallLog log;
+    m.allocate(0x100, Completion::bind<&CallLog::push>(&log, 1));
+    m.allocate(0x100, Completion::bind<&CallLog::push>(&log, 2));
+    m.allocate(0x100, Completion::bind<&CallLog::push>(&log, 3));
     EXPECT_EQ(m.complete(0x100), 3u);
-    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 3}));
     EXPECT_FALSE(m.outstanding(0x100));
 }
 
 TEST(Mshr, CallbackMayAllocateDuringComplete)
 {
     MshrFile m(2);
-    m.allocate(0x100, [&] {
-        EXPECT_EQ(m.allocate(0x200, [] {}), MshrOutcome::NewEntry);
-    });
+    Reallocator reallocator{&m, MshrOutcome::Full};
+    m.allocate(0x100,
+               Completion::bind<&Reallocator::run>(&reallocator));
     m.complete(0x100);
+    EXPECT_EQ(reallocator.out, MshrOutcome::NewEntry);
     EXPECT_TRUE(m.outstanding(0x200));
 }
 

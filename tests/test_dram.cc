@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "mem/address_mapping.hh"
@@ -77,6 +78,26 @@ TEST(DramBank, PrechargeClosesRow)
 
 // ---- channel --------------------------------------------------------
 
+/** Test helper: bindable Completion targets for request callbacks. */
+struct Probe
+{
+    EventQueue *eq = nullptr;
+    Cycle when = 0;
+    int count = 0;
+    std::vector<int> order;
+
+    void stamp()
+    {
+        when = eq->now();
+        ++count;
+    }
+    void bump() { ++count; }
+    void push(std::uint64_t v)
+    {
+        order.push_back(static_cast<int>(v));
+    }
+};
+
 struct ChannelFixture : public ::testing::Test
 {
     ChannelFixture()
@@ -92,13 +113,13 @@ struct ChannelFixture : public ::testing::Test
     }
 
     DramRequest
-    read(unsigned bank, std::uint64_t row, std::function<void()> cb)
+    read(unsigned bank, std::uint64_t row, Completion cb)
     {
         DramRequest r;
         r.bank = bank;
         r.row = row;
         r.type = AccessType::Read;
-        r.on_done = std::move(cb);
+        r.on_done = cb;
         return r;
     }
 
@@ -109,12 +130,13 @@ struct ChannelFixture : public ::testing::Test
 
 TEST_F(ChannelFixture, SingleReadLatency)
 {
-    Cycle done_at = 0;
+    Probe p;
+    p.eq = &eq;
     ASSERT_TRUE(channel->enqueue(
-        read(0, 1, [&] { done_at = eq.now(); })));
+        read(0, 1, Completion::bind<&Probe::stamp>(&p))));
     eq.run();
     // Row miss: latency 30 + burst 2.
-    EXPECT_EQ(done_at, 32u);
+    EXPECT_EQ(p.when, 32u);
     EXPECT_EQ(channel->readsIssued(), 1u);
 }
 
@@ -122,70 +144,100 @@ TEST_F(ChannelFixture, BurstsSerializeOnTheBus)
 {
     // 6 reads to the same row: issue start times must be spaced by
     // the 2-cycle burst occupancy regardless of latency overlap.
-    Cycle last_done = 0;
+    Probe p;
+    p.eq = &eq;
     for (int i = 0; i < 6; ++i) {
         ASSERT_TRUE(channel->enqueue(
-            read(0, 1, [&] { last_done = eq.now(); })));
+            read(0, 1, Completion::bind<&Probe::stamp>(&p))));
     }
     eq.run();
     // First issues at 0 (miss, 30+2); the rest are row hits issued
     // every 2 cycles: last issue at 10, done 10+10+2 = 22... but the
     // first miss dominates: done at 32.
-    EXPECT_GE(last_done, 30u);
+    EXPECT_GE(p.when, 30u);
     EXPECT_EQ(channel->busyCycles(), 12u);
     EXPECT_EQ(channel->readsIssued(), 6u);
 }
+
+/** Test helper: enqueues two follow-up reads when its first read
+ * completes, exercising FR-FCFS while the bus is busy. */
+struct FrFcfsDriver
+{
+    ChannelFixture *fx;
+    Probe *probe;
+
+    void onFirstDone()
+    {
+        // Two more while the first is in flight.
+        ASSERT_TRUE(fx->channel->enqueue(fx->read(
+            0, 9, Completion::bind<&Probe::push>(probe, 9))));
+        ASSERT_TRUE(fx->channel->enqueue(fx->read(
+            0, 1, Completion::bind<&Probe::push>(probe, 1))));
+    }
+};
 
 TEST_F(ChannelFixture, FrFcfsPrefersRowHits)
 {
     // Open row 1 in bank 0, then enqueue a conflicting request ahead
     // of a row-hit request: the hit must issue first.
-    std::vector<int> order;
-    ASSERT_TRUE(channel->enqueue(read(0, 1, [&] {
-        // Two more while the first is in flight.
-        ASSERT_TRUE(channel->enqueue(
-            read(0, 9, [&] { order.push_back(9); })));
-        ASSERT_TRUE(channel->enqueue(
-            read(0, 1, [&] { order.push_back(1); })));
-    })));
+    Probe p;
+    p.eq = &eq;
+    FrFcfsDriver driver{this, &p};
+    ASSERT_TRUE(channel->enqueue(read(
+        0, 1, Completion::bind<&FrFcfsDriver::onFirstDone>(&driver))));
     eq.run();
-    ASSERT_EQ(order.size(), 2u);
-    EXPECT_EQ(order[0], 1);  // row hit won
-    EXPECT_EQ(order[1], 9);
+    ASSERT_EQ(p.order.size(), 2u);
+    EXPECT_EQ(p.order[0], 1);  // row hit won
+    EXPECT_EQ(p.order[1], 9);
     EXPECT_GT(channel->rowHitRate(), 0.0);
 }
 
 TEST_F(ChannelFixture, WritesArePostedAndDrainOpportunistically)
 {
-    bool write_done = false;
+    Probe p;
     DramRequest w;
     w.bank = 0;
     w.row = 2;
     w.type = AccessType::Write;
-    w.on_done = [&] { write_done = true; };
+    w.on_done = Completion::bind<&Probe::bump>(&p);
     ASSERT_TRUE(channel->enqueue(w));
     eq.run();
-    EXPECT_TRUE(write_done);
+    EXPECT_EQ(p.count, 1);
     EXPECT_EQ(channel->writesIssued(), 1u);
 }
 
-TEST_F(ChannelFixture, ReadsPrioritizedOverWritesBelowHighMark)
+/** Test helper: interleaves a write and a read while the bus is
+ * busy with the first request. */
+struct ReadPriorityDriver
 {
-    std::vector<char> order;
-    // One write then one read, enqueued while the bus is busy with a
-    // first read; the read must be served before the write.
-    ASSERT_TRUE(channel->enqueue(read(0, 1, [&] {
+    ChannelFixture *fx;
+    Probe *probe;
+
+    void onFirstDone()
+    {
         DramRequest w;
         w.bank = 1;
         w.row = 7;
         w.type = AccessType::Write;
-        w.on_done = [&] { order.push_back('w'); };
-        ASSERT_TRUE(channel->enqueue(w));
-        ASSERT_TRUE(channel->enqueue(
-            read(2, 3, [&] { order.push_back('r'); })));
-    })));
+        w.on_done = Completion::bind<&Probe::push>(probe, 1);
+        ASSERT_TRUE(fx->channel->enqueue(w));
+        ASSERT_TRUE(fx->channel->enqueue(fx->read(
+            2, 3, Completion::bind<&Probe::push>(probe, 2))));
+    }
+};
+
+TEST_F(ChannelFixture, ReadsPrioritizedOverWritesBelowHighMark)
+{
+    Probe p;
+    p.eq = &eq;
+    ReadPriorityDriver driver{this, &p};
+    // One write then one read, enqueued while the bus is busy with a
+    // first read; the read must be served before the write.
+    ASSERT_TRUE(channel->enqueue(read(
+        0, 1,
+        Completion::bind<&ReadPriorityDriver::onFirstDone>(&driver))));
     eq.run();
-    ASSERT_EQ(order.size(), 2u);
+    ASSERT_EQ(p.order.size(), 2u);
     // Writes are posted (complete at issue), but issue order still
     // favors the read; its completion carries the read latency, so
     // check issue order via stats instead of completion order.
@@ -196,10 +248,11 @@ TEST_F(ChannelFixture, ReadsPrioritizedOverWritesBelowHighMark)
 TEST_F(ChannelFixture, FullQueueRejectsAndRetries)
 {
     // Fill the 8-entry read queue beyond capacity.
-    int completed = 0;
+    Probe p;
     int rejected = 0;
     for (int i = 0; i < 12; ++i) {
-        if (!channel->enqueue(read(0, 1, [&] { ++completed; })))
+        if (!channel->enqueue(
+                read(0, 1, Completion::bind<&Probe::bump>(&p))))
             ++rejected;
     }
     EXPECT_GT(rejected, 0);
@@ -207,7 +260,7 @@ TEST_F(ChannelFixture, FullQueueRejectsAndRetries)
     channel->setRetryCallback([&] { retried = true; });
     eq.run();
     EXPECT_TRUE(retried);
-    EXPECT_EQ(completed, 12 - rejected);
+    EXPECT_EQ(p.count, 12 - rejected);
 }
 
 // ---- memory controller ----------------------------------------------
@@ -219,14 +272,15 @@ TEST(MemoryController, CountsAndCompletesAccesses)
     cfg.dram.channels = 4;
     MemoryController mc(eq, cfg);
 
-    int done = 0;
+    Probe p;
     for (unsigned i = 0; i < 32; ++i) {
         mc.access(static_cast<Addr>(i) * cfg.line_size,
-                  AccessType::Read, [&] { ++done; });
+                  AccessType::Read,
+                  Completion::bind<&Probe::bump>(&p));
     }
     mc.access(0, AccessType::Write, {});
     eq.run();
-    EXPECT_EQ(done, 32);
+    EXPECT_EQ(p.count, 32);
     EXPECT_EQ(mc.reads(), 32u);
     EXPECT_EQ(mc.writes(), 1u);
     EXPECT_EQ(mc.bytesTransferred(), 33u * cfg.line_size);
@@ -242,13 +296,14 @@ TEST(MemoryController, StagingAbsorbsQueueOverflow)
 
     // Far more requests than the channel queue holds; all must
     // eventually complete without caller-visible rejections.
-    int done = 0;
+    Probe p;
     for (unsigned i = 0; i < 200; ++i) {
         mc.access(static_cast<Addr>(i) * cfg.line_size,
-                  AccessType::Read, [&] { ++done; });
+                  AccessType::Read,
+                  Completion::bind<&Probe::bump>(&p));
     }
     eq.run();
-    EXPECT_EQ(done, 200);
+    EXPECT_EQ(p.count, 200);
 }
 
 TEST(MemoryController, StreamingEnjoysRowLocality)
@@ -272,16 +327,18 @@ TEST(MemoryController, BandwidthBoundThroughput)
     cfg.dram.channels = 1;
     cfg.dram.channel_bw = 64.0;  // 2 cycles per 128B line
     MemoryController mc(eq, cfg);
-    Cycle last = 0;
+    Probe p;
+    p.eq = &eq;
     for (unsigned i = 0; i < 512; ++i) {
         mc.access(static_cast<Addr>(i) * cfg.line_size,
-                  AccessType::Read, [&] { last = eq.now(); });
+                  AccessType::Read,
+                  Completion::bind<&Probe::stamp>(&p));
     }
     eq.run();
     // 512 lines * 2 cycles = 1024 cycles of bus occupancy minimum.
-    EXPECT_GE(last, 1024u);
+    EXPECT_GE(p.when, 1024u);
     // And not wildly more (row hits dominate; generous upper bound).
-    EXPECT_LE(last, 1400u);
+    EXPECT_LE(p.when, 1400u);
 }
 
 } // namespace

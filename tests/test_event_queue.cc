@@ -278,11 +278,27 @@ struct Counter
     }
 
     void
-    finish(EventQueue::Callback &done)
+    wide(std::uint64_t a, std::uint64_t b, std::uint64_t c)
     {
         ++calls;
-        if (done)
-            done();
+        last = static_cast<int>(a + b + c);
+    }
+};
+
+/** Fixed-cadence self-re-arming event (the repeatAfter() idiom). */
+struct Repeater
+{
+    EventQueue *eq;
+    int fires = 0;
+    Cycle last_fire = 0;
+
+    void
+    tick()
+    {
+        ++fires;
+        last_fire = eq->now();
+        if (fires < 3)
+            eq->repeatAfter(10);
     }
 };
 
@@ -299,19 +315,60 @@ TEST(EventFn, BindEventPassesBoundArguments)
     EXPECT_EQ(c.last, 23);
 }
 
-TEST(EventFn, BindEventCarriesMovedCallback)
+TEST(EventFn, BindEventFitsThisPlusThreeWords)
 {
-    // The consuming-member idiom: a Callback bound by value reaches
-    // the member as an lvalue reference it may move from.
+    // The widest hot-path shape: a this-pointer plus 24 bytes of
+    // bound arguments exactly fills EventFn's inline storage.
+    static_assert(sizeof(detail::BoundEvent<
+                      &bind_test::Counter::wide, bind_test::Counter,
+                      std::uint64_t, std::uint64_t, std::uint64_t>) ==
+                  EventFn::inline_size);
     bind_test::Counter c;
-    bool done_ran = false;
     EventQueue eq;
-    eq.schedule(1, bindEvent<&bind_test::Counter::finish>(
-                       &c, EventQueue::Callback(
-                               [&done_ran] { done_ran = true; })));
+    eq.schedule(1, bindEvent<&bind_test::Counter::wide>(
+                       &c, std::uint64_t{1}, std::uint64_t{2},
+                       std::uint64_t{4}));
     eq.run();
     EXPECT_EQ(c.calls, 1);
-    EXPECT_TRUE(done_ran);
+    EXPECT_EQ(c.last, 7);
+}
+
+TEST(EventQueue, RepeatAfterReArmsTheFiringEvent)
+{
+    EventQueue eq;
+    bind_test::Repeater r{&eq};
+    eq.schedule(5, bindEvent<&bind_test::Repeater::tick>(&r));
+    eq.run();
+    EXPECT_EQ(r.fires, 3);
+    EXPECT_EQ(r.last_fire, 25u);  // 5, 15, 25
+    EXPECT_EQ(eq.executed(), 3u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RepeatAfterKeepsSchedulingOrderAtEqualTicks)
+{
+    // A re-armed event claims its sequence number at the repeatAfter()
+    // call, so an event scheduled later for the same tick fires after
+    // it — byte-identical to a fresh scheduleAfter().
+    EventQueue eq;
+    std::vector<int> order;
+    bind_test::Repeater r{&eq};
+    eq.schedule(5, bindEvent<&bind_test::Repeater::tick>(&r));
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.schedule(15, [&] { order.push_back(1); });
+    });
+    eq.run();
+    // Tick 15: the re-armed repeater (seq claimed at t=5) precedes the
+    // callback scheduled at t=5 after it.
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(r.fires, 3);
+}
+
+TEST(EventQueueDeathTest, RepeatAfterOutsideCallbackIsFatal)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.repeatAfter(1), "repeatAfter outside a callback");
 }
 
 } // namespace

@@ -173,7 +173,7 @@ struct SmFixture : public ::testing::Test
         cfg.core.max_warps_per_sm = 8;
         cfg.l1.mshrs = 4;
 
-        hooks.access_l2 = [this](Addr line, AccessType t,
+        hooks.access_l2 = [this](Addr, AccessType t,
                                  Sm::Callback done) {
             ++l2_accesses;
             if (isWrite(t)) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/completion.hh"
 #include "core/system_preset.hh"
 #include "gpu/gpu.hh"
 #include "sim_test_util.hh"
@@ -233,11 +234,17 @@ TEST_F(GpuNodeFixture, HomeSideServicingTouchesLocalDram)
 {
     build();
     const std::uint64_t reads_before = node->mem().reads();
-    bool served = false;
-    node->serviceRemoteRead(0x2000, [&] { served = true; });
+    // Bindable flag: serviceRemoteRead takes a POD Completion.
+    struct Served
+    {
+        bool hit = false;
+        void mark() { hit = true; }
+    } served;
+    node->serviceRemoteRead(0x2000,
+                            Completion::bind<&Served::mark>(&served));
     node->serviceRemoteWrite(0x3000);
     eq.run();
-    EXPECT_TRUE(served);
+    EXPECT_TRUE(served.hit);
     EXPECT_EQ(node->mem().reads(), reads_before + 1);
     EXPECT_EQ(node->mem().writes(), 1u);
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/completion.hh"
 #include "common/config.hh"
 #include "common/event_queue.hh"
 #include "dramcache/rdc_controller.hh"
@@ -14,6 +15,26 @@
 
 namespace carve {
 namespace {
+
+/** Test helper: bindable Completion targets for read callbacks. */
+struct Probe
+{
+    EventQueue *eq = nullptr;
+    Cycle when = 0;
+    int count = 0;
+    std::vector<Cycle> laps;
+
+    void bump() { ++count; }
+    void stamp()
+    {
+        when = eq->now();
+        ++count;
+    }
+    void lap(std::uint64_t start)
+    {
+        laps.push_back(eq->now() - start);
+    }
+};
 
 struct RdcFixture : public ::testing::Test
 {
@@ -29,12 +50,12 @@ struct RdcFixture : public ::testing::Test
 
         RdcRemoteOps ops;
         ops.fetch_remote = [this](NodeId home, Addr line,
-                                  std::function<void()> done) {
+                                  Completion done) {
             ++fetches;
             last_fetch_home = home;
             last_fetch_line = line;
             // Model a fixed remote round trip.
-            eq.scheduleAfter(remote_latency, std::move(done));
+            eq.scheduleAfter(remote_latency, done);
         };
         ops.write_remote = [this](NodeId home, Addr line) {
             ++remote_writes;
@@ -69,10 +90,10 @@ struct RdcFixture : public ::testing::Test
 
 TEST_F(RdcFixture, ColdReadFetchesRemotelyAndInstalls)
 {
-    bool done = false;
-    rdc->read(1, 0x1000, [&] { done = true; });
+    Probe p;
+    rdc->read(1, 0x1000, Completion::bind<&Probe::bump>(&p));
     eq.run();
-    EXPECT_TRUE(done);
+    EXPECT_EQ(p.count, 1);
     EXPECT_EQ(fetches, 1u);
     EXPECT_EQ(last_fetch_home, 1u);
     EXPECT_EQ(last_fetch_line, 0x1000u);
@@ -84,34 +105,36 @@ TEST_F(RdcFixture, SecondReadHitsLocally)
 {
     rdc->read(1, 0x1000, {});
     eq.run();
-    bool done = false;
-    rdc->read(1, 0x1000, [&] { done = true; });
+    Probe p;
+    rdc->read(1, 0x1000, Completion::bind<&Probe::bump>(&p));
     eq.run();
-    EXPECT_TRUE(done);
+    EXPECT_EQ(p.count, 1);
     EXPECT_EQ(fetches, 1u);  // no second remote trip
     EXPECT_EQ(rdc->readHits(), 1u);
 }
 
 TEST_F(RdcFixture, HitIsFasterThanMiss)
 {
-    Cycle miss_done = 0, hit_done = 0;
-    rdc->read(1, 0x1000, [&] { miss_done = eq.now(); });
+    Probe miss;
+    Probe hit;
+    miss.eq = hit.eq = &eq;
+    rdc->read(1, 0x1000, Completion::bind<&Probe::stamp>(&miss));
     eq.run();
     const Cycle hit_start = eq.now();
-    rdc->read(1, 0x1000, [&] { hit_done = eq.now(); });
+    rdc->read(1, 0x1000, Completion::bind<&Probe::stamp>(&hit));
     eq.run();
-    EXPECT_GE(miss_done, remote_latency);
-    EXPECT_LT(hit_done - hit_start, miss_done);
+    EXPECT_GE(miss.when, remote_latency);
+    EXPECT_LT(hit.when - hit_start, miss.when);
 }
 
 TEST_F(RdcFixture, ConcurrentMissesToSameLineMerge)
 {
-    int done = 0;
-    rdc->read(1, 0x2000, [&] { ++done; });
-    rdc->read(1, 0x2000, [&] { ++done; });
-    rdc->read(1, 0x2000, [&] { ++done; });
+    Probe p;
+    rdc->read(1, 0x2000, Completion::bind<&Probe::bump>(&p));
+    rdc->read(1, 0x2000, Completion::bind<&Probe::bump>(&p));
+    rdc->read(1, 0x2000, Completion::bind<&Probe::bump>(&p));
     eq.run();
-    EXPECT_EQ(done, 3);
+    EXPECT_EQ(p.count, 3);
     EXPECT_EQ(fetches, 1u);  // one remote fetch services all three
 }
 
@@ -263,23 +286,23 @@ struct RdcPredictorFixture : public RdcFixture
 TEST_F(RdcPredictorFixture, PredictedMissOverlapsProbeWithFetch)
 {
     // Train the predictor with a miss streak in one region.
-    Cycle first_done = 0;
-    rdc->read(1, 0x10000, [&] { first_done = eq.now(); });
+    Probe p;
+    p.eq = &eq;
+    rdc->read(1, 0x10000, Completion::bind<&Probe::stamp>(&p));
     eq.run();
 
     // Far region shares the predictor entry only probabilistically;
     // force training on the same region with distinct lines.
-    std::vector<Cycle> lat;
     for (int i = 1; i <= 8; ++i) {
         const Cycle start = eq.now();
         rdc->read(1, 0x10000 + static_cast<Addr>(i) * 128,
-                  [&, start] { lat.push_back(eq.now() - start); });
+                  Completion::bind<&Probe::lap>(&p, start));
         eq.run();
     }
     // Once the predictor flips to miss, latency drops to roughly the
     // bare remote trip (no serialized probe).
     EXPECT_GT(rdc->predictedBypasses(), 0u);
-    EXPECT_LE(lat.back(), remote_latency + 10);
+    EXPECT_LE(p.laps.back(), remote_latency + 10);
 }
 
 TEST_F(RdcFixture, DistinctSetsDoNotInterfere)

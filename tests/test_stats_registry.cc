@@ -284,9 +284,10 @@ TEST(StatsRegistry, KernelPhasesPartitionTheRun)
     for (std::size_t i = 0; i < phases.size(); ++i) {
         EXPECT_EQ(phases[i].index, i);
         EXPECT_LT(phases[i].start_cycle, phases[i].end_cycle);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_EQ(phases[i].start_cycle,
                       phases[i - 1].end_cycle);
+        }
     }
 
     // Epoch deltas must sum to the final counter values: snapshots

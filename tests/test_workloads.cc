@@ -153,8 +153,9 @@ TEST(Synthetic, PrivateStreamIsDisjointAcrossCtas)
             for (std::uint64_t idx = 0; idx < 32; ++idx) {
                 wl.instruction(0, cta, w, idx, inst);
                 auto [it, fresh] = owner.emplace(inst.lines[0], cta);
-                if (!fresh)
+                if (!fresh) {
                     EXPECT_EQ(it->second, cta);
+                }
             }
         }
     }
@@ -173,8 +174,9 @@ TEST(Synthetic, InterleavedStreamIsDisjointAcrossCtasButDense)
             for (std::uint64_t idx = 0; idx < 8; ++idx) {
                 wl.instruction(0, cta, w, idx, inst);
                 auto [it, fresh] = owner.emplace(inst.lines[0], cta);
-                if (!fresh)
+                if (!fresh) {
                     EXPECT_EQ(it->second, cta);
+                }
             }
         }
     }

@@ -23,12 +23,17 @@
  *   carve-bench --baseline tests/data/bench_baseline.json --smoke
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <new>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "common/event_queue.hh"
 #include "common/logging.hh"
@@ -36,6 +41,105 @@
 #include "harness/bench_io.hh"
 #include "harness/results_io.hh"
 #include "workloads/suite.hh"
+
+// ---- allocation accounting (bench binary only) ---------------------
+//
+// Replacing the throwing global allocators in this TU rebinds every
+// new/delete in the whole carve-bench binary (the nothrow and aligned
+// non-throwing forms forward to these), so each cell can report how
+// many heap allocations the simulation performed. The simulator
+// libraries themselves carry no hook — only this tool pays for (and
+// sees) the counter. delete stays count-free: the interesting figure
+// is allocation traffic, and free-side accounting would double the
+// atomic cost.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+} // namespace
+
+// noinline keeps the replacements opaque at call sites; otherwise GCC
+// inlines the free() into callers and raises a false-positive
+// -Wmismatched-new-delete against the (not inlined) operator new.
+#if defined(__GNUC__)
+#define CARVE_ALLOC_FN __attribute__((noinline))
+#else
+#define CARVE_ALLOC_FN
+#endif
+
+CARVE_ALLOC_FN void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+CARVE_ALLOC_FN void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+CARVE_ALLOC_FN void *
+operator new(std::size_t size, std::align_val_t al)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    std::size_t a = static_cast<std::size_t>(al);
+    if (a < sizeof(void *))
+        a = sizeof(void *);
+    if (posix_memalign(&p, a, size ? size : a) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+CARVE_ALLOC_FN void *
+operator new[](std::size_t size, std::align_val_t al)
+{
+    return ::operator new(size, al);
+}
+
+CARVE_ALLOC_FN void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+CARVE_ALLOC_FN void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -179,9 +283,22 @@ runMicro(EventEngine engine, const char *name,
     return m;
 }
 
+/** Peak resident set size of this process, in bytes. */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 CellResult
 runCell(const SimJob &job)
 {
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
     const auto start = std::chrono::steady_clock::now();
     const SimResult r = run(job);
     const double secs = secondsSince(start);
@@ -192,16 +309,22 @@ runCell(const SimJob &job)
     c.cycles = r.cycles;
     c.events = r.events;
     c.warp_insts = r.warp_insts;
+    c.allocations = g_allocations.load(std::memory_order_relaxed) -
+        allocs_before;
+    c.peak_rss_bytes = peakRssBytes();
     c.host_seconds = secs;
     c.events_per_sec =
         secs > 0.0 ? static_cast<double>(r.events) / secs : 0.0;
     c.warp_insts_per_sec =
         secs > 0.0 ? static_cast<double>(r.warp_insts) / secs : 0.0;
     std::printf("cell  %-18s %-10s %7.3fs  %11.0f ev/s  "
-                "%10.0f winst/s\n",
+                "%10.0f winst/s  %9llu allocs  %5.0f MiB rss\n",
                 c.preset.c_str(), c.workload.c_str(),
                 c.host_seconds, c.events_per_sec,
-                c.warp_insts_per_sec);
+                c.warp_insts_per_sec,
+                static_cast<unsigned long long>(c.allocations),
+                static_cast<double>(c.peak_rss_bytes) /
+                    (1024.0 * 1024.0));
     return c;
 }
 
