@@ -49,7 +49,7 @@ GpuVi::onWrite(NodeId home, NodeId requester, Addr line_addr)
             ops_.send_ctrl(home, node, cfg_.link.ctrl_packet_size);
         ops_.invalidate_at(node, line_addr);
         ++sent;
-        ++invalidates_sent_;
+        invalidates_sent_.inc();
     }
     return sent;
 }
@@ -66,7 +66,7 @@ GpuVi::writesFiltered() const
 void
 GpuVi::registerStats(stats::StatGroup &g)
 {
-    g.addScalar("invalidates_sent", &invalidates_sent_,
+    g.addScalar("invalidates_sent", &invalidates_sent_.scalar(),
                 "write-invalidate packets broadcast");
     g.addDerivedInt("writes_filtered",
                     [this] { return writesFiltered(); },

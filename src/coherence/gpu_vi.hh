@@ -19,6 +19,7 @@
 
 #include "coherence/imst.hh"
 #include "common/config.hh"
+#include "common/domain_engine.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -66,11 +67,19 @@ class GpuVi
     /** IMST of one home node. */
     const Imst &imst(NodeId home) const { return imsts_[home]; }
 
-    /** Total invalidate packets broadcast. */
+    /** Total invalidate packets broadcast (barrier-synced read). */
     std::uint64_t
     invalidatesSent() const
     {
-        return invalidates_sent_.value();
+        return invalidates_sent_.scalar().value();
+    }
+
+    /** Fold the per-domain invalidate counts into the registered
+     * scalar; call only at a window barrier. */
+    void
+    foldShards()
+    {
+        invalidates_sent_.fold();
     }
 
     /** Writes whose broadcast the IMST filtered away. */
@@ -90,7 +99,9 @@ class GpuVi
     std::vector<Imst> imsts_;
     std::vector<std::unique_ptr<stats::StatGroup>> imst_groups_;
 
-    stats::Scalar invalidates_sent_;
+    /** Incremented from whichever home domain observes the write, so
+     * sharded per executing domain and folded at barriers. */
+    ShardedScalar invalidates_sent_;
 };
 
 } // namespace carve

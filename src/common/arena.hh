@@ -169,6 +169,21 @@ class Pool
     Pool(const Pool &) = delete;
     Pool &operator=(const Pool &) = delete;
 
+    /** Movable so pools can live in containers (vector growth only;
+     * a pool must not be moved while handles are outstanding). */
+    Pool(Pool &&other) noexcept
+        : arena_(other.arena_), chunks_(std::move(other.chunks_)),
+          chunk_elems_(other.chunk_elems_), shift_(other.shift_),
+          high_water_(other.high_water_), live_(other.live_),
+          free_head_(other.free_head_)
+    {
+        other.chunks_.clear();
+        other.free_head_ = npos;
+        other.high_water_ = 0;
+        other.live_ = 0;
+    }
+    Pool &operator=(Pool &&) = delete;
+
     Handle
     alloc(const T &value)
     {
@@ -217,6 +232,19 @@ class Pool
 
     std::uint32_t live() const { return live_; }
     std::uint32_t capacity() const { return high_water_; }
+
+    /**
+     * Pre-size the chunk-pointer table. A pool whose records are read
+     * from another event domain (the fabric's in-flight op pools) must
+     * never reallocate the table while a reader indexes it; reserving
+     * up front keeps grow() to a data()-stable push_back. Elements
+     * themselves never move regardless.
+     */
+    void
+    reserveChunks(std::size_t n)
+    {
+        chunks_.reserve(n);
+    }
 
   private:
     T *

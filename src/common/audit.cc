@@ -89,9 +89,9 @@ InflightTracker::registerStats(stats::StatGroup &g)
     for (unsigned b = 0; b < num_boundaries; ++b) {
         const std::string name =
             boundaryName(static_cast<Boundary>(b));
-        g.addScalar(name + "_issued", &issued_[b],
+        g.addScalar(name + "_issued", &issued_[b].scalar(),
                     "tokens issued at the " + name + " boundary");
-        g.addScalar(name + "_retired", &retired_[b],
+        g.addScalar(name + "_retired", &retired_[b].scalar(),
                     "tokens retired at the " + name + " boundary");
     }
 }

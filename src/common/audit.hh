@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/domain_engine.hh"
 #include "common/stats.hh"
 
 namespace carve {
@@ -65,25 +66,36 @@ class InflightTracker
     void
     issue(Boundary b)
     {
-        ++issued_[static_cast<unsigned>(b)];
+        issued_[static_cast<unsigned>(b)].inc();
     }
 
     void
     retire(Boundary b)
     {
-        ++retired_[static_cast<unsigned>(b)];
+        retired_[static_cast<unsigned>(b)].inc();
     }
 
     std::uint64_t
     issued(Boundary b) const
     {
-        return issued_[static_cast<unsigned>(b)].value();
+        return issued_[static_cast<unsigned>(b)].scalar().value();
     }
 
     std::uint64_t
     retired(Boundary b) const
     {
-        return retired_[static_cast<unsigned>(b)].value();
+        return retired_[static_cast<unsigned>(b)].scalar().value();
+    }
+
+    /** Fold the per-domain token counts into the registered scalars;
+     * call only at a window barrier. */
+    void
+    foldShards()
+    {
+        for (unsigned b = 0; b < num_boundaries; ++b) {
+            issued_[b].fold();
+            retired_[b].fold();
+        }
     }
 
     /** Tokens currently in flight at @p b. */
@@ -101,8 +113,11 @@ class InflightTracker
     void check(std::vector<std::string> &out) const;
 
   private:
-    stats::Scalar issued_[num_boundaries];
-    stats::Scalar retired_[num_boundaries];
+    /** Tokens cross boundaries inside every event domain, so the
+     * counters are sharded per executing domain and folded at
+     * barriers; issued()/retired() read the folded scalars. */
+    ShardedScalar issued_[num_boundaries];
+    ShardedScalar retired_[num_boundaries];
 };
 
 /**

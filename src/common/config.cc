@@ -65,6 +65,18 @@ parseBool(const std::string &key, const std::string &value)
 
 } // namespace
 
+SimEngine
+parseSimEngine(const std::string &s)
+{
+    const std::string v = lower(s);
+    if (v == "serial")
+        return SimEngine::Serial;
+    if (v == "parallel" || v == "par")
+        return SimEngine::Parallel;
+    fatal("unknown sim engine '%s' (valid: serial, parallel)",
+          s.c_str());
+}
+
 PlacementPolicy
 parsePlacementPolicy(const std::string &s)
 {
@@ -113,6 +125,16 @@ parseRdcWritePolicy(const std::string &s)
     if (v == "writeback" || v == "write-back" || v == "wb")
         return RdcWritePolicy::WriteBack;
     fatal("unknown RDC write policy '%s'", s.c_str());
+}
+
+const char *
+simEngineName(SimEngine e)
+{
+    switch (e) {
+    case SimEngine::Serial: return "serial";
+    case SimEngine::Parallel: return "parallel";
+    }
+    fatal("simEngineName: bad enum value %d", static_cast<int>(e));
 }
 
 const char *
@@ -248,6 +270,8 @@ const KeyEntry key_table[] = {
     KEY_U64("page_size", page_size),
     KEY_U64("line_size", line_size),
     KEY_U64("seed", seed),
+    KEY_ENUM("engine", engine, parseSimEngine, simEngineName),
+    KEY_U64("sim_threads", sim_threads),
 
     KEY_U64("core.sms_per_gpu", core.sms_per_gpu),
     KEY_U64("core.max_warps_per_sm", core.max_warps_per_sm),
@@ -372,6 +396,8 @@ SystemConfig::validate() const
 {
     if (num_gpus == 0)
         fatal("config: num_gpus must be >= 1");
+    if (sim_threads == 0)
+        fatal("config: sim_threads must be >= 1");
     if (!isPowerOf2(line_size))
         fatal("config: line_size must be a power of two");
     if (!isPowerOf2(page_size) || page_size < line_size)

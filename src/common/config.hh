@@ -31,6 +31,12 @@ struct ConfigOverride
     std::string value;
 };
 
+/** Simulation engine driving a run's event domains. */
+enum class SimEngine : std::uint8_t {
+    Serial,        ///< windowed algorithm on the calling thread
+    Parallel,      ///< domains fanned out over sim_threads workers
+};
+
 /** Page placement policy for first mapping of a virtual page. */
 enum class PlacementPolicy : std::uint8_t {
     FirstTouch,    ///< map to the first-accessing GPU (NUMA-GPU default)
@@ -166,6 +172,13 @@ struct SystemConfig
     std::uint64_t line_size = 128;
     std::uint64_t seed = 1;
 
+    /** Event-domain execution mode. Serial and Parallel run the same
+     * windowed algorithm and produce byte-identical stat trees. */
+    SimEngine engine = SimEngine::Serial;
+    /** Worker threads for SimEngine::Parallel (clamped to the domain
+     * count: num_gpus + 1). Ignored under Serial. */
+    unsigned sim_threads = 1;
+
     CoreConfig core;
     CacheConfig l1{128 * KiB, 4, 28, 64};       ///< per SM
     CacheConfig l2{8 * MiB, 16, 120, 512};      ///< per GPU (32MB total)
@@ -229,6 +242,8 @@ struct SystemConfig
     }
 };
 
+/** Parse a SimEngine name ("serial", "parallel"). */
+SimEngine parseSimEngine(const std::string &s);
 /** Parse a PlacementPolicy name ("firsttouch", "roundrobin", "local"). */
 PlacementPolicy parsePlacementPolicy(const std::string &s);
 /** Parse a ReplicationPolicy name ("none", "readonly", "all"). */
@@ -239,6 +254,7 @@ RdcCoherence parseRdcCoherence(const std::string &s);
 RdcWritePolicy parseRdcWritePolicy(const std::string &s);
 
 /** Canonical names; each parses back via the matching parse*(). */
+const char *simEngineName(SimEngine e);
 const char *placementPolicyName(PlacementPolicy p);
 const char *replicationPolicyName(ReplicationPolicy p);
 const char *rdcCoherenceName(RdcCoherence c);

@@ -22,8 +22,15 @@ engineFromEnv()
         return EventEngine::Calendar;
     if (std::strcmp(v, "heap") == 0)
         return EventEngine::Heap;
+    // "serial"/"parallel" select the *simulation* engine (the unified
+    // SimEngine enum, resolved in run()); the queue keeps its default
+    // implementation under either.
+    if (std::strcmp(v, "serial") == 0 ||
+        std::strcmp(v, "parallel") == 0) {
+        return EventEngine::Calendar;
+    }
     fatal("CARVE_EVENTQ: unknown engine '%s' "
-          "(valid: calendar, heap)", v);
+          "(valid: calendar, heap, serial, parallel)", v);
 }
 
 } // namespace
@@ -238,6 +245,52 @@ EventQueue::step()
         return false;
     fireNext();
     return true;
+}
+
+Cycle
+EventQueue::nextTick() const
+{
+    if (engine_ != EventEngine::Calendar || ring_count_ == 0)
+        return far_.empty() ? no_event : far_.top()->when;
+
+    // Ring events always precede far events (the far heap only holds
+    // ticks past window_end_), so scan the ring from now_. The bucket
+    // for the current tick is the overwhelmingly common case.
+    const std::size_t start =
+        static_cast<std::size_t>(now_) & (horizon - 1);
+    if (ring_[start].head)
+        return now_;
+    std::size_t w = start / 64;
+    std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (start % 64));
+    for (std::size_t i = 0; i <= occ_words; ++i) {
+        if (word) {
+            const std::size_t idx =
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(word));
+            // Circular index distance == tick distance from now_.
+            const std::size_t delta =
+                (idx - start + horizon) & (horizon - 1);
+            return now_ + static_cast<Cycle>(delta);
+        }
+        w = (w + 1) % occ_words;
+        word = occ_[w];
+    }
+    panic("EventQueue: occupancy bitmap inconsistent "
+          "(ring_count=%zu)", ring_count_);
+}
+
+std::uint64_t
+EventQueue::runWindow(Cycle end,
+                      const std::function<bool()> *per_event)
+{
+    std::uint64_t n = 0;
+    while (nextTick() < end) {
+        fireNext();
+        ++n;
+        if (per_event && !(*per_event)())
+            break;
+    }
+    return n;
 }
 
 } // namespace carve

@@ -291,6 +291,24 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /** nextTick() result when no events are pending. */
+    static constexpr Cycle no_event = ~Cycle{0};
+
+    /** Tick of the earliest pending event (no_event when empty). */
+    Cycle nextTick() const;
+
+    /**
+     * Fire every event with tick < @p end in (tick, seq) order; used
+     * by the domain engine to execute one lookahead window. now() is
+     * left at the last fired tick — never advanced to @p end. When
+     * @p per_event is non-null it runs after each event; returning
+     * false stops the window early.
+     * @return number of events executed.
+     */
+    std::uint64_t runWindow(Cycle end,
+                            const std::function<bool()> *per_event =
+                                nullptr);
+
   private:
     /** One pending event. Nodes are pooled and recycled through a
      * free list; fn is the only non-POD member. Sized to one cache

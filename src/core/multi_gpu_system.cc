@@ -1,7 +1,6 @@
 #include "core/multi_gpu_system.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -13,8 +12,10 @@ namespace carve {
 
 namespace {
 
-/** Events between wall-clock watchdog polls. */
-constexpr std::uint64_t kClockCheckInterval = 8192;
+/** Chunk-table headroom for the cross-domain op pools: readers in
+ * other domains must never observe the table reallocate (16k in-flight
+ * ops per source, far above any configuration's MSHR budget). */
+constexpr std::size_t kOpPoolChunkReserve = 64;
 
 /** NUMA node the constructing thread runs on (-1 == unbound). The
  * harness binds workers before building systems, so arenas land on
@@ -30,12 +31,13 @@ homeNumaNode()
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
                                const Workload &wl, bool profile_lines,
                                bool audit)
-    : cfg_(cfg), wl_(wl),
+    : cfg_(cfg),
+      engine_(cfg_.num_gpus, DomainEngine::lookaheadWindow(cfg_),
+              cfg_.engine, cfg_.sim_threads),
+      wl_(wl),
       pages_(cfg_, true, profile_lines),
-      net_(eq_, cfg_.link, cfg_.num_gpus),
+      net_(engine_, cfg_.link, cfg_.num_gpus),
       sys_arena_(Arena::default_chunk_bytes, homeNumaNode()),
-      remote_read_ops_(&sys_arena_),
-      cpu_read_ops_(&sys_arena_),
       sched_(cfg_.num_gpus),
       stat_root_("")
 {
@@ -46,27 +48,56 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
     if (cfg_.rdc.enabled &&
         cfg_.rdc.coherence == RdcCoherence::HardwareVI) {
         CoherenceOps ops;
+        // Invalidates fan out from the write's home domain: the home
+        // drops its own copies in place, every other node gets the
+        // invalidate one lookahead window later (covering the control
+        // packet's wire latency).
         ops.invalidate_at = [this](NodeId node, Addr line) {
-            gpus_[node]->invalidateLine(line);
+            if (node == engine_ctx::currentShard()) {
+                gpus_[node]->invalidateLine(line);
+                return;
+            }
+            engine_.post(node, engine_.now() + engine_.lookahead(),
+                         bindEvent<&MultiGpuSystem::invalidateAt>(
+                             this, node, line));
         };
         ops.send_ctrl = [this](NodeId src, NodeId dst,
                                unsigned bytes) {
-            fabric_coh_ctrl_bytes_ += bytes;
+            fabric_coh_ctrl_bytes_.inc(bytes);
             net_.send(src, dst, bytes, Network::Callback());
         };
         vi_.emplace(cfg_, cfg_.num_gpus, std::move(ops));
     }
 
     gpu_arenas_.reserve(cfg_.num_gpus);
-    gpus_.reserve(cfg_.num_gpus);
     for (unsigned g = 0; g < cfg_.num_gpus; ++g) {
         gpu_arenas_.emplace_back(Arena::default_chunk_bytes,
                                  homeNumaNode());
+    }
+
+    remote_read_ops_.reserve(cfg_.num_gpus);
+    cpu_read_ops_.reserve(cfg_.num_gpus);
+    for (unsigned g = 0; g < cfg_.num_gpus; ++g) {
+        remote_read_ops_.emplace_back(&gpu_arenas_[g]);
+        remote_read_ops_.back().reserveChunks(kOpPoolChunkReserve);
+        cpu_read_ops_.emplace_back(&gpu_arenas_[g]);
+        cpu_read_ops_.back().reserveChunks(kOpPoolChunkReserve);
+    }
+
+    gpus_.reserve(cfg_.num_gpus);
+    for (unsigned g = 0; g < cfg_.num_gpus; ++g) {
         gpus_.push_back(std::make_unique<GpuNode>(
-            eq_, cfg_, g, pages_, *this, &gpu_arenas_.back()));
+            engine_.queue(g), cfg_, g, pages_, *this,
+            &gpu_arenas_[g]));
         gpus_.back()->setWorkload(&wl_);
-        gpus_.back()->setKernelDoneCallback(
-            [this](NodeId id) { onGpuKernelDone(id); });
+        gpus_.back()->setKernelDoneCallback([this](NodeId id) {
+            // Completion is observed in the GPU's domain; the system
+            // domain learns about it a window later.
+            engine_.post(engine_.systemDomain(),
+                         engine_.now() + engine_.lookahead(),
+                         bindEvent<&MultiGpuSystem::onGpuKernelDone>(
+                             this, id));
+        });
     }
 
     if (audit_) {
@@ -105,31 +136,39 @@ MultiGpuSystem::registerStats()
                    "page-copy bytes moved by the NUMA runtime");
     sim->addDerivedInt("cycles",
                        [this] {
-                           return finished_ ? finish_time_ : eq_.now();
+                           return finished_ ? finish_time_
+                                            : engine_.now();
                        },
                        "end-to-end runtime in cycles");
     sim->addDerivedInt("insts_issued",
                        [this] { return totalInstsIssued(); },
                        "warp instructions issued system-wide");
-    sim->addDerivedInt("events", [this] { return eq_.executed(); },
-                       "discrete events executed by the engine");
+    sim->addDerivedInt("events",
+                       [this] { return engine_.eventsExecuted(); },
+                       "discrete events executed across all domains");
 
     stats::StatGroup *fabric = child("fabric");
-    fabric->addScalar("remote_read_msgs", &fabric_remote_read_msgs_,
+    fabric->addScalar("remote_read_msgs",
+                      &fabric_remote_read_msgs_.scalar(),
                       "remote read requests entering the fabric");
-    fabric->addScalar("remote_write_msgs", &fabric_remote_write_msgs_,
+    fabric->addScalar("remote_write_msgs",
+                      &fabric_remote_write_msgs_.scalar(),
                       "remote write messages entering the fabric");
-    fabric->addScalar("cpu_read_msgs", &fabric_cpu_read_msgs_,
+    fabric->addScalar("cpu_read_msgs", &fabric_cpu_read_msgs_.scalar(),
                       "CPU read requests entering the fabric");
-    fabric->addScalar("cpu_write_msgs", &fabric_cpu_write_msgs_,
+    fabric->addScalar("cpu_write_msgs",
+                      &fabric_cpu_write_msgs_.scalar(),
                       "CPU write messages entering the fabric");
-    fabric->addScalar("flush_bytes", &fabric_flush_bytes_,
+    fabric->addScalar("flush_bytes", &fabric_flush_bytes_.scalar(),
                       "RDC boundary-flush bytes entering the fabric");
-    fabric->addScalar("coh_ctrl_bytes", &fabric_coh_ctrl_bytes_,
+    fabric->addScalar("coh_ctrl_bytes",
+                      &fabric_coh_ctrl_bytes_.scalar(),
                       "coherence control bytes entering the fabric");
-    fabric->addScalar("bulk_gpu_bytes", &fabric_bulk_gpu_bytes_,
+    fabric->addScalar("bulk_gpu_bytes",
+                      &fabric_bulk_gpu_bytes_.scalar(),
                       "bulk-transfer bytes charged to GPU-GPU links");
-    fabric->addScalar("bulk_cpu_bytes", &fabric_bulk_cpu_bytes_,
+    fabric->addScalar("bulk_cpu_bytes",
+                      &fabric_bulk_cpu_bytes_.scalar(),
                       "bulk-transfer bytes charged to CPU links");
 
     if (audit_) {
@@ -159,6 +198,23 @@ MultiGpuSystem::setTrace(trace::Session *session)
     net_.setTrace(session, 1 + numGpus());
 }
 
+void
+MultiGpuSystem::foldShardedStats()
+{
+    fabric_remote_read_msgs_.fold();
+    fabric_remote_write_msgs_.fold();
+    fabric_cpu_read_msgs_.fold();
+    fabric_cpu_write_msgs_.fold();
+    fabric_flush_bytes_.fold();
+    fabric_coh_ctrl_bytes_.fold();
+    fabric_bulk_gpu_bytes_.fold();
+    fabric_bulk_cpu_bytes_.fold();
+    if (audit_)
+        audit_->foldShards();
+    if (vi_)
+        vi_->foldShards();
+}
+
 Cycle
 MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
 {
@@ -171,89 +227,97 @@ MultiGpuSystem::run(Cycle max_cycles, double max_wall_seconds)
         log_obs.emplace([this](LogLevel, const std::string &msg) {
             trace_->instantText(trace::Category::Audit,
                                 trace::makeTrack(0, 1), msg,
-                                eq_.now());
+                                engine_.now());
         });
     }
 
-    launchKernel(0);
+    // Kernel sequencing lives in the system domain; kick it off there.
+    engine_.queue(engine_.systemDomain())
+        .schedule(0, bindEvent<&MultiGpuSystem::launchKernel>(
+                         this, KernelId{0}));
 
-    // The wall-clock guard catches livelocks that make simulated time
-    // advance arbitrarily slowly; polling the clock on every event
-    // would dominate the hot loop, so amortize it.
-    const auto deadline = std::chrono::steady_clock::now() +
-        std::chrono::duration<double>(
-            max_wall_seconds > 0.0 ? max_wall_seconds : 0.0);
-    std::uint64_t until_clock_check = kClockCheckInterval;
-    const auto wall_ok = [&]() -> bool {
-        if (max_wall_seconds <= 0.0)
+    DomainEngine::Hooks hooks;
+    hooks.max_wall_seconds = max_wall_seconds;
+    hooks.on_barrier = [this](Cycle t) {
+        // Commit the window's NUMA policy decisions (single-threaded,
+        // deterministic order), then make every sharded counter
+        // coherent for barrier actions and snapshots.
+        pages_.commitWindow(t, [this](NodeId src, NodeId dst) {
+            bulkTransfer(src, dst, pages_.table().pageSize());
+        });
+        foldShardedStats();
+        // Counter sampling happens at barriers, never from scheduled
+        // events, so a traced run executes the exact event sequence
+        // of an untraced one.
+        if (trace_ != nullptr && trace_->hasCounters() &&
+            trace_->sampleInterval() > 0 && t >= trace_next_sample_) {
+            trace_->sampleCounters(t);
+            trace_next_sample_ = t + trace_->sampleInterval();
+        }
+    };
+    hooks.keep_going = [this, max_cycles](Cycle next_window_start) {
+        if (max_cycles != 0 && next_window_start > max_cycles)
+            return false;
+        if (!finished_)
             return true;
-        if (--until_clock_check > 0)
-            return true;
-        until_clock_check = kClockCheckInterval;
-        return std::chrono::steady_clock::now() < deadline;
+        // Audit mode drains the posted tail (stores, DRAM callbacks,
+        // link deliveries) so every issued token can retire.
+        return audit_.has_value() && !engine_.quiescent();
     };
 
-    std::function<bool()> keep_going;
-    if (max_cycles == 0) {
-        keep_going = [this, &wall_ok] {
-            return !finished_ && wall_ok();
-        };
-    } else {
-        keep_going = [this, max_cycles, &wall_ok] {
-            return !finished_ && eq_.now() <= max_cycles && wall_ok();
-        };
-    }
-
-    // Counter sampling rides the run predicate instead of scheduling
-    // its own events: the queue pops the exact sequence an untraced
-    // run would, which is what keeps traced runs byte-identical.
-    if (trace_ != nullptr && trace_->hasCounters() &&
-        trace_->sampleInterval() > 0) {
-        keep_going = [this, inner = std::move(keep_going),
-                      next = Cycle{0}]() mutable {
-            if (eq_.now() >= next) {
-                trace_->sampleCounters(eq_.now());
-                next = eq_.now() + trace_->sampleInterval();
-            }
-            return inner();
-        };
-    }
-    eq_.runWhile(keep_going);
+    engine_.run(hooks);
 
     watchdog_tripped_ = !finished_;
     if (watchdog_tripped_ &&
         trace::active(trace_, trace::Category::Audit)) {
         trace_->instant(trace::Category::Audit, trace::makeTrack(0, 1),
-                        "watchdog_tripped", eq_.now());
+                        "watchdog_tripped", engine_.now());
     }
-    if (audit_ && finished_) {
-        // Drain the posted tail (stores, DRAM callbacks, link
-        // deliveries) so every issued token can retire, then prove
-        // nothing was stranded.
-        eq_.run();
+    pages_.finalizeProfile();
+    if (audit_ && finished_)
         auditCheck(/* final_pass */ true);
-    }
-    return finished_ ? finish_time_ : eq_.now();
+    return finished_ ? finish_time_ : engine_.now();
 }
 
 void
 MultiGpuSystem::launchKernel(KernelId k)
 {
+    // Runs in the system domain. The CTA batches written here are
+    // read by the GPU domains only after the next barrier, which is
+    // also when the startKernel events below can earliest fire.
     cur_kernel_ = k;
-    kernel_started_at_ = eq_.now();
+    kernel_started_at_ = engine_.now();
     gpus_done_ = 0;
     sched_.launchKernel(wl_.numCtas(k));
-    for (auto &gpu : gpus_)
-        gpu->startKernel(k, sched_);
+    const Cycle when = engine_.now() + engine_.lookahead();
+    for (unsigned g = 0; g < gpus_.size(); ++g) {
+        engine_.post(g, when,
+                     bindEvent<&MultiGpuSystem::startGpuKernel>(
+                         this, g, k));
+    }
+}
+
+void
+MultiGpuSystem::startGpuKernel(NodeId g, KernelId k)
+{
+    gpus_[g]->startKernel(k, sched_);
 }
 
 void
 MultiGpuSystem::onGpuKernelDone(NodeId)
 {
+    // Runs in the system domain (posted from the finishing GPU).
     ++gpus_done_;
     if (gpus_done_ < gpus_.size())
         return;
+    // Kernel-boundary work mutates every GPU's caches: defer it to
+    // the window barrier, where all domains are stopped.
+    engine_.atNextBarrier([this] { finishKernelBarrier(); });
+}
 
+void
+MultiGpuSystem::finishKernelBarrier()
+{
     carve_assert(sched_.kernelDone());
 
     // Global barrier reached: apply kernel-boundary coherence on
@@ -267,34 +331,39 @@ MultiGpuSystem::onGpuKernelDone(NodeId)
         trace_->span(trace::Category::Kernel, track,
                      trace_->intern("kernel " +
                                     std::to_string(cur_kernel_)),
-                     kernel_started_at_, eq_.now(), cur_kernel_);
+                     kernel_started_at_, engine_.now(), cur_kernel_);
         trace_->instant(trace::Category::Kernel, track,
-                        "kernel_boundary", eq_.now(), stall);
+                        "kernel_boundary", engine_.now(), stall);
     }
 
     // Epoch snapshot: the counter increase attributable to this
-    // kernel, boundary actions included. Live counters are never
+    // kernel, boundary actions included. Sharded counters were folded
+    // by the on_barrier hook (which runs before barrier actions), so
+    // the snapshot sees complete totals. Live counters are never
     // reset, so the running totals in the tree stay end-to-end.
     stats::EpochPhase phase;
     phase.index = cur_kernel_;
     phase.start_cycle = phase_start_;
-    phase.end_cycle = eq_.now();
+    phase.end_cycle = engine_.now();
     const stats::ScalarSnapshot snap =
         stats::snapshotScalars(stat_root_);
     phase.deltas = stats::snapshotDelta(phase_base_, snap);
     phases_.push_back(std::move(phase));
     phase_base_ = snap;
-    phase_start_ = eq_.now();
+    phase_start_ = engine_.now();
 
     auditCheck(/* final_pass */ false);
 
     if (cur_kernel_ + 1 < wl_.numKernels()) {
         const KernelId next = cur_kernel_ + 1;
-        eq_.scheduleAfter(cfg_.core.kernel_launch_latency + stall,
-                          [this, next] { launchKernel(next); });
+        engine_.post(engine_.systemDomain(),
+                     engine_.now() + cfg_.core.kernel_launch_latency +
+                         stall,
+                     bindEvent<&MultiGpuSystem::launchKernel>(this,
+                                                              next));
     } else {
         finished_ = true;
-        finish_time_ = eq_.now() + stall;
+        finish_time_ = engine_.now() + stall;
     }
 }
 
@@ -303,44 +372,59 @@ MultiGpuSystem::remoteRead(NodeId src, NodeId home, Addr line,
                            Callback done)
 {
     carve_assert(src != home && home < gpus_.size());
-    ++fabric_remote_read_msgs_;
-    // The op's state lives in a pooled record so each hop of the
-    // request/service/data chain is a two-word bound event.
-    const std::uint32_t op =
-        remote_read_ops_.alloc(RemoteReadOp{line, done, src, home});
+    fabric_remote_read_msgs_.inc();
+    // The op's state lives in the source domain's pool so each hop of
+    // the request/service/data chain is a small bound event; only the
+    // source domain allocates and frees.
+    const std::uint32_t op = remote_read_ops_[src].alloc(
+        RemoteReadOp{line, done, src, home});
     // Request packet to the home node...
     net_.send(src, home, cfg_.link.ctrl_packet_size,
-              bindEvent<&MultiGpuSystem::remoteReadAtHome>(this, op));
+              bindEvent<&MultiGpuSystem::remoteReadAtHome>(this, src,
+                                                           op));
 }
 
 void
-MultiGpuSystem::remoteReadAtHome(std::uint32_t op)
+MultiGpuSystem::remoteReadAtHome(NodeId src, std::uint32_t op)
 {
-    const RemoteReadOp &r = remote_read_ops_[op];
+    // Runs in the home domain; the record was published before the
+    // request crossed the window barrier.
+    const RemoteReadOp &r = remote_read_ops_[src][op];
     if (vi_)
         vi_->onRead(r.home, r.src, r.line);
     // ...home DRAM access...
     gpus_[r.home]->serviceRemoteRead(
         r.line,
-        Completion::bind<&MultiGpuSystem::remoteReadServiced>(this,
-                                                              op));
+        Completion::bind<&MultiGpuSystem::remoteReadServiced>(
+            this, src, op));
 }
 
 void
-MultiGpuSystem::remoteReadServiced(std::uint32_t op)
+MultiGpuSystem::remoteReadServiced(NodeId src, std::uint32_t op)
 {
-    const RemoteReadOp r = remote_read_ops_[op];
-    remote_read_ops_.free(op);
-    // ...data line back to the requester.
+    const RemoteReadOp &r = remote_read_ops_[src][op];
+    // ...data line back to the requester. Sent even for an empty
+    // completion: the source-side delivery frees the op record.
     net_.send(r.home, r.src, cfg_.line_size,
-              r.done ? Network::Callback(r.done) : Network::Callback());
+              bindEvent<&MultiGpuSystem::deliverRemoteReadData>(
+                  this, src, op));
+}
+
+void
+MultiGpuSystem::deliverRemoteReadData(NodeId src, std::uint32_t op)
+{
+    // Back in the source domain: recycle the op and unblock the miss.
+    const RemoteReadOp r = remote_read_ops_[src][op];
+    remote_read_ops_[src].free(op);
+    if (r.done)
+        r.done();
 }
 
 void
 MultiGpuSystem::remoteWrite(NodeId src, NodeId home, Addr line)
 {
     carve_assert(src != home && home < gpus_.size());
-    ++fabric_remote_write_msgs_;
+    fabric_remote_write_msgs_.inc();
     net_.send(src, home, cfg_.line_size,
               bindEvent<&MultiGpuSystem::deliverRemoteWrite>(
                   this, src, home, line));
@@ -358,35 +442,47 @@ void
 MultiGpuSystem::cpuRead(NodeId src, Addr line, Callback done)
 {
     (void)line;
-    ++fabric_cpu_read_msgs_;
-    const std::uint32_t op = cpu_read_ops_.alloc(CpuReadOp{done, src});
+    fabric_cpu_read_msgs_.inc();
+    const std::uint32_t op =
+        cpu_read_ops_[src].alloc(CpuReadOp{done, src});
     net_.sendToCpu(src, cfg_.link.ctrl_packet_size,
-                   bindEvent<&MultiGpuSystem::cpuReadAtCpu>(this, op));
+                   bindEvent<&MultiGpuSystem::cpuReadAtCpu>(this, src,
+                                                            op));
 }
 
 void
-MultiGpuSystem::cpuReadAtCpu(std::uint32_t op)
+MultiGpuSystem::cpuReadAtCpu(NodeId src, std::uint32_t op)
 {
-    eq_.scheduleAfter(cfg_.link.cpu_mem_latency,
-                      bindEvent<&MultiGpuSystem::cpuReadData>(this,
-                                                              op));
+    // Runs in the system domain: CPU memory belongs to it.
+    engine_.queue(engine_.systemDomain())
+        .scheduleAfter(cfg_.link.cpu_mem_latency,
+                       bindEvent<&MultiGpuSystem::cpuReadData>(
+                           this, src, op));
 }
 
 void
-MultiGpuSystem::cpuReadData(std::uint32_t op)
+MultiGpuSystem::cpuReadData(NodeId src, std::uint32_t op)
 {
-    const CpuReadOp r = cpu_read_ops_[op];
-    cpu_read_ops_.free(op);
+    const CpuReadOp &r = cpu_read_ops_[src][op];
     net_.sendFromCpu(r.src, cfg_.line_size,
-                     r.done ? Network::Callback(r.done)
-                            : Network::Callback());
+                     bindEvent<&MultiGpuSystem::deliverCpuReadData>(
+                         this, src, op));
+}
+
+void
+MultiGpuSystem::deliverCpuReadData(NodeId src, std::uint32_t op)
+{
+    const CpuReadOp r = cpu_read_ops_[src][op];
+    cpu_read_ops_[src].free(op);
+    if (r.done)
+        r.done();
 }
 
 void
 MultiGpuSystem::cpuWrite(NodeId src, Addr line)
 {
     (void)line;
-    ++fabric_cpu_write_msgs_;
+    fabric_cpu_write_msgs_.inc();
     net_.sendToCpu(src, cfg_.line_size, Network::Callback());
 }
 
@@ -394,6 +490,8 @@ void
 MultiGpuSystem::bulkTransfer(NodeId src, NodeId dst,
                              std::uint64_t bytes)
 {
+    // Charged from barrier context (NUMA commit, tests): the links'
+    // source-domain state is safe to touch while domains are stopped.
     if (src == dst)
         return;
     bulk_bytes_ += bytes;
@@ -409,13 +507,13 @@ MultiGpuSystem::bulkTransfer(NodeId src, NodeId dst,
     }
 
     if (src == cpu_node) {
-        fabric_bulk_cpu_bytes_ += bytes;
+        fabric_bulk_cpu_bytes_.inc(bytes);
         net_.sendFromCpu(dst, bytes, std::move(done));
     } else if (dst == cpu_node) {
-        fabric_bulk_cpu_bytes_ += bytes;
+        fabric_bulk_cpu_bytes_.inc(bytes);
         net_.sendToCpu(src, bytes, std::move(done));
     } else {
-        fabric_bulk_gpu_bytes_ += bytes;
+        fabric_bulk_gpu_bytes_.inc(bytes);
         net_.send(src, dst, bytes, std::move(done));
     }
 }
@@ -424,7 +522,7 @@ void
 MultiGpuSystem::rdcFlush(NodeId src, NodeId home, std::uint64_t bytes)
 {
     carve_assert(src != home && home < gpus_.size());
-    fabric_flush_bytes_ += bytes;
+    fabric_flush_bytes_.inc(bytes);
     // Posted: the boundary stall already charged the drain latency on
     // the source side; the data still occupies the wire.
     net_.send(src, home, bytes, Network::Callback());
@@ -440,6 +538,12 @@ MultiGpuSystem::coherenceLocalAccess(NodeId home, Addr line,
         vi_->onWrite(home, home, line);
     else
         vi_->onRead(home, home, line);
+}
+
+void
+MultiGpuSystem::invalidateAt(NodeId node, Addr line)
+{
+    gpus_[node]->invalidateLine(line);
 }
 
 std::uint64_t
@@ -460,7 +564,7 @@ MultiGpuSystem::auditCheck(bool final_pass)
     if (trace::active(trace_, trace::Category::Audit)) {
         trace_->instant(trace::Category::Audit, trace::makeTrack(0, 1),
                         final_pass ? "audit_final_pass" : "audit_pass",
-                        eq_.now());
+                        engine_.now());
     }
 
     std::vector<std::string> fails;
@@ -479,7 +583,7 @@ MultiGpuSystem::auditCheck(bool final_pass)
     }
 
     if (final_pass) {
-        // The queue has drained: every token must be retired, every
+        // The queues have drained: every token must be retired, every
         // MSHR entry completed, every warp finished.
         audit_->check(fails);
         for (unsigned g = 0; g < numGpus(); ++g) {

@@ -1,10 +1,20 @@
 /**
  * @file
- * MultiGpuSystem: the complete simulated machine. Owns the event
- * queue, the NUMA runtime, the interconnect, the coherence engine and
- * every GPU node; implements SystemFabric to route off-chip traffic;
- * and sequences kernel launches with global barriers and software-
+ * MultiGpuSystem: the complete simulated machine. Owns the domain
+ * engine (one event domain per GPU plus the system/CPU domain), the
+ * NUMA runtime, the interconnect, the coherence engine and every GPU
+ * node; implements SystemFabric to route off-chip traffic; and
+ * sequences kernel launches with global barriers and software-
  * coherence actions at every boundary.
+ *
+ * Domain discipline: every component's mutable state belongs to
+ * exactly one event domain (a GPU's caches/SMs/memory to that GPU's
+ * domain, link state to the link's source domain, kernel sequencing
+ * and CPU memory to the system domain). Cross-domain hand-offs go
+ * through DomainEngine::post(), counters that increment from several
+ * domains are ShardedScalars folded at window barriers, and the NUMA
+ * runtime commits policy actions at barriers — which is what makes
+ * the parallel engine byte-identical to the serial one.
  */
 
 #ifndef CARVE_CORE_MULTI_GPU_SYSTEM_HH
@@ -19,7 +29,7 @@
 #include "common/audit.hh"
 #include "common/completion.hh"
 #include "common/config.hh"
-#include "common/event_queue.hh"
+#include "common/domain_engine.hh"
 #include "common/stats.hh"
 #include "gpu/cta_scheduler.hh"
 #include "gpu/fabric.hh"
@@ -33,7 +43,9 @@ namespace carve {
 
 /**
  * The paper's 4-GPU machine (any GPU count works). Construct with a
- * validated SystemConfig and a Workload, then call run().
+ * validated SystemConfig and a Workload, then call run(). The
+ * SystemConfig's engine/sim_threads fields select serial or parallel
+ * window execution; results are identical either way.
  */
 class MultiGpuSystem : public SystemFabric
 {
@@ -56,11 +68,12 @@ class MultiGpuSystem : public SystemFabric
      * Execute the whole trace.
      *
      * Stops early when a watchdog fires: after @p max_cycles of
-     * simulated time (0 == unlimited) or @p max_wall_seconds of host
-     * wall-clock time (0 == unlimited; checked every few thousand
-     * events, so livelocked simulations are caught too). A tripped
-     * watchdog leaves finished() false and watchdogTripped() true —
-     * callers decide whether that is fatal (see runSimulation()).
+     * simulated time (0 == unlimited; checked at window granularity)
+     * or @p max_wall_seconds of host wall-clock time (0 == unlimited;
+     * polled a few thousand events apart inside every worker, so
+     * livelocked simulations are caught too). A tripped watchdog
+     * leaves finished() false and watchdogTripped() true — callers
+     * decide whether that is fatal (see Simulator::run()).
      *
      * @return total cycles from first launch to last kernel's end,
      *         or the abort time when a watchdog tripped
@@ -76,8 +89,8 @@ class MultiGpuSystem : public SystemFabric
     /** End-to-end runtime (valid after run()). */
     Cycle finishTime() const { return finish_time_; }
 
-    /** Current simulation time. */
-    Cycle now() const { return eq_.now(); }
+    /** Current simulation time (the executing domain's clock). */
+    Cycle now() const { return engine_.now(); }
 
     // ---- SystemFabric ----------------------------------------------
     void remoteRead(NodeId src, NodeId home, Addr line,
@@ -94,8 +107,8 @@ class MultiGpuSystem : public SystemFabric
 
     // ---- introspection ---------------------------------------------
     const SystemConfig &config() const { return cfg_; }
-    EventQueue &eventQueue() { return eq_; }
-    const EventQueue &eventQueue() const { return eq_; }
+    DomainEngine &engine() { return engine_; }
+    const DomainEngine &engine() const { return engine_; }
     PageManager &pages() { return pages_; }
     const PageManager &pages() const { return pages_; }
     Network &network() { return net_; }
@@ -118,9 +131,10 @@ class MultiGpuSystem : public SystemFabric
 
     /** Attach the tracer and fan it out to every component: system
      * rows (kernel markers, log/audit instants), one process per GPU,
-     * and the interconnect process. Counter tracks are sampled from
-     * run()'s predicate, never from scheduled events, so a traced run
-     * executes the exact event sequence of an untraced one. */
+     * and the interconnect process. Counter tracks are sampled at
+     * window barriers, never from scheduled events, so a traced run
+     * executes the exact event sequence of an untraced one. Tracing
+     * requires the serial engine (Simulator::run() enforces this). */
     void setTrace(trace::Session *session);
 
     /** Total warp instructions issued so far. */
@@ -135,6 +149,8 @@ class MultiGpuSystem : public SystemFabric
      * in the machine is registered here under a dotted name
      * ("gpu0.l2.hits", "link.0.3.bytes", "numa.migrations"); this
      * tree is the single source of truth reporting derives from.
+     * Sharded counters are only coherent at window barriers — i.e.
+     * after run() returns or inside barrier actions.
      */
     const stats::StatGroup &stats() const { return stat_root_; }
 
@@ -147,8 +163,9 @@ class MultiGpuSystem : public SystemFabric
     }
 
   private:
-    /** A remote read crossing the fabric; pooled so the three-hop
-     * request/service/data chain schedules only bound events. */
+    /** A remote read crossing the fabric; pooled per source domain so
+     * the three-hop request/service/data chain schedules only bound
+     * events and every alloc/free happens in the source domain. */
     struct RemoteReadOp
     {
         Addr line;
@@ -165,45 +182,62 @@ class MultiGpuSystem : public SystemFabric
     };
 
     void launchKernel(KernelId k);
+    /** Window-delayed delivery of launchKernel() into GPU @p g. */
+    void startGpuKernel(NodeId g, KernelId k);
     void onGpuKernelDone(NodeId gpu);
-    /** Remote-read pipeline stages, keyed by pool handle. */
-    void remoteReadAtHome(std::uint32_t op);
-    void remoteReadServiced(std::uint32_t op);
+    /** Kernel-boundary work that must run while every domain is
+     * stopped: coherence flushes, epoch snapshot, audit pass, next
+     * launch (or finish). Runs as a window-barrier action. */
+    void finishKernelBarrier();
+    /** Remote-read pipeline stages, keyed by (source, pool handle). */
+    void remoteReadAtHome(NodeId src, std::uint32_t op);
+    void remoteReadServiced(NodeId src, std::uint32_t op);
+    void deliverRemoteReadData(NodeId src, std::uint32_t op);
     /** Remote write landed at its home node. */
     void deliverRemoteWrite(NodeId src, NodeId home, Addr line);
-    /** CPU-read pipeline stages, keyed by pool handle. */
-    void cpuReadAtCpu(std::uint32_t op);
-    void cpuReadData(std::uint32_t op);
+    /** CPU-read pipeline stages, keyed by (source, pool handle). */
+    void cpuReadAtCpu(NodeId src, std::uint32_t op);
+    void cpuReadData(NodeId src, std::uint32_t op);
+    void deliverCpuReadData(NodeId src, std::uint32_t op);
+    /** Coherence invalidate arriving at @p node's domain. */
+    void invalidateAt(NodeId node, Addr line);
+    /** Fold every sharded counter into its registered scalar; runs in
+     * the on_barrier hook so snapshots and checks see totals. */
+    void foldShardedStats();
     void registerStats();
     /** Run every applicable invariant; panics listing all failures.
-     * @param final_pass the event queue has drained, so checks over
+     * @param final_pass the event queues have drained, so checks over
      *        posted traffic (writes, tokens, MSHR occupancy) apply */
     void auditCheck(bool final_pass);
 
     SystemConfig cfg_;
-    EventQueue eq_;
+    DomainEngine engine_;
     const Workload &wl_;
     PageManager pages_;
     Network net_;
     std::optional<GpuVi> vi_;
 
     /**
-     * Host placement: one arena backing the fabric's in-flight op
-     * pools plus one arena per GPU node for its request pools, all
-     * bound to the constructing thread's NUMA node when CARVE_NUMA is
-     * enabled. Declared before gpus_ so every pool they back drains
-     * before the memory goes away.
+     * Host placement: one arena backing the system-domain op pools
+     * plus one arena per GPU node for its request pools (and its
+     * fabric op pools), all bound to the constructing thread's NUMA
+     * node when CARVE_NUMA is enabled. Declared before gpus_ so every
+     * pool they back drains before the memory goes away.
      */
     Arena sys_arena_;
     std::vector<Arena> gpu_arenas_;
-    Pool<RemoteReadOp> remote_read_ops_;
-    Pool<CpuReadOp> cpu_read_ops_;
+    /** Per-source-GPU in-flight op pools: allocated and freed only in
+     * the source domain; the home/system side reads records that were
+     * published a window barrier earlier. */
+    std::vector<Pool<RemoteReadOp>> remote_read_ops_;
+    std::vector<Pool<CpuReadOp>> cpu_read_ops_;
 
     std::vector<std::unique_ptr<GpuNode>> gpus_;
     CtaScheduler sched_;
 
     trace::Session *trace_ = nullptr;
     Cycle kernel_started_at_ = 0;
+    Cycle trace_next_sample_ = 0;
 
     KernelId cur_kernel_ = 0;
     unsigned gpus_done_ = 0;
@@ -217,16 +251,17 @@ class MultiGpuSystem : public SystemFabric
      * point traffic enters the interconnect, which the audit balances
      * against the requester- and home-side counters. Always counted
      * (they are cheap and useful in reports); only audit mode checks
-     * them.
+     * them. Sharded: fabric entry points execute in the caller's
+     * domain.
      */
-    stats::Scalar fabric_remote_read_msgs_;
-    stats::Scalar fabric_remote_write_msgs_;
-    stats::Scalar fabric_cpu_read_msgs_;
-    stats::Scalar fabric_cpu_write_msgs_;
-    stats::Scalar fabric_flush_bytes_;
-    stats::Scalar fabric_coh_ctrl_bytes_;
-    stats::Scalar fabric_bulk_gpu_bytes_;
-    stats::Scalar fabric_bulk_cpu_bytes_;
+    ShardedScalar fabric_remote_read_msgs_;
+    ShardedScalar fabric_remote_write_msgs_;
+    ShardedScalar fabric_cpu_read_msgs_;
+    ShardedScalar fabric_cpu_write_msgs_;
+    ShardedScalar fabric_flush_bytes_;
+    ShardedScalar fabric_coh_ctrl_bytes_;
+    ShardedScalar fabric_bulk_gpu_bytes_;
+    ShardedScalar fabric_bulk_cpu_bytes_;
 
     std::optional<audit::InflightTracker> audit_;
 

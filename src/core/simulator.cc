@@ -1,6 +1,9 @@
 #include "core/simulator.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <thread>
 
 #include "common/logging.hh"
 #include "core/multi_gpu_system.hh"
@@ -8,13 +11,85 @@
 
 namespace carve {
 
+namespace {
+
+/**
+ * Resolve the engine selection for one run: config fields, then the
+ * SimJob option overrides, then the environment. Returns the config
+ * the machine is actually built with.
+ */
+SystemConfig
+resolveEngine(const SimJob &job)
+{
+    SystemConfig cfg = job.config;
+    if (job.options.engine)
+        cfg.engine = *job.options.engine;
+    if (job.options.sim_threads)
+        cfg.sim_threads = *job.options.sim_threads;
+
+    if (const char *env = std::getenv("CARVE_EVENTQ")) {
+        // Back-compat: CARVE_EVENTQ grew "serial"/"parallel" values
+        // before the engine moved into SimJob. "calendar"/"heap"
+        // still select the queue implementation (see event_queue.cc)
+        // and say nothing about the simulation engine.
+        if (std::strcmp(env, "serial") == 0 ||
+            std::strcmp(env, "parallel") == 0) {
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                warn("CARVE_EVENTQ=%s is deprecated: select the "
+                     "engine via SimJob.options.engine or the "
+                     "'engine' config override", env);
+            }
+            cfg.engine = parseSimEngine(env);
+        }
+    }
+    if (const char *env = std::getenv("CARVE_SIM_THREADS")) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("CARVE_SIM_THREADS=%s overrides the job's "
+                 "sim_threads", env);
+        }
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (!*env || *end)
+            fatal("CARVE_SIM_THREADS: cannot parse '%s'", env);
+        cfg.sim_threads = static_cast<unsigned>(v);
+    }
+
+    // Tracing samples counters at window barriers and interleaves
+    // with the executing domains; it is only supported serially.
+    if (cfg.engine == SimEngine::Parallel &&
+        job.options.trace.enabled) {
+        warn("tracing requires the serial engine; forcing "
+             "engine=serial for this run");
+        cfg.engine = SimEngine::Serial;
+    }
+
+    // Validate here, not in SystemConfig::validate(): the hardware
+    // bound is a property of the host running the job, not of the
+    // machine description (the same job may be serialized on one
+    // machine and run on another).
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (cfg.sim_threads == 0)
+        fatal("config: sim_threads must be >= 1");
+    if (hw != 0 && cfg.sim_threads > hw) {
+        fatal("config: sim_threads=%u exceeds this host's %u "
+              "hardware threads", cfg.sim_threads, hw);
+    }
+    return cfg;
+}
+
+} // namespace
+
 SimResult
 run(const SimJob &job)
 {
     const RunOptions &opt = job.options;
-    SyntheticWorkload wl(job.workload, job.config.line_size,
-                         opt.seed);
-    MultiGpuSystem sys(job.config, wl, opt.profile_lines, opt.audit);
+    const SystemConfig cfg = resolveEngine(job);
+    SyntheticWorkload wl(job.workload, cfg.line_size, opt.seed);
+    MultiGpuSystem sys(cfg, wl, opt.profile_lines, opt.audit);
 
     std::unique_ptr<trace::Session> session;
     if (opt.trace.enabled) {
@@ -56,20 +131,6 @@ makePresetJob(Preset preset, const SystemConfig &base,
     job.preset_label = presetName(preset);
     job.options = opt;
     return job;
-}
-
-SimResult
-runSimulation(const SystemConfig &cfg, const WorkloadParams &params,
-              const std::string &preset_label, const RunOptions &opt)
-{
-    return run(SimJob{cfg, params, preset_label, opt});
-}
-
-SimResult
-runPreset(Preset preset, const SystemConfig &base,
-          const WorkloadParams &params, const RunOptions &opt)
-{
-    return run(makePresetJob(preset, base, params, opt));
 }
 
 } // namespace carve

@@ -8,6 +8,7 @@
 #ifndef CARVE_CORE_SIMULATOR_HH
 #define CARVE_CORE_SIMULATOR_HH
 
+#include <optional>
 #include <string>
 
 #include "common/config.hh"
@@ -41,8 +42,20 @@ struct RunOptions
     bool audit = false;
     /** Cycle-level timeline tracing (see trace/trace.hh). Disabled by
      * default; enabling never changes simulation results, only emits
-     * a Chrome trace-event JSON file alongside them. */
+     * a Chrome trace-event JSON file alongside them. Tracing samples
+     * at window barriers and requires the serial engine; run() warns
+     * and forces SimEngine::Serial when both are requested. */
     trace::Options trace;
+    /** Simulation engine override: when set, wins over config.engine.
+     * Serial and Parallel run the same windowed algorithm and produce
+     * byte-identical stat trees. The deprecated CARVE_EVENTQ
+     * environment variable ("serial"/"parallel") overrides both. */
+    std::optional<SimEngine> engine;
+    /** Worker-thread override for SimEngine::Parallel: when set, wins
+     * over config.sim_threads. Must be >= 1 and no larger than the
+     * host's hardware threads (run() fatals otherwise). The
+     * CARVE_SIM_THREADS environment variable overrides both. */
+    std::optional<unsigned> sim_threads;
 };
 
 /**
@@ -69,6 +82,12 @@ struct SimJob
  * @p job.config, run @p job.workload through it, and collect the
  * result. Every other runner in the tree is a thin wrapper over
  * this call.
+ *
+ * Engine selection is resolved here, in increasing precedence:
+ * config.engine/config.sim_threads, then the RunOptions overrides,
+ * then the CARVE_EVENTQ ("serial"/"parallel"; deprecated) and
+ * CARVE_SIM_THREADS environment variables. The resolved values are
+ * what the machine is built with and what SimResult reports.
  */
 SimResult run(const SimJob &job);
 
@@ -80,24 +99,6 @@ SimResult run(const SimJob &job);
 SimJob makePresetJob(Preset preset, const SystemConfig &base,
                      const WorkloadParams &params,
                      const RunOptions &opt = {});
-
-/**
- * Compatibility wrapper over run() — prefer building a SimJob.
- * Scheduled for removal once external callers migrate (see
- * docs/README "Deprecations").
- */
-SimResult runSimulation(const SystemConfig &cfg,
-                        const WorkloadParams &params,
-                        const std::string &preset_label,
-                        const RunOptions &opt = {});
-
-/**
- * Compatibility wrapper over run(makePresetJob(...)) — prefer
- * building a SimJob.
- */
-SimResult runPreset(Preset preset, const SystemConfig &base,
-                    const WorkloadParams &params,
-                    const RunOptions &opt = {});
 
 } // namespace carve
 

@@ -6,8 +6,8 @@
 namespace carve {
 
 CtaScheduler::CtaScheduler(unsigned num_gpus)
-    : num_gpus_(num_gpus), next_(num_gpus, 0), end_(num_gpus, 0),
-      start_(num_gpus, 0)
+    : num_gpus_(num_gpus), retired_(num_gpus), next_(num_gpus, 0),
+      end_(num_gpus, 0), start_(num_gpus, 0)
 {
     if (num_gpus == 0)
         fatal("CtaScheduler: need at least one GPU");
@@ -17,7 +17,8 @@ void
 CtaScheduler::launchKernel(std::uint64_t num_ctas)
 {
     total_ = num_ctas;
-    retired_ = 0;
+    for (RetireSlot &slot : retired_)
+        slot.count = 0;
     // Contiguous batches; the first (num_ctas % num_gpus) GPUs take
     // one extra CTA so every CTA is assigned.
     const std::uint64_t base = num_ctas / num_gpus_;
@@ -43,10 +44,19 @@ CtaScheduler::nextCta(NodeId gpu)
 }
 
 void
-CtaScheduler::retireCta()
+CtaScheduler::retireCta(NodeId gpu)
 {
-    carve_assert(retired_ < total_);
-    ++retired_;
+    carve_assert(gpu < num_gpus_);
+    ++retired_[gpu].count;
+}
+
+std::uint64_t
+CtaScheduler::retiredCtas() const
+{
+    std::uint64_t total = 0;
+    for (const RetireSlot &slot : retired_)
+        total += slot.count;
+    return total;
 }
 
 std::uint64_t

@@ -34,14 +34,17 @@ class CtaScheduler
      */
     std::optional<CtaId> nextCta(NodeId gpu);
 
-    /** Report one CTA fully retired. */
-    void retireCta();
+    /** Report one CTA of @p gpu fully retired. Counted in a per-GPU
+     * slot so concurrent event domains never contend; readers
+     * (kernelDone(), retiredCtas()) sum the slots and must only run
+     * at a window barrier or in a single-domain context. */
+    void retireCta(NodeId gpu);
 
     /** True once every CTA of the current kernel has retired. */
     bool
     kernelDone() const
     {
-        return retired_ == total_;
+        return retiredCtas() == total_;
     }
 
     /** CTAs remaining unclaimed for @p gpu. */
@@ -53,12 +56,19 @@ class CtaScheduler
     CtaId batchEnd(NodeId gpu) const;
 
     std::uint64_t totalCtas() const { return total_; }
-    std::uint64_t retiredCtas() const { return retired_; }
+    std::uint64_t retiredCtas() const;
 
   private:
+    /** Per-GPU retire counter, padded so adjacent GPUs' increments
+     * never share a cache line across worker threads. */
+    struct alignas(64) RetireSlot
+    {
+        std::uint64_t count = 0;
+    };
+
     unsigned num_gpus_;
     std::uint64_t total_ = 0;
-    std::uint64_t retired_ = 0;
+    std::vector<RetireSlot> retired_;  ///< per-GPU retired CTAs
     std::vector<CtaId> next_;   ///< per-GPU next unclaimed CTA
     std::vector<CtaId> end_;    ///< per-GPU batch end (exclusive)
     std::vector<CtaId> start_;  ///< per-GPU batch start

@@ -57,7 +57,7 @@ GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
         accessFromSm(line, type, done);
     };
     hooks.record_access = [this](Addr line, AccessType type) {
-        pages_.recordAccess(line, id_, type);
+        pages_.recordAccess(line, id_, type, eq_.now());
     };
     hooks.translate = [this](SmId sm, Addr addr) {
         return tlb_.translate(sm, addr).latency;
@@ -118,7 +118,7 @@ GpuNode::onCtaRetired(SmId sm, CtaId)
 {
     carve_assert(sched_ != nullptr && live_ctas_ > 0);
     --live_ctas_;
-    sched_->retireCta();
+    sched_->retireCta(id_);
 
     // Backfill the SM that freed capacity.
     while (sms_[sm]->freeWarpSlots() >= wl_->warpsPerCta()) {
@@ -308,19 +308,11 @@ GpuNode::retryL2Miss(std::uint32_t parked, Addr line)
 void
 GpuNode::startFill(Addr line)
 {
-    Route route = pages_.route(line, id_, AccessType::Read);
-    if (route.bulk_transfer) {
-        fabric_.bulkTransfer(route.transfer_src, id_,
-                             pages_.table().pageSize());
-    }
-
-    if (route.stall > 0) {
-        eq_.scheduleAfter(route.stall,
-                          bindEvent<&GpuNode::launchFill>(
-                              this, line, route.service));
-    } else {
-        launchFill(line, route.service);
-    }
+    // Routing is a pure read of the committed NUMA state; policy
+    // actions (migrations, replicas, their bulk copies and stalls)
+    // apply at the next window barrier.
+    launchFill(line, pages_.route(line, id_, AccessType::Read,
+                                  eq_.now()));
 }
 
 void
@@ -374,20 +366,8 @@ GpuNode::handleWrite(Addr line)
     // Write-through LLC: update a resident copy, then propagate to
     // the service memory. Stores never block warps.
     l2_.writeProbe(line, false);
-
-    Route route = pages_.route(line, id_, AccessType::Write);
-    if (route.bulk_transfer) {
-        fabric_.bulkTransfer(route.transfer_src, id_,
-                             pages_.table().pageSize());
-    }
-
-    if (route.stall > 0) {
-        eq_.scheduleAfter(route.stall,
-                          bindEvent<&GpuNode::deliverWrite>(
-                              this, line, route.service));
-    } else {
-        deliverWrite(line, route.service);
-    }
+    deliverWrite(line, pages_.route(line, id_, AccessType::Write,
+                                    eq_.now()));
 }
 
 void

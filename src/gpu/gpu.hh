@@ -192,11 +192,11 @@ class GpuNode
      * still full, preserving the poll cadence exactly. */
     void retryL2Miss(std::uint32_t parked, Addr line);
     void startFill(Addr line);
-    /** Issue the fill at @p service once any routing stall elapsed. */
+    /** Issue the fill at the routed @p service node. */
     void launchFill(Addr line, NodeId service);
     void finishFill(Addr line, bool remote);
     void handleWrite(Addr line);
-    /** Deliver a post-LLC write at @p service after routing stall. */
+    /** Deliver a post-LLC write at the routed @p service node. */
     void deliverWrite(Addr line, NodeId service);
     void onCtaRetired(SmId sm, CtaId cta);
     void maybeFinishKernel();

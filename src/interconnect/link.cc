@@ -7,9 +7,10 @@
 
 namespace carve {
 
-Link::Link(EventQueue &eq, std::string name, double bytes_per_cycle,
-           Cycle latency)
-    : eq_(eq), name_(std::move(name)),
+Link::Link(DomainEngine &engine, unsigned dst_domain,
+           std::string name, double bytes_per_cycle, Cycle latency)
+    : engine_(engine), dst_domain_(dst_domain),
+      name_(std::move(name)),
       bytes_per_cycle_(bytes_per_cycle), latency_(latency)
 {
     if (bytes_per_cycle <= 0.0)
@@ -23,7 +24,7 @@ Link::send(std::uint64_t bytes, Callback delivered)
     const auto occupancy = static_cast<Cycle>(std::ceil(
         static_cast<double>(bytes) / bytes_per_cycle_));
 
-    const Cycle now = eq_.now();
+    const Cycle now = engine_.now();
     const Cycle start = std::max(now, wire_free_at_);
     wire_free_at_ = start + occupancy;
 
@@ -49,8 +50,10 @@ Link::send(std::uint64_t bytes, Callback delivered)
         };
     }
 
-    if (delivered)
-        eq_.schedule(wire_free_at_ + latency_, std::move(delivered));
+    if (delivered) {
+        engine_.post(dst_domain_, wire_free_at_ + latency_,
+                     std::move(delivered));
+    }
 }
 
 } // namespace carve

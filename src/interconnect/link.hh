@@ -12,7 +12,7 @@
 #include <string>
 
 #include "common/audit.hh"
-#include "common/event_queue.hh"
+#include "common/domain_engine.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
@@ -24,6 +24,12 @@ namespace carve {
  * occupies the link for size/bandwidth cycles and is delivered one hop
  * latency after its last byte leaves. This makes the link the precise
  * bandwidth bottleneck the paper's NUMA analysis revolves around.
+ *
+ * Each link is driven exclusively by its source domain (only code
+ * executing there calls send()), so wire state and counters are
+ * single-writer; delivery rides DomainEngine::post() into the
+ * destination domain, which the lookahead window guarantees is always
+ * at least one window boundary away.
  */
 class Link
 {
@@ -33,13 +39,14 @@ class Link
     using Callback = EventFn;
 
     /**
-     * @param eq shared event queue
+     * @param engine domain engine delivering packets
+     * @param dst_domain event domain of the receiving node
      * @param name stat-reporting name
      * @param bytes_per_cycle peak bandwidth
      * @param latency one-way hop latency in cycles
      */
-    Link(EventQueue &eq, std::string name, double bytes_per_cycle,
-         Cycle latency);
+    Link(DomainEngine &engine, unsigned dst_domain, std::string name,
+         double bytes_per_cycle, Cycle latency);
 
     /**
      * Transmit @p bytes; @p delivered fires at the receiver.
@@ -95,7 +102,8 @@ class Link
     }
 
   private:
-    EventQueue &eq_;
+    DomainEngine &engine_;
+    unsigned dst_domain_;
     std::string name_;
     double bytes_per_cycle_;
     Cycle latency_;

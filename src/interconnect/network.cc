@@ -7,30 +7,32 @@
 
 namespace carve {
 
-Network::Network(EventQueue &eq, const LinkConfig &cfg,
+Network::Network(DomainEngine &engine, const LinkConfig &cfg,
                  unsigned num_gpus)
-    : eq_(eq), cfg_(cfg), num_gpus_(num_gpus)
+    : cfg_(cfg), num_gpus_(num_gpus)
 {
     if (num_gpus == 0)
         fatal("Network: need at least one GPU");
 
+    const unsigned cpu_domain = engine.systemDomain();
     gpu_links_.resize(static_cast<std::size_t>(num_gpus) * num_gpus);
     for (unsigned s = 0; s < num_gpus; ++s) {
         for (unsigned d = 0; d < num_gpus; ++d) {
             if (s == d)
                 continue;
             gpu_links_[index(s, d)] = std::make_unique<Link>(
-                eq, "gpu" + std::to_string(s) + "->gpu" +
+                engine, d,
+                "gpu" + std::to_string(s) + "->gpu" +
                     std::to_string(d),
                 cfg.gpu_gpu_bw, cfg.latency);
         }
     }
     for (unsigned g = 0; g < num_gpus; ++g) {
         to_cpu_.push_back(std::make_unique<Link>(
-            eq, "gpu" + std::to_string(g) + "->cpu", cfg.cpu_gpu_bw,
-            cfg.latency));
+            engine, cpu_domain, "gpu" + std::to_string(g) + "->cpu",
+            cfg.cpu_gpu_bw, cfg.latency));
         from_cpu_.push_back(std::make_unique<Link>(
-            eq, "cpu->gpu" + std::to_string(g), cfg.cpu_gpu_bw,
+            engine, g, "cpu->gpu" + std::to_string(g), cfg.cpu_gpu_bw,
             cfg.latency));
     }
 }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/config.hh"
-#include "common/event_queue.hh"
+#include "common/domain_engine.hh"
 #include "common/stats.hh"
 #include "interconnect/link.hh"
 
@@ -29,11 +29,13 @@ class Network
     using Callback = Link::Callback;
 
     /**
-     * @param eq shared event queue
+     * @param engine domain engine (GPU g = domain g, CPU = system
+     *        domain) delivering every packet
      * @param cfg link bandwidths/latency
      * @param num_gpus GPU node count
      */
-    Network(EventQueue &eq, const LinkConfig &cfg, unsigned num_gpus);
+    Network(DomainEngine &engine, const LinkConfig &cfg,
+            unsigned num_gpus);
 
     /**
      * Send @p bytes from GPU @p src to GPU @p dst (src != dst);
@@ -87,7 +89,6 @@ class Network
   private:
     std::size_t index(NodeId src, NodeId dst) const;
 
-    EventQueue &eq_;
     const LinkConfig &cfg_;
     unsigned num_gpus_;
     /** gpu_links_[src * num_gpus + dst], diagonal unused. */

@@ -2,19 +2,32 @@
  * @file
  * NUMA runtime facade: first-touch placement, sharing profiling,
  * page migration, read-only replication, ideal replicate-all, and
- * Unified-Memory spill handling behind two calls:
+ * Unified-Memory spill handling, restructured around the windowed
+ * domain engine:
  *
- *  - recordAccess(): invoked for every post-coalescing access (the
- *    page-fault / profiling path);
- *  - route(): invoked for every post-LLC access, returns which node's
- *    memory services it plus any policy side effects the caller must
- *    charge (bulk page transfers, TLB-shootdown stalls).
+ *  - recordAccess() / route() run mid-window inside the accessing
+ *    GPU's event domain and touch only per-domain state (overlay maps,
+ *    profiler shards, route logs) plus the *committed* page table,
+ *    which is immutable between barriers — so domains never race;
+ *  - commitWindow() runs single-threaded at every window barrier: it
+ *    applies first touches in deterministic (tick, domain, page)
+ *    order, then replays the window's route log domain-major through
+ *    the policy engines (migration, replication, Unified Memory),
+ *    whose state transitions take effect for the next window.
+ *
+ * Mid-window routing is therefore a pure function of (committed
+ * table, own domain's overlay) — identical no matter how many threads
+ * execute the domains, which is what makes parallel runs
+ * byte-identical to serial ones.
  */
 
 #ifndef CARVE_NUMA_PAGE_MANAGER_HH
 #define CARVE_NUMA_PAGE_MANAGER_HH
 
+#include <functional>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
@@ -28,25 +41,16 @@
 
 namespace carve {
 
-/** Routing decision plus policy side effects for one post-LLC access. */
-struct Route
-{
-    /** Node whose memory services the access (may be cpu_node). */
-    NodeId service = invalid_node;
-    /** Synchronous stall the requester must absorb (shootdowns). */
-    Cycle stall = 0;
-    /** A page-sized bulk transfer from @ref transfer_src to the
-     * requester must be charged (migration / replication / UM). */
-    bool bulk_transfer = false;
-    NodeId transfer_src = invalid_node;
-};
-
 /**
  * The software half of the paper's HW/SW combination.
  */
 class PageManager
 {
   public:
+    /** Charge one page-sized bulk copy from @p src to @p dst (called
+     * from commitWindow(), i.e. in barrier context). */
+    using BulkChargeFn = std::function<void(NodeId src, NodeId dst)>;
+
     /**
      * @param cfg system configuration (NUMA policies, geometry)
      * @param track_pages profile sharing at page granularity
@@ -57,20 +61,42 @@ class PageManager
                          bool track_lines = true);
 
     /**
-     * First-touch mapping + sharing profiling for one access.
-     * Must precede route() for the same address.
+     * First-touch candidacy + sharing profiling for one access at
+     * @p tick. Must precede route() for the same address from the
+     * same domain. Touches only the calling domain's shard.
      */
-    void recordAccess(Addr addr, NodeId node, AccessType type);
+    void recordAccess(Addr addr, NodeId node, AccessType type,
+                      Cycle tick);
 
-    /** Routing + policy actions for one post-LLC access. */
-    Route route(Addr addr, NodeId node, AccessType type);
+    /**
+     * Node whose memory services a post-LLC access at @p now: the
+     * committed home (or a replica / the migration-stall previous
+     * home), or the calling domain's tentative first-touch home for
+     * pages not yet committed. Pure w.r.t. shared state; the access
+     * is appended to the calling domain's route log for policy replay
+     * at the next commitWindow().
+     */
+    NodeId route(Addr addr, NodeId node, AccessType type, Cycle now);
 
-    /** True when @p node holds the page containing @p addr (home or
-     * replica) — i.e. the access would be serviced locally. */
+    /**
+     * Window barrier (single-threaded): commit first touches in
+     * (first tick, domain, page) order, merge touch masks, then
+     * replay the route logs through the policy engines. Policy page
+     * moves set PageEntry::ready_at = @p now + migration_stall and
+     * charge their bulk copies through @p charge (when non-null).
+     */
+    void commitWindow(Cycle now, const BulkChargeFn &charge = nullptr);
+
+    /** Merge the per-domain profiler shards into the main profiler.
+     * Call once the run quiesces, before reading sharing stats. */
+    void finalizeProfile();
+
+    /** True when @p node holds the committed page containing @p addr
+     * (home or replica) — i.e. the access would be serviced locally. */
     bool isLocal(Addr addr, NodeId node) const;
 
-    /** Home node of the page containing @p addr (invalid_node when
-     * unmapped). */
+    /** Committed home node of the page containing @p addr
+     * (invalid_node when unmapped or uncommitted). */
     NodeId homeOf(Addr addr) const;
 
     PageTable &table() { return table_; }
@@ -93,6 +119,38 @@ class PageManager
     void registerStats(stats::StatGroup &g);
 
   private:
+    /** Per-domain view of a page first seen this window. */
+    struct PendingPage
+    {
+        Cycle first_tick = 0;       ///< this domain's earliest access
+        NodeId first_node = invalid_node;  ///< who touched it first
+        NodeId tentative_home = invalid_node;
+        std::uint16_t touch_mask = 0;
+        bool written = false;
+    };
+
+    /** One post-LLC access awaiting policy replay. */
+    struct RouteOp
+    {
+        Addr vpage;
+        NodeId node;
+        bool write;
+    };
+
+    /** Per-domain mid-window state; padded apart because adjacent
+     * shards are written by different worker threads. */
+    struct alignas(64) DomainShard
+    {
+        std::unordered_map<Addr, PendingPage> pending;
+        std::vector<RouteOp> route_log;
+        std::unique_ptr<SharingProfiler> profiler;
+    };
+
+    /** The calling context's shard (GPU domains 0..G-1; barrier and
+     * engine-less callers share the last slot). */
+    DomainShard &shard();
+    const PendingPage *pendingOf(const DomainShard &s, Addr vpage) const;
+
     const SystemConfig &cfg_;
     PageTable table_;
     Placement placement_;
@@ -100,6 +158,7 @@ class PageManager
     MigrationEngine migration_;
     ReplicationManager replication_;
     UnifiedMemory um_;
+    std::vector<DomainShard> shards_;
     std::unique_ptr<stats::StatGroup> sharing_group_;
 
     stats::Scalar first_touches_;

@@ -30,6 +30,12 @@ struct PageEntry
     bool written = false;           ///< any store observed
     bool collapsed = false;         ///< replicas dropped; never again
     std::uint32_t migrations = 0;   ///< times this page moved
+    /** Until this tick, accesses are serviced at @ref prev_home (a
+     * migration's TLB-shootdown/remap stall is in progress). */
+    Cycle ready_at = 0;
+    /** Home before the in-progress move (valid while ready_at is in
+     * the future). */
+    NodeId prev_home = invalid_node;
     /** Post-LLC accesses per node since the last policy action. */
     std::array<std::uint32_t, max_nodes> access_counts{};
     /** Accesses while resident in CPU memory (Unified Memory). */

@@ -32,6 +32,22 @@ class Placement
      */
     NodeId firstTouch(Addr vpage, NodeId toucher);
 
+    /**
+     * Pure preview of firstTouch(): the home this page would get if
+     * @p toucher commits its first touch. Exact for every policy
+     * except RoundRobin (whose cursor only advances at the real
+     * firstTouch()), where the toucher stands in until commit.
+     */
+    NodeId
+    tentativeHome(Addr vpage, NodeId toucher) const
+    {
+        if (cfg_.spill_fraction > 0.0 &&
+            pageHash(vpage) < cfg_.spill_fraction) {
+            return cpu_node;
+        }
+        return toucher;
+    }
+
   private:
     /** Deterministic uniform hash of a page address into [0,1). */
     double pageHash(Addr vpage) const;

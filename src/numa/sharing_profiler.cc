@@ -67,6 +67,23 @@ SharingProfiler::record(Addr addr, NodeId node, AccessType type)
     }
 }
 
+void
+SharingProfiler::absorb(SharingProfiler &other)
+{
+    const auto merge = [](std::unordered_map<Addr, Entry> &into,
+                          std::unordered_map<Addr, Entry> &from) {
+        for (const auto &[addr, e] : from) {
+            Entry &dst = into[addr];
+            dst.accesses += e.accesses;
+            dst.readers |= e.readers;
+            dst.writers |= e.writers;
+        }
+        from.clear();
+    };
+    merge(pages_, other.pages_);
+    merge(lines_, other.lines_);
+}
+
 SharingClass
 SharingProfiler::classify(const Entry &e)
 {

@@ -68,6 +68,12 @@ class SharingProfiler
     /** Record one access by @p node. */
     void record(Addr addr, NodeId node, AccessType type);
 
+    /** Fold @p other's entries into this profiler and clear @p other.
+     * Entry updates commute (counts sum, masks OR), so per-domain
+     * shard profilers merged in any fixed order reproduce the counts
+     * a single shared profiler would have accumulated. */
+    void absorb(SharingProfiler &other);
+
     /** Access distribution at page granularity. */
     SharingBreakdown pageBreakdown() const;
     /** Access distribution at line granularity. */

@@ -40,9 +40,12 @@ inline constexpr const char *kProtocolSchema = "carve-served/1";
  * bump it whenever simulation semantics change in a way that makes
  * previously cached results stale (stat additions are fine — they
  * change the result bytes, which invalidates byte-compare workflows,
- * not the mapping from spec to behaviour).
+ * not the mapping from spec to behaviour). /2: the per-GPU
+ * event-domain engine re-timed every simulation, and the config dump
+ * grew the engine/sim_threads keys (identical results either way, so
+ * both serialize into one cache entry per simulation).
  */
-inline constexpr const char *kJobSchema = "carve-job/1";
+inline constexpr const char *kJobSchema = "carve-job/2";
 
 /** One fully-described simulation request. */
 struct JobSpec
@@ -54,8 +57,8 @@ struct JobSpec
      * agree on them. */
     WorkloadParams workload;
     /** Base configuration the preset derives from, transmitted as the
-     * full override-registry dump (54 keys), so the spec is
-     * self-contained. */
+     * full override-registry dump (56 keys, engine/sim_threads
+     * included), so the spec is self-contained. */
     SystemConfig config;
 
     /** Run options (the subset that affects results or result bytes). */

@@ -113,20 +113,21 @@ TEST(SimJob, MakePresetJobFillsEveryField)
     EXPECT_EQ(job.options.max_cycles, fastOpts().max_cycles);
 }
 
-TEST(SimJob, RunMatchesLegacyWrappers)
+TEST(SimJob, EngineOverridesResolveIntoTheRun)
 {
-    const SimJob job = fig08Job(Preset::NumaGpu);
-    const SimResult via_job = run(job);
-    const SimResult via_run_simulation = runSimulation(
-        job.config, job.workload, job.preset_label, job.options);
-    const SimResult via_run_preset =
-        runPreset(Preset::NumaGpu, SystemConfig{}.scaled(32),
-                  job.workload, job.options);
+    // The options override wins over the config field; serial and
+    // parallel agree (the deep grid lives in test_engine.cc).
+    SimJob job = fig08Job(Preset::NumaGpu);
+    job.config.engine = SimEngine::Parallel;
+    job.config.sim_threads = 1;
+    job.options.engine = SimEngine::Serial;
+    const SimResult serial = run(job);
 
-    EXPECT_EQ(via_job.cycles, via_run_simulation.cycles);
-    EXPECT_EQ(via_job.cycles, via_run_preset.cycles);
-    EXPECT_EQ(via_job.warp_insts, via_run_preset.warp_insts);
-    EXPECT_EQ(via_job.preset, via_run_preset.preset);
+    job.options.engine = SimEngine::Parallel;
+    job.options.sim_threads = 1;
+    const SimResult parallel = run(job);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.warp_insts, parallel.warp_insts);
 }
 
 TEST(SimJob, EditedJobChangesTheMachine)

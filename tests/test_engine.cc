@@ -1,0 +1,186 @@
+/** @file Per-GPU event-domain engine: serial-vs-parallel byte
+ * identity over the full preset grid, the conservative lookahead
+ * window, and sim_threads validation.
+ *
+ * The contract under test is the PR's headline: SimEngine::Serial and
+ * SimEngine::Parallel run the same windowed algorithm, so the entire
+ * stat tree — every counter in every component — must serialize to
+ * identical bytes at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/domain_engine.hh"
+#include "core/simulator.hh"
+#include "core/system_preset.hh"
+#include "harness/stats_json.hh"
+#include "workloads/suite.hh"
+
+namespace carve {
+namespace {
+
+/** Suite scale for the grid: small enough that 8 presets x 6
+ * workloads x 4 engine configurations stay tier-1 sized. */
+SuiteOptions
+gridSuite()
+{
+    SuiteOptions suite;
+    suite.memory_scale = 32;
+    suite.duration = 0.02;
+    return suite;
+}
+
+SimJob
+gridJob(Preset preset, const std::string &workload)
+{
+    const SystemConfig base =
+        SystemConfig{}.scaled(gridSuite().memory_scale);
+    RunOptions opt;
+    opt.max_cycles = 200'000'000;
+    return makePresetJob(preset, base,
+                         suiteWorkload(workload, gridSuite()), opt);
+}
+
+std::string
+statBytes(const SimJob &job)
+{
+    return harness::statTreeToJson(run(job).stat_tree).dump();
+}
+
+/** Thread counts to exercise, clamped to this host (run() refuses
+ * oversubscription) and deduplicated. */
+std::vector<unsigned>
+threadCounts()
+{
+    const unsigned hw = std::max(
+        1u, std::thread::hardware_concurrency());
+    std::set<unsigned> counts;
+    for (unsigned n : {1u, 2u, 4u})
+        counts.insert(std::min(n, hw));
+    return {counts.begin(), counts.end()};
+}
+
+TEST(EngineIdentity, SerialVsParallelAcrossThePresetGrid)
+{
+    // Every preset (all coherence/replication/migration mechanisms)
+    // crossed with six workloads spanning the suite's sharing
+    // patterns: interleaved false sharing + atomics, read-only
+    // lookups, halo exchange, broadcast weights, private streaming,
+    // and graph-style skewed atomics.
+    const std::vector<Preset> presets = {
+        Preset::SingleGpu,        Preset::NumaGpu,
+        Preset::NumaGpuMigration, Preset::NumaGpuReplRO,
+        Preset::CarveNoCoherence, Preset::CarveSwc,
+        Preset::CarveHwc,         Preset::Ideal,
+    };
+    const std::vector<std::string> workloads = {
+        "Lulesh", "MCB", "CoMD", "AlexNet", "stream-triad", "SSSP",
+    };
+    const std::vector<unsigned> threads = threadCounts();
+
+    for (const Preset preset : presets) {
+        for (const std::string &wl : workloads) {
+            SimJob job = gridJob(preset, wl);
+            job.options.engine = SimEngine::Serial;
+            const std::string serial = statBytes(job);
+            ASSERT_GT(serial.size(), 100u)
+                << presetName(preset) << "/" << wl;
+
+            job.options.engine = SimEngine::Parallel;
+            for (const unsigned n : threads) {
+                job.options.sim_threads = n;
+                EXPECT_EQ(serial, statBytes(job))
+                    << presetName(preset) << "/" << wl
+                    << " diverged at sim_threads=" << n;
+            }
+        }
+    }
+}
+
+TEST(EngineIdentity, SpillJobWithUnifiedMemoryMatches)
+{
+    // CPU-resident pages route through the system domain; make sure
+    // that path (not exercised by the presets above) is identical too.
+    SimJob job = gridJob(Preset::CarveHwc, "Lulesh");
+    job.config.numa.spill_fraction = 0.4;
+    job.config.numa.um_migration_threshold = 8;
+    job.preset_label = "carve-spill";
+
+    job.options.engine = SimEngine::Serial;
+    const std::string serial = statBytes(job);
+    job.options.engine = SimEngine::Parallel;
+    job.options.sim_threads = threadCounts().back();
+    EXPECT_EQ(serial, statBytes(job));
+}
+
+// ---- lookahead window ---------------------------------------------
+
+TEST(DomainEngine, LookaheadWindowTracksMinimumLinkLatency)
+{
+    SystemConfig cfg;
+    cfg.link.latency = 120;
+    const Cycle wide = DomainEngine::lookaheadWindow(cfg);
+    cfg.link.latency = 10;
+    const Cycle narrow = DomainEngine::lookaheadWindow(cfg);
+    EXPECT_LT(narrow, wide);
+    // The window must cover at least the one-cycle send offset plus
+    // the wire latency: an event posted at the last tick of a window
+    // can never land inside a window another domain is executing.
+    EXPECT_GE(narrow, cfg.link.latency + 1);
+    cfg.link.latency = 0;
+    EXPECT_GE(DomainEngine::lookaheadWindow(cfg), 1u);
+}
+
+// ---- sim_threads validation ---------------------------------------
+
+TEST(EngineDeathTest, ZeroSimThreadsIsACleanConfigError)
+{
+    SimJob job = gridJob(Preset::NumaGpu, "Lulesh");
+    job.options.engine = SimEngine::Parallel;
+    job.options.sim_threads = 0;
+    EXPECT_EXIT(run(job), ::testing::ExitedWithCode(1),
+                "sim_threads must be >= 1");
+}
+
+TEST(EngineDeathTest, OversubscribedSimThreadsIsACleanConfigError)
+{
+    if (std::thread::hardware_concurrency() == 0)
+        GTEST_SKIP() << "hardware_concurrency unknown on this host";
+    SimJob job = gridJob(Preset::NumaGpu, "Lulesh");
+    job.options.engine = SimEngine::Parallel;
+    job.options.sim_threads = 100000;
+    EXPECT_EXIT(run(job), ::testing::ExitedWithCode(1),
+                "exceeds this host's");
+}
+
+TEST(Config, EngineOverridesRoundTrip)
+{
+    SystemConfig cfg;
+    cfg.applyOverride("engine", "parallel");
+    cfg.applyOverride("sim_threads", "4");
+    EXPECT_EQ(cfg.engine, SimEngine::Parallel);
+    EXPECT_EQ(cfg.sim_threads, 4u);
+
+    bool saw_engine = false, saw_threads = false;
+    for (const ConfigOverride &o : cfg.toOverrides()) {
+        if (o.key == "engine") {
+            saw_engine = true;
+            EXPECT_EQ(o.value, "parallel");
+        }
+        if (o.key == "sim_threads") {
+            saw_threads = true;
+            EXPECT_EQ(o.value, "4");
+        }
+    }
+    EXPECT_TRUE(saw_engine);
+    EXPECT_TRUE(saw_threads);
+}
+
+} // namespace
+} // namespace carve

@@ -98,9 +98,9 @@ TEST(CtaScheduler, KernelDoneAfterAllRetire)
     CtaScheduler s(2);
     s.launchKernel(3);
     EXPECT_FALSE(s.kernelDone());
-    s.retireCta();
-    s.retireCta();
-    s.retireCta();
+    s.retireCta(0);
+    s.retireCta(0);
+    s.retireCta(1);
     EXPECT_TRUE(s.kernelDone());
     EXPECT_EQ(s.retiredCtas(), 3u);
 }
@@ -110,7 +110,7 @@ TEST(CtaScheduler, RelaunchResetsState)
     CtaScheduler s(2);
     s.launchKernel(2);
     s.nextCta(0);
-    s.retireCta();
+    s.retireCta(0);
     s.launchKernel(6);
     EXPECT_EQ(s.remaining(0), 3u);
     EXPECT_EQ(s.retiredCtas(), 0u);

@@ -124,6 +124,15 @@ struct GpuNodeFixture : public ::testing::Test
     {
     }
 
+    /** Map @p addr's page at @p home and commit it, so the kernel
+     * under test sees a committed (not tentative) remote home. */
+    void
+    premap(Addr addr, NodeId home)
+    {
+        pages->recordAccess(addr, home, AccessType::Read, 0);
+        pages->commitWindow(0);
+    }
+
     void
     build()
     {
@@ -168,7 +177,7 @@ TEST_F(GpuNodeFixture, RemoteReadGoesThroughRdcThenHits)
 {
     build();
     // Pre-map the page at node 1 so node 0's access is remote.
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     wl.addrs = {0x1000, 0x1000, 0x1000};
     runKernel();
     // Exactly one RDC-miss fetch; the repeats hit the carve-out or
@@ -183,7 +192,7 @@ TEST_F(GpuNodeFixture, RemoteReadGoesThroughRdcThenHits)
 TEST_F(GpuNodeFixture, RemoteWriteIsWrittenThrough)
 {
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     wl.type = AccessType::Write;
     runKernel();
     EXPECT_EQ(fabric->remote_writes.size(), 1u);
@@ -194,7 +203,7 @@ TEST_F(GpuNodeFixture, WritebackRdcAbsorbsRemoteWrites)
 {
     cfg.rdc.write_policy = RdcWritePolicy::WriteBack;
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     wl.type = AccessType::Write;
     runKernel();
     // The write allocates into the carve-out; nothing crosses the
@@ -209,7 +218,7 @@ TEST_F(GpuNodeFixture, SwcBoundaryFlushesDirtyBytesOverFabric)
     cfg.rdc.coherence = RdcCoherence::Software;
     cfg.rdc.write_policy = RdcWritePolicy::WriteBack;
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     wl.type = AccessType::Write;
     runKernel();
     EXPECT_EQ(node->traffic().rdc_hit_writes, 1u);
@@ -252,7 +261,7 @@ TEST_F(GpuNodeFixture, HomeSideServicingTouchesLocalDram)
 TEST_F(GpuNodeFixture, InvalidateLineSweepsAllStructures)
 {
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     runKernel();  // line now in L1, L2 and RDC
     const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
     EXPECT_TRUE(node->l2().contains(line));
@@ -266,7 +275,7 @@ TEST_F(GpuNodeFixture, InvalidateLineSweepsAllStructures)
 TEST_F(GpuNodeFixture, BoundaryKeepsRemoteLinesUnderHwCoherence)
 {
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     runKernel();
     const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
     EXPECT_EQ(node->kernelBoundary(), 0u);
@@ -279,7 +288,7 @@ TEST_F(GpuNodeFixture, BoundaryDropsEverythingUnderSwCoherence)
 {
     cfg.rdc.coherence = RdcCoherence::Software;
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     runKernel();
     const Addr line = alignDown(Addr{0x1000}, cfg.line_size);
     node->kernelBoundary();
@@ -303,7 +312,7 @@ TEST_F(GpuNodeFixture, NoRdcFallsBackToDirectRemoteReads)
 {
     cfg = makePreset(Preset::NumaGpu, test::miniConfig());
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     runKernel();
     EXPECT_EQ(node->rdc(), nullptr);
     EXPECT_EQ(fabric->remote_reads.size(), 1u);
@@ -317,7 +326,7 @@ TEST_F(GpuNodeFixture, LlcRemoteCachingCanBeDisabled)
     cfg = makePreset(Preset::NumaGpu, test::miniConfig());
     cfg.numa.llc_caches_remote = false;
     build();
-    pages->recordAccess(0x1000, 1, AccessType::Read);
+    premap(0x1000, 1);
     wl.addrs = {0x1000, 0x1000};
     runKernel();
     // Both accesses fetched remotely: no LLC allocation for remote

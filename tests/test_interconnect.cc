@@ -1,22 +1,41 @@
-/** @file Unit tests for links and the multi-GPU network fabric. */
+/** @file Unit tests for links and the multi-GPU network fabric.
+ *
+ * Links are driven through a DomainEngine: sends issued from the test
+ * body run in barrier context (direct delivery scheduling), and
+ * engine.run() drains every domain to quiescence.
+ */
 
 #include <gtest/gtest.h>
 
 #include "common/config.hh"
-#include "common/event_queue.hh"
+#include "common/domain_engine.hh"
 #include "interconnect/link.hh"
 #include "interconnect/network.hh"
 
 namespace carve {
 namespace {
 
+/** Serial engine over @p num_gpus GPU domains plus the system
+ * domain, with a window wide enough for @p latency. */
+DomainEngine
+makeEngine(unsigned num_gpus, Cycle latency)
+{
+    return DomainEngine(num_gpus, latency + 1, SimEngine::Serial, 1);
+}
+
+void
+drain(DomainEngine &eng)
+{
+    eng.run(DomainEngine::Hooks{});
+}
+
 TEST(Link, DeliveryAfterSerializationPlusLatency)
 {
-    EventQueue eq;
-    Link link(eq, "l", 64.0, 100);
+    DomainEngine eng = makeEngine(1, 100);
+    Link link(eng, 0, "l", 64.0, 100);
     Cycle done = 0;
-    link.send(128, [&] { done = eq.now(); });
-    eq.run();
+    link.send(128, [&] { done = eng.now(); });
+    drain(eng);
     // 128B at 64 B/cyc = 2 cycles on the wire + 100 latency.
     EXPECT_EQ(done, 102u);
     EXPECT_EQ(link.bytesSent(), 128u);
@@ -26,12 +45,12 @@ TEST(Link, DeliveryAfterSerializationPlusLatency)
 
 TEST(Link, PacketsSerializeOnTheWire)
 {
-    EventQueue eq;
-    Link link(eq, "l", 64.0, 0);
+    DomainEngine eng = makeEngine(1, 0);
+    Link link(eng, 0, "l", 64.0, 0);
     std::vector<Cycle> done;
     for (int i = 0; i < 4; ++i)
-        link.send(128, [&] { done.push_back(eq.now()); });
-    eq.run();
+        link.send(128, [&] { done.push_back(eng.now()); });
+    drain(eng);
     ASSERT_EQ(done.size(), 4u);
     EXPECT_EQ(done[0], 2u);
     EXPECT_EQ(done[1], 4u);
@@ -42,35 +61,35 @@ TEST(Link, PacketsSerializeOnTheWire)
 
 TEST(Link, QueueDelayObserved)
 {
-    EventQueue eq;
-    Link link(eq, "l", 1.0, 0);  // 1 B/cyc: slow
+    DomainEngine eng = makeEngine(1, 0);
+    Link link(eng, 0, "l", 1.0, 0);  // 1 B/cyc: slow
     link.send(100, {});
     link.send(100, {});
-    eq.run();
+    drain(eng);
     EXPECT_DOUBLE_EQ(link.meanQueueDelay(), 50.0);  // (0 + 100) / 2
 }
 
 TEST(Link, SmallControlPacketsRoundUpToOneCycle)
 {
-    EventQueue eq;
-    Link link(eq, "l", 64.0, 0);
+    DomainEngine eng = makeEngine(1, 0);
+    Link link(eng, 0, "l", 64.0, 0);
     link.send(16, {});
-    eq.run();
+    drain(eng);
     EXPECT_EQ(link.busyCycles(), 1u);
 }
 
 TEST(LinkDeathTest, NonPositiveBandwidthIsFatal)
 {
-    EventQueue eq;
-    EXPECT_EXIT(Link(eq, "bad", 0.0, 1),
+    DomainEngine eng = makeEngine(1, 1);
+    EXPECT_EXIT(Link(eng, 0, "bad", 0.0, 1),
                 ::testing::ExitedWithCode(1), "bandwidth");
 }
 
 TEST(Network, DistinctDirectionalLinksPerPair)
 {
-    EventQueue eq;
     LinkConfig cfg;
-    Network net(eq, cfg, 4);
+    DomainEngine eng = makeEngine(4, cfg.latency);
+    Network net(eng, cfg, 4);
     net.send(0, 1, 128, {});
     net.send(1, 0, 256, {});
     EXPECT_EQ(net.link(0, 1).bytesSent(), 128u);
@@ -81,25 +100,25 @@ TEST(Network, DistinctDirectionalLinksPerPair)
 
 TEST(Network, DeliveryCallbackFires)
 {
-    EventQueue eq;
     LinkConfig cfg;
     cfg.latency = 50;
-    Network net(eq, cfg, 2);
+    DomainEngine eng = makeEngine(2, cfg.latency);
+    Network net(eng, cfg, 2);
     Cycle at = 0;
-    net.send(0, 1, 128, [&] { at = eq.now(); });
-    eq.run();
+    net.send(0, 1, 128, [&] { at = eng.now(); });
+    drain(eng);
     EXPECT_EQ(at, 2u + 50u);
 }
 
 TEST(Network, CpuLinksAreSeparate)
 {
-    EventQueue eq;
     LinkConfig cfg;
-    Network net(eq, cfg, 2);
+    DomainEngine eng = makeEngine(2, cfg.latency);
+    Network net(eng, cfg, 2);
     bool up = false, down = false;
     net.sendToCpu(0, 128, [&] { up = true; });
     net.sendFromCpu(1, 128, [&] { down = true; });
-    eq.run();
+    drain(eng);
     EXPECT_TRUE(up);
     EXPECT_TRUE(down);
     EXPECT_EQ(net.totalCpuGpuBytes(), 256u);
@@ -108,23 +127,23 @@ TEST(Network, CpuLinksAreSeparate)
 
 TEST(Network, CpuLinkIsSlowerThanGpuLink)
 {
-    EventQueue eq;
     LinkConfig cfg;  // 64 vs 32 B/cyc
     cfg.latency = 0;
-    Network net(eq, cfg, 2);
+    DomainEngine eng = makeEngine(2, 1);
+    Network net(eng, cfg, 2);
     Cycle gpu_done = 0, cpu_done = 0;
-    net.send(0, 1, 1024, [&] { gpu_done = eq.now(); });
-    net.sendToCpu(0, 1024, [&] { cpu_done = eq.now(); });
-    eq.run();
+    net.send(0, 1, 1024, [&] { gpu_done = eng.now(); });
+    net.sendToCpu(0, 1024, [&] { cpu_done = eng.now(); });
+    drain(eng);
     EXPECT_EQ(gpu_done, 16u);
     EXPECT_EQ(cpu_done, 32u);
 }
 
 TEST(NetworkDeathTest, SelfSendIsABug)
 {
-    EventQueue eq;
     LinkConfig cfg;
-    Network net(eq, cfg, 2);
+    DomainEngine eng = makeEngine(2, cfg.latency);
+    Network net(eng, cfg, 2);
     EXPECT_DEATH(net.send(1, 1, 128, {}), "assert");
 }
 

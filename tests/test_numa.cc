@@ -321,18 +321,23 @@ TEST(UnifiedMemory, FullGpuMemoryKeepsPageSpilled)
 }
 
 // ---- page manager facade --------------------------------------------
+//
+// The facade is windowed: recordAccess()/route() run mid-window and
+// are pure w.r.t. shared state; policy actions (first touch,
+// migration, replication, UM pull-in) land at commitWindow().
 
-TEST(PageManager, FirstTouchMapsAndRoutesLocally)
+TEST(PageManager, FirstTouchCommitsAtTheBarrier)
 {
     SystemConfig cfg = smallConfig();
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 2, AccessType::Read);
+    pm.recordAccess(0x1000, 2, AccessType::Read, 0);
+    // Routable immediately via the tentative home...
+    EXPECT_EQ(pm.route(0x1000, 2, AccessType::Read, 0), 2u);
+    // ...but committed (visible to homeOf/isLocal) only at the barrier.
+    EXPECT_EQ(pm.homeOf(0x1000), invalid_node);
+    pm.commitWindow(1);
     EXPECT_EQ(pm.homeOf(0x1000), 2u);
     EXPECT_TRUE(pm.isLocal(0x1000, 2));
-    const Route r = pm.route(0x1000, 2, AccessType::Read);
-    EXPECT_EQ(r.service, 2u);
-    EXPECT_EQ(r.stall, 0u);
-    EXPECT_FALSE(r.bulk_transfer);
     EXPECT_EQ(pm.firstTouches(), 1u);
 }
 
@@ -340,10 +345,10 @@ TEST(PageManager, RemoteAccessRoutesToHome)
 {
     SystemConfig cfg = smallConfig();
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 0, AccessType::Read);
-    pm.recordAccess(0x1000, 3, AccessType::Read);
-    const Route r = pm.route(0x1000, 3, AccessType::Read);
-    EXPECT_EQ(r.service, 0u);
+    pm.recordAccess(0x1000, 0, AccessType::Read, 0);
+    pm.commitWindow(1);
+    pm.recordAccess(0x1000, 3, AccessType::Read, 1);
+    EXPECT_EQ(pm.route(0x1000, 3, AccessType::Read, 1), 0u);
 }
 
 TEST(PageManager, IdealPolicyMakesEverythingLocal)
@@ -351,12 +356,11 @@ TEST(PageManager, IdealPolicyMakesEverythingLocal)
     SystemConfig cfg = smallConfig();
     cfg.numa.replication = ReplicationPolicy::All;
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 0, AccessType::Write);
-    pm.recordAccess(0x1000, 3, AccessType::Write);
-    const Route r = pm.route(0x1000, 3, AccessType::Write);
-    EXPECT_EQ(r.service, 3u);
-    EXPECT_FALSE(r.bulk_transfer);  // ideal: free
-    EXPECT_EQ(r.stall, 0u);
+    pm.recordAccess(0x1000, 0, AccessType::Write, 0);
+    pm.recordAccess(0x1000, 3, AccessType::Write, 0);
+    EXPECT_EQ(pm.route(0x1000, 3, AccessType::Write, 0), 3u);
+    pm.commitWindow(1);
+    EXPECT_EQ(pm.route(0x1000, 3, AccessType::Write, 1), 3u);
 }
 
 TEST(PageManager, ReadOnlyReplicationChargesCopyThenGoesLocal)
@@ -364,28 +368,48 @@ TEST(PageManager, ReadOnlyReplicationChargesCopyThenGoesLocal)
     SystemConfig cfg = smallConfig();
     cfg.numa.replication = ReplicationPolicy::ReadOnly;
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 0, AccessType::Read);
-    pm.recordAccess(0x1000, 1, AccessType::Read);
-    const Route first = pm.route(0x1000, 1, AccessType::Read);
-    EXPECT_TRUE(first.bulk_transfer);
-    EXPECT_EQ(first.transfer_src, 0u);
-    EXPECT_EQ(first.service, 0u);  // the copy itself is the traffic
-    const Route second = pm.route(0x1000, 1, AccessType::Read);
-    EXPECT_EQ(second.service, 1u);  // replica hit
+    pm.recordAccess(0x1000, 0, AccessType::Read, 0);
+    pm.commitWindow(1);
+
+    // Remote read: serviced at the home this window; the barrier
+    // replays it, replicates the page and charges the copy.
+    pm.recordAccess(0x1000, 1, AccessType::Read, 1);
+    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read, 1), 0u);
+    unsigned charges = 0;
+    NodeId copy_src = invalid_node, copy_dst = invalid_node;
+    pm.commitWindow(2, [&](NodeId src, NodeId dst) {
+        ++charges;
+        copy_src = src;
+        copy_dst = dst;
+    });
+    EXPECT_EQ(charges, 1u);
+    EXPECT_EQ(copy_src, 0u);
+    EXPECT_EQ(copy_dst, 1u);
+    // Replica hit from the next window on.
+    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read, 2), 1u);
 }
 
-TEST(PageManager, WriteToReplicatedPageStallsForCollapse)
+TEST(PageManager, WriteCollapsesReplicasAndOpensAStallWindow)
 {
     SystemConfig cfg = smallConfig();
     cfg.numa.replication = ReplicationPolicy::ReadOnly;
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 0, AccessType::Read);
-    pm.recordAccess(0x1000, 1, AccessType::Read);
-    pm.route(0x1000, 1, AccessType::Read);  // replicate
-    pm.recordAccess(0x1000, 0, AccessType::Write);
-    const Route w = pm.route(0x1000, 0, AccessType::Write);
-    EXPECT_GE(w.stall, cfg.numa.migration_stall);
+    pm.recordAccess(0x1000, 0, AccessType::Read, 0);
+    pm.commitWindow(1);
+    pm.recordAccess(0x1000, 1, AccessType::Read, 1);
+    pm.route(0x1000, 1, AccessType::Read, 1);
+    pm.commitWindow(2);  // replicate to node 1
+
+    pm.recordAccess(0x1000, 0, AccessType::Write, 2);
+    pm.route(0x1000, 0, AccessType::Write, 2);
+    pm.commitWindow(3);
     EXPECT_EQ(pm.replication().collapses(), 1u);
+    // The shootdown stall is modelled as a ready_at fence.
+    const PageEntry *e = pm.table().find(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ready_at, 3u + cfg.numa.migration_stall);
+    // The collapsed replica holder is remote again.
+    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read, 4), 0u);
 }
 
 TEST(PageManager, SpilledPageRoutesToCpuThenMigrates)
@@ -394,14 +418,25 @@ TEST(PageManager, SpilledPageRoutesToCpuThenMigrates)
     cfg.numa.spill_fraction = 0.999;  // force the spill path
     cfg.numa.um_migration_threshold = 3;
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 1, AccessType::Read);
+    pm.recordAccess(0x1000, 1, AccessType::Read, 0);
+    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read, 0), cpu_node);
+    pm.commitWindow(1);
     ASSERT_EQ(pm.homeOf(0x1000), cpu_node);
-    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read).service, cpu_node);
-    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read).service, cpu_node);
-    const Route migrated = pm.route(0x1000, 1, AccessType::Read);
-    EXPECT_EQ(migrated.service, 1u);
-    EXPECT_TRUE(migrated.bulk_transfer);
-    EXPECT_EQ(migrated.transfer_src, cpu_node);
+
+    // Two more accesses reach the UM threshold at the next barrier:
+    // the page is pulled in and the copy charged to the CPU link.
+    pm.route(0x1000, 1, AccessType::Read, 1);
+    pm.route(0x1000, 1, AccessType::Read, 1);
+    unsigned charges = 0;
+    NodeId copy_src = invalid_node;
+    pm.commitWindow(2, [&](NodeId src, NodeId) {
+        ++charges;
+        copy_src = src;
+    });
+    EXPECT_EQ(charges, 1u);
+    EXPECT_EQ(copy_src, cpu_node);
+    EXPECT_EQ(pm.homeOf(0x1000), 1u);
+    EXPECT_EQ(pm.route(0x1000, 1, AccessType::Read, 2), 1u);
 }
 
 TEST(PageManager, MigrationMovesHotPrivatePage)
@@ -410,12 +445,22 @@ TEST(PageManager, MigrationMovesHotPrivatePage)
     cfg.numa.migration = true;
     cfg.numa.migration_threshold = 4;
     PageManager pm(cfg);
-    pm.recordAccess(0x1000, 0, AccessType::Read);
-    Route r;
+    pm.recordAccess(0x1000, 0, AccessType::Read, 0);
+    pm.commitWindow(1);
     for (int i = 0; i < 10; ++i)
-        r = pm.route(0x1000, 2, AccessType::Read);
+        pm.route(0x1000, 2, AccessType::Read, 1);
+    unsigned charges = 0;
+    pm.commitWindow(2, [&](NodeId, NodeId) { ++charges; });
     EXPECT_EQ(pm.homeOf(0x1000), 2u);
     EXPECT_EQ(pm.migration().migrations(), 1u);
+    EXPECT_EQ(charges, 1u);
+
+    // Until the stall fence passes, accesses are serviced at the old
+    // home; afterwards at the new one.
+    EXPECT_EQ(pm.route(0x1000, 0, AccessType::Read, 10), 0u);
+    EXPECT_EQ(pm.route(0x1000, 0, AccessType::Read,
+                       2 + cfg.numa.migration_stall),
+              2u);
 }
 
 } // namespace

@@ -173,8 +173,8 @@ TEST_F(ServiceTest, JobSpecFromJsonRejectsGarbage)
     // json::Value::set appends, it does not replace).
     const std::string dump = jobSpecToJson(miniJob()).dump(0);
     std::string wrong_schema = dump;
-    wrong_schema.replace(wrong_schema.find("carve-job/1"),
-                         std::strlen("carve-job/1"), "carve-job/999");
+    wrong_schema.replace(wrong_schema.find(kJobSchema),
+                         std::strlen(kJobSchema), "carve-job/999");
     EXPECT_THROW(jobSpecFromJson(json::parse(wrong_schema, "t")),
                  SimAbortError);
     // Unknown config key.

@@ -23,10 +23,24 @@ fastOpts()
     return opt;
 }
 
+SimResult
+runPresetJob(Preset preset, const SystemConfig &base,
+             const WorkloadParams &params, const RunOptions &opt)
+{
+    return run(makePresetJob(preset, base, params, opt));
+}
+
+SimResult
+runConfig(const SystemConfig &cfg, const WorkloadParams &params,
+          const std::string &label, const RunOptions &opt)
+{
+    return run(SimJob{cfg, params, label, opt});
+}
+
 TEST(System, CompletesAndIssuesEveryInstruction)
 {
     const WorkloadParams p = miniWorkload(RegionKind::PrivateStream);
-    const SimResult r = runPreset(Preset::NumaGpu, miniConfig(), p,
+    const SimResult r = runPresetJob(Preset::NumaGpu, miniConfig(), p,
                                   fastOpts());
     EXPECT_EQ(r.warp_insts,
               p.kernels * p.ctas * p.warps_per_cta * p.insts_per_warp);
@@ -37,9 +51,9 @@ TEST(System, DeterministicAcrossRuns)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.2);
-    const SimResult a = runPreset(Preset::CarveHwc, miniConfig(), p,
+    const SimResult a = runPresetJob(Preset::CarveHwc, miniConfig(), p,
                                   fastOpts());
-    const SimResult b = runPreset(Preset::CarveHwc, miniConfig(), p,
+    const SimResult b = runPresetJob(Preset::CarveHwc, miniConfig(), p,
                                   fastOpts());
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.traffic.remote_reads, b.traffic.remote_reads);
@@ -50,7 +64,7 @@ TEST(System, SingleGpuHasNoRemoteTraffic)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.3);
-    const SimResult r = runPreset(Preset::SingleGpu, miniConfig(), p,
+    const SimResult r = runPresetJob(Preset::SingleGpu, miniConfig(), p,
                                   fastOpts());
     EXPECT_EQ(r.traffic.remote_reads, 0u);
     EXPECT_EQ(r.traffic.remote_writes, 0u);
@@ -62,7 +76,7 @@ TEST(System, IdealHasNoRemoteTrafficOnFourGpus)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.3);
-    const SimResult r = runPreset(Preset::Ideal, miniConfig(), p,
+    const SimResult r = runPresetJob(Preset::Ideal, miniConfig(), p,
                                   fastOpts());
     EXPECT_EQ(r.traffic.remote_reads, 0u);
     EXPECT_EQ(r.traffic.remote_writes, 0u);
@@ -72,9 +86,9 @@ TEST(System, MultiGpuBeatsSingleGpu)
 {
     const WorkloadParams p = miniWorkload(RegionKind::PrivateStream,
                                           0.2);
-    const SimResult one = runPreset(Preset::SingleGpu, miniConfig(),
+    const SimResult one = runPresetJob(Preset::SingleGpu, miniConfig(),
                                     p, fastOpts());
-    const SimResult four = runPreset(Preset::Ideal, miniConfig(), p,
+    const SimResult four = runPresetJob(Preset::Ideal, miniConfig(), p,
                                      fastOpts());
     EXPECT_GT(speedupOver(one, four), 1.5);
 }
@@ -85,11 +99,11 @@ TEST(System, IdealFastestNumaSlowestCarveBetween)
     // iterative workload.
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.1, 4);
-    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+    const SimResult numa = runPresetJob(Preset::NumaGpu, miniConfig(), p,
                                      fastOpts());
-    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+    const SimResult carve = runPresetJob(Preset::CarveHwc, miniConfig(),
                                       p, fastOpts());
-    const SimResult ideal = runPreset(Preset::Ideal, miniConfig(), p,
+    const SimResult ideal = runPresetJob(Preset::Ideal, miniConfig(), p,
                                       fastOpts());
     EXPECT_LT(ideal.cycles, carve.cycles);
     EXPECT_LT(carve.cycles, numa.cycles);
@@ -99,9 +113,9 @@ TEST(System, CarveSlashesRemoteTrafficOnIterativeSharing)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.05, 4);
-    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+    const SimResult numa = runPresetJob(Preset::NumaGpu, miniConfig(), p,
                                      fastOpts());
-    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+    const SimResult carve = runPresetJob(Preset::CarveHwc, miniConfig(),
                                       p, fastOpts());
     EXPECT_GT(numa.frac_remote, 0.3);
     EXPECT_LT(carve.frac_remote, numa.frac_remote / 2.0);
@@ -111,9 +125,9 @@ TEST(System, CarveSlashesRemoteTrafficOnIterativeSharing)
 TEST(System, ReplicationFixesReadOnlySharing)
 {
     const WorkloadParams p = miniWorkload(RegionKind::Lookup, 0.0, 2);
-    const SimResult numa = runPreset(Preset::NumaGpu, miniConfig(), p,
+    const SimResult numa = runPresetJob(Preset::NumaGpu, miniConfig(), p,
                                      fastOpts());
-    const SimResult repl = runPreset(Preset::NumaGpuReplRO,
+    const SimResult repl = runPresetJob(Preset::NumaGpuReplRO,
                                      miniConfig(), p, fastOpts());
     EXPECT_GT(repl.replications, 0u);
     EXPECT_EQ(repl.collapses, 0u);
@@ -126,9 +140,9 @@ TEST(System, ReplicationFailsOnReadWriteSharing)
 {
     // Writes poison the pages: replication must do roughly nothing.
     const WorkloadParams p = miniWorkload(RegionKind::Lookup, 0.2, 2);
-    const SimResult repl = runPreset(Preset::NumaGpuReplRO,
+    const SimResult repl = runPresetJob(Preset::NumaGpuReplRO,
                                      miniConfig(), p, fastOpts());
-    const SimResult carve = runPreset(Preset::CarveHwc, miniConfig(),
+    const SimResult carve = runPresetJob(Preset::CarveHwc, miniConfig(),
                                       p, fastOpts());
     EXPECT_LT(carve.cycles, repl.cycles);
 }
@@ -139,11 +153,11 @@ TEST(System, SoftwareCoherenceForfeitsInterKernelLocality)
     // CARVE-HWC retains it (Figure 11).
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.05, 6);
-    const SimResult swc = runPreset(Preset::CarveSwc, miniConfig(), p,
+    const SimResult swc = runPresetJob(Preset::CarveSwc, miniConfig(), p,
                                     fastOpts());
-    const SimResult hwc = runPreset(Preset::CarveHwc, miniConfig(), p,
+    const SimResult hwc = runPresetJob(Preset::CarveHwc, miniConfig(), p,
                                     fastOpts());
-    const SimResult noc = runPreset(Preset::CarveNoCoherence,
+    const SimResult noc = runPresetJob(Preset::CarveNoCoherence,
                                     miniConfig(), p, fastOpts());
     EXPECT_GT(swc.cycles, hwc.cycles);
     // Hardware coherence performs close to the free-coherence bound.
@@ -161,7 +175,7 @@ TEST(System, HardwareCoherenceSendsInvalidatesOnTrueSharing)
 {
     const WorkloadParams p = miniWorkload(RegionKind::Atomic, 0.5, 2,
                                           256 * KiB);
-    const SimResult r = runPreset(Preset::CarveHwc, miniConfig(), p,
+    const SimResult r = runPresetJob(Preset::CarveHwc, miniConfig(), p,
                                   fastOpts());
     EXPECT_GT(r.hw_invalidates, 0u);
 }
@@ -177,7 +191,7 @@ TEST(System, MigrationMovesPrivateRemotePages)
     const WorkloadParams p =
         miniWorkload(RegionKind::PrivateStream, 0.2, 3);
     const SimResult r =
-        runSimulation(cfg, p, "mig", fastOpts());
+        runConfig(cfg, p, "mig", fastOpts());
     EXPECT_GT(r.migrations, 0u);
 }
 
@@ -190,9 +204,9 @@ TEST(System, SpillSlowsDownWhenGpuMemoryIsFull)
     cfg.numa.um_migration_threshold = 1u << 30;  // memory "full"
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.1, 3);
-    const SimResult base = runSimulation(cfg, p, "base", fastOpts());
+    const SimResult base = runConfig(cfg, p, "base", fastOpts());
     cfg.numa.spill_fraction = 0.4;
-    const SimResult spill = runSimulation(cfg, p, "spill", fastOpts());
+    const SimResult spill = runConfig(cfg, p, "spill", fastOpts());
     EXPECT_GT(spill.cycles, base.cycles);
     EXPECT_GT(spill.traffic.cpu_reads + spill.traffic.cpu_writes, 0u);
     EXPECT_GT(spill.cpu_gpu_bytes, 0u);
@@ -205,7 +219,7 @@ TEST(System, UnifiedMemoryMigratesHotSpilledPagesWhenRoomExists)
     cfg.numa.um_migration_threshold = 8;
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.1, 3);
-    const SimResult r = runSimulation(cfg, p, "um", fastOpts());
+    const SimResult r = runConfig(cfg, p, "um", fastOpts());
     EXPECT_GT(r.um_migrations, 0u);
 }
 
@@ -213,7 +227,7 @@ TEST(System, SharingProfileSeesFalseSharing)
 {
     const WorkloadParams p =
         miniWorkload(RegionKind::InterleavedStream, 0.15, 2);
-    const SimResult r = runPreset(Preset::NumaGpu, miniConfig(), p,
+    const SimResult r = runPresetJob(Preset::NumaGpu, miniConfig(), p,
                                   fastOpts());
     // Pages overwhelmingly read-write shared; lines overwhelmingly
     // private (Figure 4).
@@ -233,16 +247,16 @@ TEST(System, LinkBandwidthSensitivity)
     fast.link.gpu_gpu_bw = 256.0;
 
     const SimResult numa_slow =
-        runSimulation(makePreset(Preset::NumaGpu, slow), p, "ns",
+        runConfig(makePreset(Preset::NumaGpu, slow), p, "ns",
                       fastOpts());
     const SimResult numa_fast =
-        runSimulation(makePreset(Preset::NumaGpu, fast), p, "nf",
+        runConfig(makePreset(Preset::NumaGpu, fast), p, "nf",
                       fastOpts());
     const SimResult carve_slow =
-        runSimulation(makePreset(Preset::CarveHwc, slow), p, "cs",
+        runConfig(makePreset(Preset::CarveHwc, slow), p, "cs",
                       fastOpts());
     const SimResult carve_fast =
-        runSimulation(makePreset(Preset::CarveHwc, fast), p, "cf",
+        runConfig(makePreset(Preset::CarveHwc, fast), p, "cf",
                       fastOpts());
 
     const double numa_gain = speedupOver(numa_slow, numa_fast);
@@ -259,8 +273,8 @@ TEST(System, RdcSizeSweepIsMonotoneOnBigWorkingSets)
     small.rdc.size = 2 * MiB;
     SystemConfig big = makePreset(Preset::CarveHwc, miniConfig());
     big.rdc.size = 64 * MiB;
-    const SimResult rs = runSimulation(small, p, "s", fastOpts());
-    const SimResult rb = runSimulation(big, p, "b", fastOpts());
+    const SimResult rs = runConfig(small, p, "s", fastOpts());
+    const SimResult rb = runConfig(big, p, "b", fastOpts());
     const double small_hit = static_cast<double>(rs.rdc_hits) /
         static_cast<double>(rs.rdc_hits + rs.rdc_misses);
     const double big_hit = static_cast<double>(rb.rdc_hits) /
@@ -276,8 +290,8 @@ TEST(System, WriteThroughTracksWriteBackClosely)
     SystemConfig wt = makePreset(Preset::CarveHwc, miniConfig());
     SystemConfig wb = wt;
     wb.rdc.write_policy = RdcWritePolicy::WriteBack;
-    const SimResult rwt = runSimulation(wt, p, "wt", fastOpts());
-    const SimResult rwb = runSimulation(wb, p, "wb", fastOpts());
+    const SimResult rwt = runConfig(wt, p, "wt", fastOpts());
+    const SimResult rwb = runConfig(wb, p, "wb", fastOpts());
     const double ratio = static_cast<double>(rwt.cycles) /
         static_cast<double>(rwb.cycles);
     EXPECT_GT(ratio, 0.85);
@@ -320,7 +334,7 @@ TEST(SystemDeathTest, MaxCyclesGuardTrips)
     RunOptions opt;
     opt.max_cycles = 10;
     // Historical contract: a watchdog trip is fatal by default.
-    EXPECT_EXIT(runSimulation(miniConfig(), p, "t", opt),
+    EXPECT_EXIT(runConfig(miniConfig(), p, "t", opt),
                 ::testing::ExitedWithCode(1), "did not converge");
 }
 
@@ -340,7 +354,7 @@ TEST(System, MaxCyclesGuardSurfacesWhenTolerated)
     RunOptions opt;
     opt.max_cycles = 10;
     opt.tolerate_watchdog = true;
-    const SimResult r = runSimulation(miniConfig(), p, "t", opt);
+    const SimResult r = runConfig(miniConfig(), p, "t", opt);
     EXPECT_TRUE(r.watchdog_tripped);
 }
 

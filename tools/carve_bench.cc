@@ -9,7 +9,11 @@
  *     number of the event-engine rewrite.
  *  2. End-to-end preset x workload cells — full simulations timed on
  *     the host, reporting host-seconds, events/sec and warp-insts/sec
- *     per cell.
+ *     per cell. Engine-scaling cells re-run the 4-GPU CARVE-HWC
+ *     simulation under the parallel engine at 1/2/4 sim-threads
+ *     (clamped to this host's cores); each produces the same result
+ *     bytes as the serial cell, so the warp-insts/sec ratio is a pure
+ *     intra-run speedup measurement.
  *
  * Results are written as a "carve-bench/v1" JSON file (default
  * BENCH_<date>.json). With --baseline the report is compared against
@@ -31,6 +35,7 @@
 #include <ctime>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
@@ -416,6 +421,25 @@ main(int argc, char **argv)
         on.options.trace.buffer_capacity = std::size_t{1} << 20;
         on.options.trace.sample_interval = 1000;
         rep.cells.push_back(runCell(on));
+
+        // Engine-scaling cells: the 4-GPU CARVE-HWC cell re-run with
+        // the per-GPU event domains on 1/2/4 worker threads. The
+        // serial cell above is the denominator; thread counts this
+        // host cannot supply are skipped (run() refuses
+        // oversubscription), so baselines only gate cells both
+        // machines produced.
+        const unsigned hw = std::thread::hardware_concurrency();
+        for (const unsigned n : {1u, 2u, 4u}) {
+            if (hw != 0 && n > hw)
+                continue;
+            SimJob par =
+                makePresetJob(Preset::CarveHwc, base, lulesh, opts);
+            par.preset_label =
+                "CARVE-HWC+par" + std::to_string(n);
+            par.options.engine = SimEngine::Parallel;
+            par.options.sim_threads = n;
+            rep.cells.push_back(runCell(par));
+        }
     }
 
     // ---- write + gate ---------------------------------------------

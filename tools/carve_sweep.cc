@@ -107,8 +107,17 @@ usage()
         "  --fuzz-seed S             fuzz campaign seed (default 1)\n"
         "\n"
         "execution:\n"
-        "  --threads N               worker threads (0 = all cores;\n"
-        "                            default 0)\n"
+        "  --threads N               sweep worker threads, i.e. how\n"
+        "                            many runs execute concurrently\n"
+        "                            (0 = all cores; default 0)\n"
+        "  --engine serial|parallel  intra-run engine: per-GPU event\n"
+        "                            domains executed serially or on\n"
+        "                            a thread pool (default serial;\n"
+        "                            sugar for --set engine=...)\n"
+        "  --sim-threads N           worker threads per run when\n"
+        "                            --engine parallel (sugar for\n"
+        "                            --set sim_threads=N); results\n"
+        "                            are byte-identical at any value\n"
         "  --max-cycles N            per-run cycle watchdog\n"
         "                            (default 1e9; 0 = unlimited)\n"
         "  --max-wall-seconds S      per-run wall watchdog\n"
@@ -252,6 +261,17 @@ parseArgs(int argc, char **argv)
         } else if (a == "--threads") {
             cli.threads = static_cast<unsigned>(
                 parseU64("--threads", need(i, "--threads")));
+        } else if (a == "--engine") {
+            // Sugar for the registered config override, so the
+            // choice lands in results metadata and served job keys
+            // exactly like any other --set.
+            cli.overrides.push_back("engine=" +
+                                    need(i, "--engine"));
+        } else if (a == "--sim-threads") {
+            cli.overrides.push_back(
+                "sim_threads=" +
+                std::to_string(parseU64("--sim-threads",
+                                        need(i, "--sim-threads"))));
         } else if (a == "--max-cycles") {
             cli.max_cycles =
                 parseU64("--max-cycles", need(i, "--max-cycles"));
