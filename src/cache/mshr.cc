@@ -6,8 +6,8 @@
 
 namespace carve {
 
-MshrFile::MshrFile(unsigned num_entries, Arena *arena)
-    : capacity_(num_entries), waiters_(arena)
+MshrFile::MshrFile(unsigned num_entries, Arena *arena, EventQueue *eq)
+    : capacity_(num_entries), waiters_(arena), eq_(eq)
 {
     if (num_entries == 0)
         fatal("MshrFile: need at least one entry");
@@ -110,7 +110,63 @@ MshrFile::complete(Addr line_addr)
         if (wt.fn)
             wt.fn();
     }
+
+    // A register is free now: wake parked requests. The drain runs as
+    // its own event at the current tick so it claims a (tick, seq)
+    // slot on the owning domain's queue — wake order is deterministic
+    // and identical under the serial and parallel engines.
+    maybeScheduleDrain();
     return fired;
+}
+
+void
+MshrFile::park(Completion retry)
+{
+    if (!eq_)
+        fatal("MshrFile: park() needs an event queue "
+              "(none was passed at construction)");
+    ++parks_;
+    const std::uint32_t w = waiters_.alloc({retry, npos});
+    if (wake_tail_ == npos) {
+        wake_head_ = wake_tail_ = w;
+    } else {
+        waiters_[wake_tail_].next = w;
+        wake_tail_ = w;
+    }
+    ++parked_count_;
+}
+
+void
+MshrFile::maybeScheduleDrain()
+{
+    if (wake_head_ == npos || drain_scheduled_)
+        return;
+    drain_scheduled_ = true;
+    eq_->schedule(eq_->now(),
+                  bindEvent<&MshrFile::drainWaiters>(this));
+}
+
+void
+MshrFile::drainWaiters()
+{
+    drain_scheduled_ = false;
+    // Wake only as many waiters as the file can absorb: each one runs
+    // with a free register in hand, so the head waiter always makes
+    // progress (it merges or takes the register) and nobody behind it
+    // is woken just to re-park — waking the whole list per fill is
+    // O(parked) work per completion and measurably tanks saturated
+    // runs. Leftover waiters keep their FIFO order; the next
+    // complete() schedules another drain.
+    while (wake_head_ != npos && live_ < capacity_) {
+        const std::uint32_t w = wake_head_;
+        const Waiter wt = waiters_[w];
+        waiters_.free(w);
+        wake_head_ = wt.next;
+        if (wake_head_ == npos)
+            wake_tail_ = npos;
+        --parked_count_;
+        wt.fn();
+    }
 }
 
 } // namespace carve

@@ -8,10 +8,20 @@
  * a Pool of index-linked waiter records. The table is sized to <=50%
  * load at the configured capacity so probes stay short, and deletion
  * uses backward shifting, so there are no tombstones and no
- * rehashing — outstanding() and allocate() on the L2 retry storm
- * (tens of millions of calls per run) touch one or two cache lines.
- * Waiters fire in registration order, exactly as the previous
+ * rehashing — outstanding() and allocate() touch one or two cache
+ * lines. Waiters fire in registration order, exactly as the previous
  * node-based implementation did.
+ *
+ * Requests that find the file full do not poll: they park() once on
+ * an intrusive FIFO wake-list, and complete() drains the list through
+ * the owning domain's event queue (one drain event per completion
+ * batch, scheduled at the current tick so it claims a deterministic
+ * (tick, seq) slot). Parked requests are retried in arrival order,
+ * but a drain only wakes as many waiters as the file has free
+ * registers — each retry runs with a register in hand, so wake work
+ * per completion is O(1) and nobody is woken just to re-park.
+ * Leftover waiters keep their FIFO position, so no waiter starves
+ * behind later arrivals.
  */
 
 #ifndef CARVE_CACHE_MSHR_HH
@@ -46,8 +56,11 @@ class MshrFile
     using Callback = Completion;
 
     /** @param num_entries max distinct outstanding lines
-     *  @param arena optional backing store for waiter records */
-    explicit MshrFile(unsigned num_entries, Arena *arena = nullptr);
+     *  @param arena optional backing store for waiter records
+     *  @param eq owning domain's event queue; required before park()
+     *         may be used (wake-ups drain through it) */
+    explicit MshrFile(unsigned num_entries, Arena *arena = nullptr,
+                      EventQueue *eq = nullptr);
 
     /**
      * Track a miss to @p line_addr.
@@ -61,6 +74,18 @@ class MshrFile
      * @return number of callbacks fired
      */
     std::size_t complete(Addr line_addr);
+
+    /**
+     * Park @p retry on the FIFO wake-list after allocate() returned
+     * Full. The next complete() schedules one drain event at the
+     * current tick on the owning queue; the drain pops retries in
+     * park order while a register is free, so each one runs with
+     * room to make progress. Requires an event queue (ctor @p eq).
+     */
+    void park(Completion retry);
+
+    /** Requests currently parked on the wake-list. */
+    std::size_t parked() const { return parked_count_; }
 
     /** True when a fetch for @p line_addr is in flight. */
     bool
@@ -79,6 +104,8 @@ class MshrFile
     std::uint64_t merges() const { return merges_.value(); }
     /** Total allocations rejected because the file was full. */
     std::uint64_t rejections() const { return rejections_.value(); }
+    /** Total park() calls (initial parks plus re-parks). */
+    std::uint64_t parks() const { return parks_.value(); }
 
     /** Register this file's counters into @p g (owned by caller). */
     void
@@ -88,6 +115,8 @@ class MshrFile
                     "misses merged behind an in-flight line");
         g.addScalar("rejections", &rejections_,
                     "allocations rejected because the file was full");
+        g.addScalar("parks", &parks_,
+                    "requests parked on the wake-list (incl. re-parks)");
     }
 
     /**
@@ -127,8 +156,8 @@ class MshrFile
             mask_;
     }
 
-    /** Linear probe; inline because the L2 retry storm polls it tens
-     * of millions of times per run. */
+    /** Linear probe; inline because the miss path calls it tens of
+     * millions of times per run. */
     std::uint32_t
     findSlot(Addr a) const
     {
@@ -142,6 +171,12 @@ class MshrFile
 
     std::uint32_t insertSlot(Addr a);
     void eraseSlot(std::uint32_t i);
+    /** Fire parked retries in FIFO order while a register is free
+     *  (event context). */
+    void drainWaiters();
+    /** Arm one drain event at the current tick if waiters are parked
+     * and none is pending. */
+    void maybeScheduleDrain();
 
     unsigned capacity_;
     std::uint32_t mask_;
@@ -152,8 +187,15 @@ class MshrFile
     std::vector<Cycle> born_;            ///< allocate stamp (tracing)
     Pool<Waiter> waiters_;
 
+    EventQueue *eq_;                     ///< drains wake-ups; may be null
+    std::uint32_t wake_head_ = npos;     ///< first parked retry
+    std::uint32_t wake_tail_ = npos;     ///< last parked retry
+    std::size_t parked_count_ = 0;
+    bool drain_scheduled_ = false;
+
     stats::Scalar merges_;
     stats::Scalar rejections_;
+    stats::Scalar parks_;
 
     trace::Session *trace_ = nullptr;
     const EventQueue *trace_eq_ = nullptr;

@@ -323,6 +323,7 @@ const KeyEntry key_table[] = {
     KEY_BOOL("rdc.hit_predictor", rdc.hit_predictor),
     KEY_U64("rdc.epoch_bits", rdc.epoch_bits),
     KEY_U64("rdc.controller_latency", rdc.controller_latency),
+    KEY_U64("rdc.mshr_entries", rdc.mshr_entries),
 
     KEY_ENUM("numa.placement", numa.placement,
              parsePlacementPolicy, placementPolicyName),
@@ -404,6 +405,12 @@ SystemConfig::validate() const
         fatal("config: page_size must be a power of two >= line_size");
     if (l1.size == 0 || l2.size == 0)
         fatal("config: cache sizes must be nonzero");
+    if (l1.mshrs == 0)
+        fatal("config: l1.mshrs must be >= 1 "
+              "(override key \"l1.mshrs\")");
+    if (l2.mshrs == 0)
+        fatal("config: l2.mshrs must be >= 1 "
+              "(override key \"l2.mshrs\")");
     if (l1.size % (line_size * l1.ways) != 0)
         fatal("config: L1 geometry (size/ways/line) is not integral");
     if (l2.size % (line_size * l2.ways) != 0)
@@ -415,6 +422,9 @@ SystemConfig::validate() const
             fatal("config: RDC size must be a nonzero line multiple");
         if (rdc.size >= dram.capacity)
             fatal("config: RDC carve-out exceeds GPU memory capacity");
+        if (rdc.mshr_entries == 0)
+            fatal("config: rdc.mshr_entries must be >= 1 "
+                  "(override key \"rdc.mshr_entries\")");
     }
     if (numa.spill_fraction < 0.0 || numa.spill_fraction >= 1.0)
         fatal("config: spill_fraction must lie in [0, 1)");

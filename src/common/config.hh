@@ -123,6 +123,9 @@ struct RdcConfig
     /** Extra local-DRAM accesses per lookup are implicit; this adds a
      * fixed controller pipeline latency on top of the DRAM access. */
     Cycle controller_latency = 10;
+    /** Max distinct remote lines with an in-flight fetch; further
+     * misses park on the MSHR wake-list until a fetch completes. */
+    unsigned mshr_entries = 1024;
 };
 
 /** NUMA software-runtime parameters. */

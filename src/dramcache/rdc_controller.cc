@@ -15,7 +15,7 @@ RdcController::RdcController(EventQueue &eq, const SystemConfig &cfg,
       ops_(std::move(ops)),
       alloy_(cfg.rdc.size, cfg.line_size),
       epoch_(cfg.rdc.epoch_bits),
-      mshrs_(1024, arena),
+      mshrs_(cfg.rdc.mshr_entries, arena, &eq),
       pending_misses_(arena),
       carve_base_(cfg.dram.capacity - cfg.rdc.size)
 {
@@ -112,13 +112,20 @@ RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
                           Callback done)
 {
     (void)serialized;
-    const MshrOutcome out = mshrs_.allocate(line_addr, done);
-    if (out == MshrOutcome::Full) {
-        // The RDC MSHR file is generously sized; overflowing it means
-        // a pathological configuration rather than expected load.
-        panic("RdcController: MSHR overflow at node %u",
-              static_cast<unsigned>(self_));
+    // A full file cannot merge a new line: park on the wake-list and
+    // re-enter when a fetch completes. Small rdc.mshr_entries configs
+    // hit this legally; it is backpressure, not a simulator bug.
+    if (mshrs_.full() && !mshrs_.outstanding(line_addr)) {
+        ++mshr_stalls_;
+        const std::uint32_t pending = pending_misses_.alloc(
+            PendingMiss{line_addr, done, home});
+        mshrs_.park(
+            Completion::bind<&RdcController::wakeMiss>(this, pending));
+        return;
     }
+
+    const MshrOutcome out = mshrs_.allocate(line_addr, done);
+    carve_assert(out != MshrOutcome::Full);
     if (out != MshrOutcome::NewEntry)
         return;
 
@@ -127,6 +134,22 @@ RdcController::handleMiss(NodeId home, Addr line_addr, bool serialized,
     ops_.fetch_remote(home, line_addr,
                       Completion::bind<&RdcController::fetchArrived>(
                           this, line_addr, home));
+}
+
+void
+RdcController::wakeMiss(std::uint32_t pending)
+{
+    const PendingMiss miss = pending_misses_[pending];
+    if (mshrs_.full() && !mshrs_.outstanding(miss.line_addr)) {
+        // Earlier waiters took every freed register: keep the record
+        // and our wake-list position.
+        mshrs_.park(
+            Completion::bind<&RdcController::wakeMiss>(this, pending));
+        return;
+    }
+    pending_misses_.free(pending);
+    handleMiss(miss.home, miss.line_addr, /* serialized */ false,
+               miss.done);
 }
 
 void
@@ -242,6 +265,8 @@ RdcController::registerStats(stats::StatGroup &g)
                 "reads serviced from the carve-out");
     g.addScalar("read_misses", &read_misses_,
                 "reads forwarded to the home node");
+    g.addScalar("mshr_stalls", &mshr_stalls_,
+                "stall episodes on a full RDC MSHR file");
     g.addScalar("write_updates", &write_updates_,
                 "writes updating a resident carve-out line");
     g.addScalar("write_throughs", &write_throughs_,

@@ -162,6 +162,9 @@ class RdcController
 
     void handleMiss(NodeId home, Addr line_addr, bool serialized,
                     Callback done);
+    /** Wake-list retry of a miss parked on the full MSHR file;
+     * re-parks while the file is still full. */
+    void wakeMiss(std::uint32_t pending);
     /** Write a displaced dirty victim back to its home (its carve-out
      * copy was the only up-to-date one) and drop its dirty-map set. */
     void handleVictim(const std::optional<RdcVictim> &victim);
@@ -199,6 +202,7 @@ class RdcController
 
     stats::Scalar read_hits_;
     stats::Scalar read_misses_;
+    stats::Scalar mshr_stalls_;
     stats::Scalar write_updates_;
     stats::Scalar write_throughs_;
     stats::Scalar bypasses_;

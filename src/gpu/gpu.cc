@@ -6,13 +6,6 @@
 
 namespace carve {
 
-namespace {
-
-/** Cycles between retries when the L2 MSHR file is full. */
-constexpr Cycle l2_mshr_retry_delay = 16;
-
-} // namespace
-
 double
 GpuTraffic::fracRemote() const
 {
@@ -30,7 +23,7 @@ GpuNode::GpuNode(EventQueue &eq, const SystemConfig &cfg, NodeId id,
                  Arena *arena)
     : eq_(eq), cfg_(cfg), id_(id), pages_(pages), fabric_(fabric),
       l2_("l2", cfg.l2, cfg.line_size),
-      l2_mshrs_(cfg.l2.mshrs, arena),
+      l2_mshrs_(cfg.l2.mshrs, arena, &eq),
       parked_misses_(arena),
       tlb_(cfg.tlb, cfg.core.sms_per_gpu, cfg.page_size),
       mem_(eq, cfg, arena)
@@ -265,15 +258,15 @@ GpuNode::arriveAtL2(Addr line, Callback done)
 void
 GpuNode::handleL2ReadMiss(Addr line, Callback done)
 {
-    // A full MSHR file cannot merge a new line: park the request in
-    // the pool and poll by handle, so each retry hop is a two-word
-    // bound event instead of a captured closure.
+    // A full MSHR file cannot merge a new line: one stall episode
+    // begins. Park the request in the pool and join the wake-list;
+    // a completing fill drains us back in FIFO order — no polling.
     if (l2_mshrs_.full() && !l2_mshrs_.outstanding(line)) {
+        ++l2_mshr_stalls_;
         const std::uint32_t parked =
             parked_misses_.alloc(ParkedMiss{line, done});
-        eq_.scheduleAfter(
-            l2_mshr_retry_delay,
-            bindEvent<&GpuNode::retryL2Miss>(this, parked, line));
+        l2_mshrs_.park(
+            Completion::bind<&GpuNode::wakeL2Miss>(this, parked));
         return;
     }
 
@@ -289,18 +282,16 @@ GpuNode::handleL2ReadMiss(Addr line, Callback done)
 }
 
 void
-GpuNode::retryL2Miss(std::uint32_t parked, Addr line)
+GpuNode::wakeL2Miss(std::uint32_t parked)
 {
-    // The line rides in the bound event so the still-full poll (the
-    // dominant event in MSHR-saturated phases) touches only the MSHR
-    // occupancy word and probe — not the parked-request pool.
-    if (l2_mshrs_.full() && !l2_mshrs_.outstanding(line)) {
-        // Still full: re-arm this very event in place — no alloc, no
-        // rebind.
-        eq_.repeatAfter(l2_mshr_retry_delay);
+    const ParkedMiss miss = parked_misses_[parked];
+    if (l2_mshrs_.full() && !l2_mshrs_.outstanding(miss.line)) {
+        // Earlier waiters took every freed register: same episode,
+        // keep the record and our wake-list position.
+        l2_mshrs_.park(
+            Completion::bind<&GpuNode::wakeL2Miss>(this, parked));
         return;
     }
-    const ParkedMiss miss = parked_misses_[parked];
     parked_misses_.free(parked);
     handleL2ReadMiss(miss.line, miss.done);
 }
@@ -462,6 +453,8 @@ GpuNode::registerStats(stats::StatGroup &g)
 
     stats::StatGroup *l2g = child("l2", &g);
     l2_.registerStats(*l2g);
+    l2g->addScalar("mshr_stalls", &l2_mshr_stalls_,
+                   "stall episodes on a full L2 MSHR file");
     l2_mshrs_.registerStats(*child("mshrs", l2g));
 
     tlb_.registerStats(*child("tlb", &g));

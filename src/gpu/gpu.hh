@@ -175,7 +175,8 @@ class GpuNode
     void setTrace(trace::Session *session, std::uint32_t pid);
 
   private:
-    /** A read parked on a full L2 MSHR file, awaiting retry. */
+    /** A read in flight to the L2, or parked on the full L2 MSHR
+     * file's wake-list awaiting a freed register. */
     struct ParkedMiss
     {
         Addr line;
@@ -188,9 +189,9 @@ class GpuNode
     /** Unparks an (addr, completion) record staged by accessFromSm. */
     void arriveAtL2Parked(std::uint32_t parked);
     void handleL2ReadMiss(Addr line, Callback done);
-    /** Retry a parked read; reschedules itself while the file is
-     * still full, preserving the poll cadence exactly. */
-    void retryL2Miss(std::uint32_t parked, Addr line);
+    /** Wake-list retry of a parked read; re-parks while the file is
+     * still full, preserving its FIFO position. */
+    void wakeL2Miss(std::uint32_t parked);
     void startFill(Addr line);
     /** Issue the fill at the routed @p service node. */
     void launchFill(Addr line, NodeId service);
@@ -226,6 +227,7 @@ class GpuNode
     std::uint32_t coherence_track_ = 0;
 
     GpuTraffic traffic_;
+    stats::Scalar l2_mshr_stalls_;
     stats::Scalar hw_invalidations_in_;
     stats::Scalar serviced_remote_reads_;
     stats::Scalar serviced_remote_writes_;

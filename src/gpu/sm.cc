@@ -6,19 +6,13 @@
 
 namespace carve {
 
-namespace {
-
-/** Cycles between retries when the L1 MSHR file is full. */
-constexpr Cycle mshr_retry_delay = 8;
-
-} // namespace
-
 Sm::Sm(EventQueue &eq, const SystemConfig &cfg, SmId id, Hooks hooks,
        std::uint64_t jitter_seed, Arena *arena)
     : eq_(eq), cfg_(cfg), id_(id), hooks_(std::move(hooks)),
       jitter_seed_(jitter_seed),
       l1_("l1", cfg.l1, cfg.line_size),
-      l1_mshrs_(cfg.l1.mshrs, arena),
+      l1_mshrs_(cfg.l1.mshrs, arena, &eq),
+      parked_reads_(arena),
       warps_(cfg.core.max_warps_per_sm)
 {
     carve_assert(hooks_.access_l2 && hooks_.record_access &&
@@ -156,20 +150,35 @@ Sm::startRead(unsigned slot, Addr line)
 void
 Sm::allocateMiss(unsigned slot, Addr line)
 {
-    if (!tryAllocateMiss(slot, line)) {
-        eq_.scheduleAfter(
-            mshr_retry_delay,
-            bindEvent<&Sm::retryL1Miss>(this, slot, line));
-    }
+    if (tryAllocateMiss(slot, line))
+        return;
+    // One stall episode begins: park once on the MSHR wake-list and
+    // wait to be drained through the event queue when a fill frees a
+    // register — no retry polling.
+    ++mshr_stalls_;
+    const std::uint32_t parked = parked_reads_.alloc(
+        ParkedRead{line, eq_.now(), slot});
+    l1_mshrs_.park(Completion::bind<&Sm::wakeL1Miss>(this, parked));
 }
 
 void
-Sm::retryL1Miss(unsigned slot, Addr line)
+Sm::wakeL1Miss(std::uint32_t parked)
 {
-    // Runs only as its own bound event, so a still-full MSHR file can
-    // re-arm the firing node in place instead of scheduling afresh.
-    if (!tryAllocateMiss(slot, line))
-        eq_.repeatAfter(mshr_retry_delay);
+    const ParkedRead r = parked_reads_[parked];
+    if (!tryAllocateMiss(r.slot, r.line)) {
+        // Earlier waiters took every freed register: same episode
+        // continues, keep the record and our wake-list position.
+        l1_mshrs_.park(Completion::bind<&Sm::wakeL1Miss>(this,
+                                                         parked));
+        return;
+    }
+    if (trace::active(trace_, trace::Category::Sm)) {
+        // One instant per stall episode, with the park duration as
+        // payload (the per-poll variant flooded the ring buffer).
+        trace_->instant(trace::Category::Sm, trace_track_,
+                        "mshr_stall", eq_.now(), eq_.now() - r.since);
+    }
+    parked_reads_.free(parked);
 }
 
 bool
@@ -185,11 +194,6 @@ Sm::tryAllocateMiss(unsigned slot, Addr line)
       case MshrOutcome::Merged:
         return true;
       case MshrOutcome::Full:
-        ++mshr_stalls_;
-        if (trace::active(trace_, trace::Category::Sm)) {
-            trace_->instant(trace::Category::Sm, trace_track_,
-                            "mshr_stall", eq_.now(), line);
-        }
         return false;
     }
     return false;
@@ -245,7 +249,7 @@ Sm::registerStats(stats::StatGroup &g)
     g.addScalar("lines_accessed", &lines_,
                 "post-coalescing line accesses");
     g.addScalar("mshr_stalls", &mshr_stalls_,
-                "issue stalls on a full L1 MSHR file");
+                "stall episodes on a full L1 MSHR file");
 
     stat_groups_.push_back(
         std::make_unique<stats::StatGroup>("l1", &g));

@@ -126,14 +126,22 @@ class Sm
     void issueLoads(unsigned slot);
     void startRead(unsigned slot, Addr line);
     void allocateMiss(unsigned slot, Addr line);
-    /** Event-context retry of a Full L1 MSHR allocation; re-arms its
-     * own event node while the file stays full. */
-    void retryL1Miss(unsigned slot, Addr line);
-    /** @return false when the MSHR file is full (stall counted). */
+    /** Wake-list retry of a Full L1 MSHR allocation; re-parks while
+     * the file stays full, ends the stall episode on success. */
+    void wakeL1Miss(std::uint32_t parked);
+    /** @return false when the MSHR file is full. */
     bool tryAllocateMiss(unsigned slot, Addr line);
     void finishL1Fill(Addr line);
     void lineDone(unsigned slot);
     void finishWarp(unsigned slot);
+
+    /** One L1 MSHR stall episode: a read parked on the wake-list. */
+    struct ParkedRead
+    {
+        Addr line;
+        Cycle since;        ///< episode start (trace duration)
+        std::uint32_t slot;
+    };
 
     EventQueue &eq_;
     const SystemConfig &cfg_;
@@ -144,6 +152,7 @@ class Sm
 
     Cache l1_;
     MshrFile l1_mshrs_;
+    Pool<ParkedRead> parked_reads_;
     std::vector<WarpContext> warps_;
     unsigned active_warps_ = 0;
     Cycle lsu_free_at_ = 0;

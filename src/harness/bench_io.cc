@@ -156,11 +156,12 @@ compareBench(const BenchReport &baseline,
         out.push_back(std::move(d));
     };
     // Lower is better: gate on candidate/baseline.
-    const auto time = [&](const std::string &key, double base,
-                          double cand) {
+    const auto lower = [&](const std::string &key,
+                           const char *metric, double base,
+                           double cand) {
         BenchDelta d;
         d.key = key;
-        d.metric = "host_seconds";
+        d.metric = metric;
         d.baseline = base;
         d.candidate = cand;
         d.factor = base > 0.0 ? cand / base : 0.0;
@@ -190,10 +191,18 @@ compareBench(const BenchReport &baseline,
         for (const auto &c : candidate.cells)
             if (c.key() == bc.key())
                 cc = &c;
-        if (cc)
-            time(bc.key(), bc.host_seconds, cc->host_seconds);
-        else
+        if (cc) {
+            lower(bc.key(), "host_seconds", bc.host_seconds,
+                  cc->host_seconds);
+            // Event counts are deterministic, so this gate is exact:
+            // a return to MSHR retry polling inflates events by
+            // orders of magnitude long before wall time notices.
+            lower(bc.key(), "events",
+                  static_cast<double>(bc.events),
+                  static_cast<double>(cc->events));
+        } else {
             missing(bc.key(), "missing cell");
+        }
     }
     return out;
 }

@@ -272,5 +272,118 @@ TEST(MshrDeathTest, CompletingUntrackedLinePanics)
     EXPECT_DEATH(m.complete(0xDEAD), "untracked");
 }
 
+// ---- mshr wake-list -------------------------------------------------
+
+/** Test helper: a parked requester that retries its line on wake,
+ * re-parks while the file stays full, and logs its service order. */
+struct ParkedRequester
+{
+    MshrFile *m;
+    CallLog *log;
+    Addr line;
+    int id;
+    int wakes = 0;
+
+    void
+    retry()
+    {
+        ++wakes;
+        if (m->full() && !m->outstanding(line)) {
+            m->park(Completion::bind<&ParkedRequester::retry>(this));
+            return;
+        }
+        EXPECT_NE(m->allocate(line, Completion()), MshrOutcome::Full);
+        log->push(static_cast<std::uint64_t>(id));
+    }
+};
+
+TEST(MshrWakeList, WakeOrderIsFifoAcrossDrainRounds)
+{
+    EventQueue eq;
+    MshrFile m(1, nullptr, &eq);
+    CallLog log;
+    m.allocate(0x100, Completion());
+    ParkedRequester a{&m, &log, 0x200, 1};
+    ParkedRequester b{&m, &log, 0x300, 2};
+    ParkedRequester c{&m, &log, 0x400, 3};
+    m.park(Completion::bind<&ParkedRequester::retry>(&a));
+    m.park(Completion::bind<&ParkedRequester::retry>(&b));
+    m.park(Completion::bind<&ParkedRequester::retry>(&c));
+    EXPECT_EQ(m.parked(), 3u);
+
+    // One register frees per round, so each drain wakes exactly the
+    // head waiter; the rest keep their FIFO position for later rounds.
+    m.complete(0x100);
+    eq.run();
+    EXPECT_EQ(log.order, (std::vector<int>{1}));
+    EXPECT_EQ(m.parked(), 2u);
+    m.complete(0x200);
+    eq.run();
+    m.complete(0x300);
+    eq.run();
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(m.parked(), 0u);
+}
+
+TEST(MshrWakeList, MergesDoNotStarveParkedWaiters)
+{
+    EventQueue eq;
+    MshrFile m(1, nullptr, &eq);
+    CallLog log;
+    m.allocate(0x100, Completion::bind<&CallLog::push>(&log, 1));
+    ParkedRequester a{&m, &log, 0x200, 3};
+    m.park(Completion::bind<&ParkedRequester::retry>(&a));
+    // A merge behind the outstanding line consumes no register, so it
+    // cannot steal the freed slot from the parked waiter.
+    EXPECT_EQ(m.allocate(0x100,
+                         Completion::bind<&CallLog::push>(&log, 2)),
+              MshrOutcome::Merged);
+    m.complete(0x100);
+    eq.run();
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(m.outstanding(0x200));
+}
+
+TEST(MshrWakeList, DrainWakesOnlyAsManyWaitersAsFreeRegisters)
+{
+    EventQueue eq;
+    MshrFile m(2, nullptr, &eq);
+    CallLog log;
+    m.allocate(0x100, Completion());
+    m.allocate(0x200, Completion());
+    ParkedRequester a{&m, &log, 0x300, 1};
+    ParkedRequester b{&m, &log, 0x400, 2};
+    ParkedRequester c{&m, &log, 0x500, 3};
+    m.park(Completion::bind<&ParkedRequester::retry>(&a));
+    m.park(Completion::bind<&ParkedRequester::retry>(&b));
+    m.park(Completion::bind<&ParkedRequester::retry>(&c));
+
+    // Two same-tick completions coalesce into one drain event. The
+    // drain frees two registers, so it wakes exactly the first two
+    // waiters; the third is never woken just to re-park.
+    m.complete(0x100);
+    m.complete(0x200);
+    eq.run();
+    EXPECT_EQ(a.wakes, 1);
+    EXPECT_EQ(b.wakes, 1);
+    EXPECT_EQ(c.wakes, 0);
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(m.parked(), 1u);
+    EXPECT_EQ(m.parks(), 3u);  // three initial parks, no re-parks
+
+    m.complete(0x300);
+    eq.run();
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(m.parked(), 0u);
+}
+
+TEST(MshrWakeList, ParkWithoutQueueIsFatal)
+{
+    MshrFile m(1);
+    CallLog log;
+    EXPECT_EXIT(m.park(Completion::bind<&CallLog::hit>(&log)),
+                ::testing::ExitedWithCode(1), "park");
+}
+
 } // namespace
 } // namespace carve

@@ -215,6 +215,24 @@ TEST(ConfigDeathTest, ValidationCatchesOversizedRdc)
                 "carve-out");
 }
 
+TEST(ConfigDeathTest, ValidationCatchesZeroRdcMshrEntries)
+{
+    SystemConfig cfg;
+    cfg.rdc.enabled = true;
+    cfg.applyOverride("rdc.mshr_entries", "0");
+    // The error must name the override key the user has to fix.
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "rdc.mshr_entries");
+}
+
+TEST(ConfigDeathTest, ValidationCatchesZeroCacheMshrs)
+{
+    SystemConfig cfg;
+    cfg.applyOverride("l1.mshrs", "0");
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "l1.mshrs");
+}
+
 TEST(ConfigDeathTest, ValidationCatchesBadSpill)
 {
     SystemConfig cfg;

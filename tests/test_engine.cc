@@ -103,6 +103,30 @@ TEST(EngineIdentity, SerialVsParallelAcrossThePresetGrid)
     }
 }
 
+TEST(EngineIdentity, MshrSaturatedWakeListsMatchAcrossThreads)
+{
+    // Tiny MSHR files keep all three wake-lists (L1, L2, RDC) hot:
+    // every fill drains parked requests through the owning domain's
+    // queue. Wake order must be a pure function of (tick, seq), so
+    // the stat tree stays byte-identical at every thread count.
+    SimJob job = gridJob(Preset::CarveHwc, "Lulesh");
+    job.config.l1.mshrs = 2;
+    job.config.l2.mshrs = 4;
+    job.config.rdc.mshr_entries = 4;
+    job.preset_label = "carve-mshr-sat";
+
+    job.options.engine = SimEngine::Serial;
+    const std::string serial = statBytes(job);
+    ASSERT_GT(serial.size(), 100u);
+
+    job.options.engine = SimEngine::Parallel;
+    for (const unsigned n : threadCounts()) {
+        job.options.sim_threads = n;
+        EXPECT_EQ(serial, statBytes(job))
+            << "wake-list run diverged at sim_threads=" << n;
+    }
+}
+
 TEST(EngineIdentity, SpillJobWithUnifiedMemoryMatches)
 {
     // CPU-resident pages route through the system domain; make sure

@@ -47,7 +47,12 @@ struct RdcFixture : public ::testing::Test
         cfg.rdc.size = 4 * MiB;
         cfg.rdc.coherence = RdcCoherence::HardwareVI;
         mem = std::make_unique<MemoryController>(eq, cfg);
+        rebuild();
+    }
 
+    RdcRemoteOps
+    makeOps()
+    {
         RdcRemoteOps ops;
         ops.fetch_remote = [this](NodeId home, Addr line,
                                   Completion done) {
@@ -67,8 +72,16 @@ struct RdcFixture : public ::testing::Test
             last_flush_home = home;
             flushed_bytes += bytes;
         };
+        return ops;
+    }
+
+    /** (Re)create the controller; derived fixtures that change
+     * construction-time config (MSHR sizing) call this again. */
+    void
+    rebuild()
+    {
         rdc = std::make_unique<RdcController>(eq, cfg, 0, *mem,
-                                              std::move(ops));
+                                              makeOps());
     }
 
     EventQueue eq;
@@ -303,6 +316,47 @@ TEST_F(RdcPredictorFixture, PredictedMissOverlapsProbeWithFetch)
     // bare remote trip (no serialized probe).
     EXPECT_GT(rdc->predictedBypasses(), 0u);
     EXPECT_LE(p.laps.back(), remote_latency + 10);
+}
+
+struct RdcTinyMshrFixture : public RdcFixture
+{
+    RdcTinyMshrFixture()
+    {
+        // The MSHR file is sized at construction: shrink and rebuild.
+        cfg.rdc.mshr_entries = 1;
+        rebuild();
+    }
+};
+
+TEST_F(RdcTinyMshrFixture, OverflowParksInsteadOfPanicking)
+{
+    // Five distinct lines against a single MSHR register: the old
+    // controller panicked ("MSHR overflow") under this legal config.
+    // Now the excess parks on the wake-list and drains in FIFO order
+    // as each fetch completes.
+    Probe p;
+    for (Addr i = 0; i < 5; ++i) {
+        rdc->read(1, 0x1000 + i * 128,
+                  Completion::bind<&Probe::bump>(&p));
+    }
+    eq.run();
+    EXPECT_EQ(p.count, 5);
+    EXPECT_EQ(fetches, 5u);
+    EXPECT_GT(rdc->mshrs().parks(), 0u);
+    for (Addr i = 0; i < 5; ++i)
+        EXPECT_TRUE(rdc->contains(0x1000 + i * 128));
+}
+
+TEST_F(RdcTinyMshrFixture, ParkedMissToOutstandingLineMerges)
+{
+    // A second miss to the line already being fetched must merge even
+    // while the file is full, never park or double-fetch.
+    Probe p;
+    rdc->read(1, 0x1000, Completion::bind<&Probe::bump>(&p));
+    rdc->read(1, 0x1000, Completion::bind<&Probe::bump>(&p));
+    eq.run();
+    EXPECT_EQ(p.count, 2);
+    EXPECT_EQ(fetches, 1u);
 }
 
 TEST_F(RdcFixture, DistinctSetsDoNotInterfere)

@@ -422,6 +422,18 @@ main(int argc, char **argv)
         on.options.trace.sample_interval = 1000;
         rep.cells.push_back(runCell(on));
 
+        // MSHR-saturated cell: tiny L1/L2 files keep the wake-lists
+        // hot for the whole run. Its events column prices the
+        // park/drain discipline — a regression back toward retry
+        // polling shows up as an order-of-magnitude events jump
+        // against the baseline.
+        SimJob sat =
+            makePresetJob(Preset::NumaGpu, base, lulesh, opts);
+        sat.preset_label = "NUMA-GPU+mshr-sat";
+        sat.config.l1.mshrs = 4;
+        sat.config.l2.mshrs = 8;
+        rep.cells.push_back(runCell(sat));
+
         // Engine-scaling cells: the 4-GPU CARVE-HWC cell re-run with
         // the per-GPU event domains on 1/2/4 worker threads. The
         // serial cell above is the denominator; thread counts this
