@@ -75,7 +75,9 @@ MshrFile::allocate(Addr line_addr, Callback cb)
     const std::uint32_t i = insertSlot(line_addr);
     const std::uint32_t w = waiters_.alloc({cb, npos});
     head_[i] = tail_[i] = w;
-    if (trace::active(trace_, trace_cat_))
+    if (miss_life_)
+        born_[i] = telem_clock_->now();
+    else if (trace::active(trace_, trace_cat_))
         born_[i] = trace_eq_->now();
     ++live_;
     return MshrOutcome::NewEntry;
@@ -93,6 +95,8 @@ MshrFile::complete(Addr line_addr)
         trace_->span(trace_cat_, trace_track_, trace_name_, born_[i],
                      trace_eq_->now(), line_addr);
     }
+    if (miss_life_)
+        miss_life_->sample(telem_clock_->now() - born_[i]);
 
     // Detach the entry before firing: callbacks may allocate new
     // entries (even for this same line).
@@ -126,6 +130,8 @@ MshrFile::park(Completion retry)
         fatal("MshrFile: park() needs an event queue "
               "(none was passed at construction)");
     ++parks_;
+    if (park_dur_)
+        park_stamps_.push_back(telem_clock_->now());
     const std::uint32_t w = waiters_.alloc({retry, npos});
     if (wake_tail_ == npos) {
         wake_head_ = wake_tail_ = w;
@@ -165,6 +171,11 @@ MshrFile::drainWaiters()
         if (wake_head_ == npos)
             wake_tail_ = npos;
         --parked_count_;
+        if (park_dur_) {
+            park_dur_->sample(telem_clock_->now() -
+                              park_stamps_.front());
+            park_stamps_.pop_front();
+        }
         wt.fn();
     }
 }

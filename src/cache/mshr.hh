@@ -28,6 +28,7 @@
 #define CARVE_CACHE_MSHR_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/arena.hh"
@@ -136,6 +137,25 @@ class MshrFile
         trace_name_ = span_name;
     }
 
+    /**
+     * Attach telemetry histograms (SimJob.options.telemetry). Each
+     * park() stamps @p clock and the matching wake samples the wait
+     * into @p park_duration; each allocate()->complete() lifetime is
+     * sampled into @p miss_lifetime. Either pointer may be null to
+     * skip that measurement. Samples are simulated cycles from the
+     * owning domain's clock, so they are deterministic and identical
+     * across engines and thread counts.
+     */
+    void
+    attachTelemetry(const EventQueue *clock,
+                    telemetry::Histogram *park_duration,
+                    telemetry::Histogram *miss_lifetime)
+    {
+        telem_clock_ = clock;
+        park_dur_ = park_duration;
+        miss_life_ = miss_lifetime;
+    }
+
   private:
     /** Sentinel for an empty table slot; line addresses are aligned
      * so all-ones can never be a tracked line. */
@@ -196,6 +216,12 @@ class MshrFile
     stats::Scalar merges_;
     stats::Scalar rejections_;
     stats::Scalar parks_;
+
+    const EventQueue *telem_clock_ = nullptr;
+    telemetry::Histogram *park_dur_ = nullptr;   ///< park->wake cycles
+    telemetry::Histogram *miss_life_ = nullptr;  ///< allocate->fill
+    /** Park stamps, FIFO-parallel to the wake-list (telemetry only). */
+    std::deque<Cycle> park_stamps_;
 
     trace::Session *trace_ = nullptr;
     const EventQueue *trace_eq_ = nullptr;

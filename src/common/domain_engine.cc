@@ -137,6 +137,28 @@ DomainEngine::windowBarrier(Cycle wend, const Hooks &hooks)
     in_barrier_ = true;
     engine_ctx::current_shard = engine_ctx::barrier_shard;
 
+    // Self-profiling: sample per-domain occupancy and the outbox
+    // depths before the exchange clears them. Everything here is a
+    // pure function of the simulated schedule (the same windows and
+    // outbox contents arise at any thread count), so these histograms
+    // are engine- and thread-count invariant.
+    if (profile_) {
+        ++profile_->windows;
+        if (prev_executed_.size() != queues_.size())
+            prev_executed_.assign(queues_.size(), 0);
+        std::uint64_t total_msgs = 0;
+        for (const Outbox &ob : outboxes_) {
+            profile_->outbox_depth.sample(ob.msgs.size());
+            total_msgs += ob.msgs.size();
+        }
+        profile_->exchange_msgs.sample(total_msgs);
+        for (std::size_t d = 0; d < queues_.size(); ++d) {
+            const std::uint64_t ex = queues_[d]->executed();
+            profile_->window_occupancy.sample(ex - prev_executed_[d]);
+            prev_executed_[d] = ex;
+        }
+    }
+
     // Cross-domain exchange: merge every outbox and inject in
     // (tick, source-domain, sequence) order. Each destination queue
     // assigns its own sequence numbers in this deterministic order,
@@ -220,6 +242,29 @@ DomainEngine::runParallel(const Hooks &hooks, unsigned num_workers)
     Cycle window_end = 0;
     std::vector<std::exception_ptr> errors(num_workers);
 
+    // Barrier-wait telemetry: each worker times its own waits into a
+    // private padded shard; the shards are merged into the profile in
+    // worker-id order only after the workers have been joined, so no
+    // shard is ever read while its owner might still write it.
+    const bool time_waits = profile_ && profile_->host_timing;
+    struct alignas(64) WaitShard
+    {
+        telemetry::Histogram h;
+    };
+    std::vector<WaitShard> waits(time_waits ? num_workers : 0);
+    const auto timedWait = [&](SpinBarrier &b, unsigned id) {
+        if (!time_waits) {
+            b.arriveAndWait();
+            return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        b.arriveAndWait();
+        waits[id].h.sample(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+    };
+
     // Per-worker window body. The wall-clock predicate is created in
     // the worker's own frame so its amortization counter is private.
     const auto workerWindow = [&](unsigned id) {
@@ -253,11 +298,11 @@ DomainEngine::runParallel(const Hooks &hooks, unsigned num_workers)
             // thread with the caller's own capture semantics.
             ScopedErrorCapture capture;
             for (;;) {
-                start.arriveAndWait();
+                timedWait(start, id);
                 if (shutdown.load(std::memory_order_acquire))
                     return;
                 workerWindow(id);
-                done.arriveAndWait();
+                timedWait(done, id);
             }
         });
     }
@@ -276,7 +321,7 @@ DomainEngine::runParallel(const Hooks &hooks, unsigned num_workers)
             in_barrier_ = false;
             start.arriveAndWait();
             workerWindow(0);
-            done.arriveAndWait();
+            timedWait(done, 0);
             for (const std::exception_ptr &e : errors)
                 if (e)
                     throw SimAbortError(LogLevel::Panic, "");
@@ -293,6 +338,10 @@ DomainEngine::runParallel(const Hooks &hooks, unsigned num_workers)
         throw;
     }
     stopWorkers();
+
+    if (time_waits)
+        for (const WaitShard &w : waits)
+            profile_->barrier_wait_ns.merge(w.h);
 
     // Surface the first worker failure (lowest worker id) from the
     // main thread, preserving the caller's capture semantics: rethrow

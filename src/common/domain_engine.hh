@@ -35,6 +35,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "telemetry/histogram.hh"
 
 namespace carve {
 
@@ -202,6 +203,17 @@ class DomainEngine
     void run(const Hooks &hooks);
 
     /**
+     * Attach the self-profiling record: every window barrier samples
+     * per-domain occupancy, outbox depth and exchange volume into
+     * @p p (single-threaded, so plain histograms suffice), and — when
+     * p->host_timing is set — parallel workers time their barrier
+     * waits into private shards merged into p->barrier_wait_ns in
+     * worker-id order after the run. Null detaches; when detached the
+     * barrier path does no extra work at all.
+     */
+    void attachProfile(telemetry::EngineProfile *p) { profile_ = p; }
+
+    /**
      * Conservative lookahead for @p cfg: the earliest a cross-domain
      * message sent at tick t can act on its destination is
      * t + 1 (min link occupancy) + link latency, so a window of
@@ -265,6 +277,10 @@ class DomainEngine
     Cycle barrier_tick_ = 0;
     bool in_barrier_ = false;
     std::atomic<bool> stop_requested_{false};
+
+    telemetry::EngineProfile *profile_ = nullptr;
+    /** executed() at the previous barrier, per domain (profiling). */
+    std::vector<std::uint64_t> prev_executed_;
 };
 
 } // namespace carve

@@ -52,7 +52,7 @@ StatGroup::checkName(const std::string &name) const
         return false;
     };
     if (clash(scalars_) || clash(averages_) || clash(distributions_) ||
-        clash(derived_))
+        clash(histograms_) || clash(derived_))
         fatal("duplicate stat name '%s' in group '%s'", name.c_str(),
               fullName().c_str());
 }
@@ -79,6 +79,15 @@ StatGroup::addDistribution(const std::string &name, Distribution *d,
 {
     checkName(name);
     distributions_.push_back({name, desc, d});
+}
+
+void
+StatGroup::addHistogram(const std::string &name,
+                        telemetry::Histogram *h,
+                        const std::string &desc)
+{
+    checkName(name);
+    histograms_.push_back({name, desc, h});
 }
 
 void
@@ -148,6 +157,9 @@ StatGroup::visit(const Visitor &v) const
     if (v.distribution)
         for (const auto &d : sorted(distributions_))
             v.distribution(prefix + d.name, *d.stat, d.desc);
+    if (v.histogram)
+        for (const auto &h : sorted(histograms_))
+            v.histogram(prefix + h.name, *h.stat, h.desc);
     if (v.derived)
         for (const auto &d : sorted(derived_))
             v.derived(prefix + d.name, d.fn(), d.integral, d.desc);
@@ -201,6 +213,22 @@ StatGroup::findDistribution(std::string_view dotted) const
     for (const auto *child : children_)
         if (child->name_ == head)
             return child->findDistribution(rest);
+    return nullptr;
+}
+
+const telemetry::Histogram *
+StatGroup::findHistogram(std::string_view dotted) const
+{
+    const auto [head, rest] = splitHead(dotted);
+    if (rest.empty()) {
+        for (const auto &h : histograms_)
+            if (h.name == head)
+                return h.stat;
+        return nullptr;
+    }
+    for (const auto *child : children_)
+        if (child->name_ == head)
+            return child->findHistogram(rest);
     return nullptr;
 }
 
@@ -268,6 +296,14 @@ StatGroup::dump(std::ostream &os) const
             os << "  # " << d.desc;
         os << "\n";
     }
+    for (const auto &h : sorted(histograms_)) {
+        os << prefix << h.name << " = p50 " << h.stat->percentile(50)
+           << ", p99 " << h.stat->percentile(99) << ", max "
+           << h.stat->max() << ", n " << h.stat->count();
+        if (!h.desc.empty())
+            os << "  # " << h.desc;
+        os << "\n";
+    }
     for (const auto &d : sorted(derived_)) {
         const double v = d.fn();
         os << prefix << d.name << " = ";
@@ -292,6 +328,8 @@ StatGroup::resetAll()
         a.stat->reset();
     for (auto &d : distributions_)
         d.stat->reset();
+    for (auto &h : histograms_)
+        h.stat->reset();
     for (auto *child : children_)
         child->resetAll();
 }
@@ -315,6 +353,16 @@ flattenStats(const StatGroup &root)
         out.push_back({name + ".count", true, d.count(), 0.0});
         out.push_back({name + ".max", true, d.max(), 0.0});
         out.push_back({name + ".sum", true, d.sum(), 0.0});
+    };
+    v.histogram = [&](const std::string &name,
+                      const telemetry::Histogram &h,
+                      const std::string &) {
+        out.push_back({name + ".count", true, h.count(), 0.0});
+        out.push_back({name + ".max", true, h.max(), 0.0});
+        out.push_back({name + ".p50", true, h.percentile(50), 0.0});
+        out.push_back({name + ".p95", true, h.percentile(95), 0.0});
+        out.push_back({name + ".p99", true, h.percentile(99), 0.0});
+        out.push_back({name + ".sum", true, h.sum(), 0.0});
     };
     v.derived = [&](const std::string &name, double value,
                     bool integral, const std::string &) {

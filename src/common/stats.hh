@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/histogram.hh"
+
 namespace carve {
 namespace stats {
 
@@ -169,7 +171,9 @@ class Distribution
  * One value of the registry rendered flat: the fully qualified dotted
  * name plus either an exact integer or a double. Averages flatten to
  * two entries ("<name>.count", "<name>.sum"); distributions to three
- * ("<name>.count", "<name>.sum", "<name>.max").
+ * ("<name>.count", "<name>.sum", "<name>.max"); telemetry histograms
+ * to six ("<name>.count", ".max", ".p50", ".p95", ".p99", ".sum"),
+ * all exact integers.
  */
 struct FlatStat
 {
@@ -231,6 +235,11 @@ class StatGroup
     /** Register a distribution under @p name. */
     void addDistribution(const std::string &name, Distribution *d,
                          const std::string &desc = "");
+    /** Register a telemetry log2 histogram under @p name. Rendered
+     * with deterministic p50/p95/p99 (see telemetry::Histogram). */
+    void addHistogram(const std::string &name,
+                      telemetry::Histogram *h,
+                      const std::string &desc = "");
     /** Register a derived statistic computed on demand from @p fn
      * (ratios, gauges over component state). Never reset. */
     void addDerived(const std::string &name,
@@ -249,8 +258,9 @@ class StatGroup
 
     /**
      * Registry walk callbacks. Any member may be empty. Within a
-     * group the walk visits scalars, averages, distributions, then
-     * derived stats — each kind sorted by name — and then recurses
+     * group the walk visits scalars, averages, distributions,
+     * histograms, then derived stats — each kind sorted by name —
+     * and then recurses
      * into children sorted by name, so the visit order is a pure
      * function of the registered names, never of construction order.
      */
@@ -266,6 +276,10 @@ class StatGroup
                            const Distribution &,
                            const std::string &desc)>
             distribution;
+        std::function<void(const std::string &full_name,
+                           const telemetry::Histogram &,
+                           const std::string &desc)>
+            histogram;
         /** @p integral mirrors addDerivedInt vs addDerived. */
         std::function<void(const std::string &full_name, double value,
                            bool integral, const std::string &desc)>
@@ -280,6 +294,8 @@ class StatGroup
     const Scalar *findScalar(std::string_view dotted) const;
     const Average *findAverage(std::string_view dotted) const;
     const Distribution *findDistribution(std::string_view dotted) const;
+    const telemetry::Histogram *
+    findHistogram(std::string_view dotted) const;
     /** Child group by dotted name; nullptr when absent. */
     const StatGroup *findGroup(std::string_view dotted) const;
     /** Value of a scalar or derived stat by dotted name. */
@@ -320,6 +336,7 @@ class StatGroup
     std::vector<Named<Scalar>> scalars_;
     std::vector<Named<Average>> averages_;
     std::vector<Named<Distribution>> distributions_;
+    std::vector<Named<telemetry::Histogram>> histograms_;
     std::vector<NamedDerived> derived_;
 };
 

@@ -30,7 +30,8 @@ homeNumaNode()
 
 MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
                                const Workload &wl, bool profile_lines,
-                               bool audit)
+                               bool audit,
+                               telemetry::Options telemetry)
     : cfg_(cfg),
       engine_(cfg_.num_gpus, DomainEngine::lookaheadWindow(cfg_),
               cfg_.engine, cfg_.sim_threads),
@@ -39,6 +40,7 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
       net_(engine_, cfg_.link, cfg_.num_gpus),
       sys_arena_(Arena::default_chunk_bytes, homeNumaNode()),
       sched_(cfg_.num_gpus),
+      telem_(telemetry),
       stat_root_("")
 {
     cfg_.validate();
@@ -106,6 +108,14 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &cfg,
             gpu->setAudit(&*audit_);
     }
 
+    if (telem_.enabled) {
+        engine_profile_.host_timing = telem_.host_timing;
+        engine_.attachProfile(&engine_profile_);
+        net_.enableTelemetry();
+        for (auto &gpu : gpus_)
+            gpu->enableTelemetry();
+    }
+
     registerStats();
     phase_base_ = stats::snapshotScalars(stat_root_);
 }
@@ -170,6 +180,47 @@ MultiGpuSystem::registerStats()
     fabric->addScalar("bulk_cpu_bytes",
                       &fabric_bulk_cpu_bytes_.scalar(),
                       "bulk-transfer bytes charged to CPU links");
+    if (telem_.enabled) {
+        fabric->addHistogram(
+            "remote_read_latency", &remote_read_latency_.histogram(),
+            "cycles from remote-read issue to data back at the "
+            "source GPU");
+    }
+
+    // Engine self-profiling. Like every telemetry stat, the whole
+    // group is registered whenever telemetry is on — regardless of
+    // the engine mode or thread count — so the stat name set is a
+    // function of the options alone (barrier_wait_ns simply reads
+    // empty for serial runs or when host_timing is off).
+    if (telem_.enabled) {
+        stats::StatGroup *eng = child("engine");
+        eng->addDerivedInt("windows",
+                           [this] { return engine_profile_.windows; },
+                           "lookahead windows executed");
+        eng->addHistogram("window_occupancy",
+                          &engine_profile_.window_occupancy,
+                          "events executed per domain per lookahead "
+                          "window");
+        eng->addHistogram("outbox_depth",
+                          &engine_profile_.outbox_depth,
+                          "cross-domain messages buffered per outbox "
+                          "at each exchange");
+        eng->addHistogram("exchange_msgs",
+                          &engine_profile_.exchange_msgs,
+                          "cross-domain messages exchanged per window");
+        eng->addHistogram("barrier_wait_ns",
+                          &engine_profile_.barrier_wait_ns,
+                          "host nanoseconds workers spent blocked at "
+                          "window barriers (host_timing only)");
+        for (unsigned d = 0; d < engine_.numDomains(); ++d) {
+            stat_groups_.push_back(std::make_unique<stats::StatGroup>(
+                "domain" + std::to_string(d), eng));
+            stat_groups_.back()->addDerivedInt(
+                "events",
+                [this, d] { return engine_.queue(d).executed(); },
+                "events executed in this domain");
+        }
+    }
 
     if (audit_) {
         stats::StatGroup *audit_grp = child("audit");
@@ -209,6 +260,8 @@ MultiGpuSystem::foldShardedStats()
     fabric_coh_ctrl_bytes_.fold();
     fabric_bulk_gpu_bytes_.fold();
     fabric_bulk_cpu_bytes_.fold();
+    if (telem_.enabled)
+        remote_read_latency_.fold();
     if (audit_)
         audit_->foldShards();
     if (vi_)
@@ -377,7 +430,7 @@ MultiGpuSystem::remoteRead(NodeId src, NodeId home, Addr line,
     // the request/service/data chain is a small bound event; only the
     // source domain allocates and frees.
     const std::uint32_t op = remote_read_ops_[src].alloc(
-        RemoteReadOp{line, done, src, home});
+        RemoteReadOp{line, done, src, home, engine_.now()});
     // Request packet to the home node...
     net_.send(src, home, cfg_.link.ctrl_packet_size,
               bindEvent<&MultiGpuSystem::remoteReadAtHome>(this, src,
@@ -416,6 +469,8 @@ MultiGpuSystem::deliverRemoteReadData(NodeId src, std::uint32_t op)
     // Back in the source domain: recycle the op and unblock the miss.
     const RemoteReadOp r = remote_read_ops_[src][op];
     remote_read_ops_[src].free(op);
+    if (telem_.enabled)
+        remote_read_latency_.sample(engine_.now() - r.issued);
     if (r.done)
         r.done();
 }

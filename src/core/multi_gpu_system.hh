@@ -36,6 +36,7 @@
 #include "gpu/gpu.hh"
 #include "interconnect/network.hh"
 #include "numa/page_manager.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
@@ -60,9 +61,14 @@ class MultiGpuSystem : public SystemFabric
      *        in-flight tokens at every hand-off boundary plus
      *        cross-stat invariant passes at kernel boundaries and at
      *        end of simulation (panics on the first violation)
+     * @param telemetry histogram/self-profiling switches; when
+     *        disabled (default) no telemetry stat is registered and
+     *        no sampling site runs, so the stat tree is byte-
+     *        identical to a build without the subsystem
      */
     MultiGpuSystem(const SystemConfig &cfg, const Workload &wl,
-                   bool profile_lines = true, bool audit = false);
+                   bool profile_lines = true, bool audit = false,
+                   telemetry::Options telemetry = {});
 
     /**
      * Execute the whole trace.
@@ -172,6 +178,7 @@ class MultiGpuSystem : public SystemFabric
         Completion done;
         NodeId src;
         NodeId home;
+        Cycle issued;   ///< source-domain issue tick (telemetry)
     };
 
     /** A CPU (Unified Memory) read in flight. */
@@ -264,6 +271,13 @@ class MultiGpuSystem : public SystemFabric
     ShardedScalar fabric_bulk_cpu_bytes_;
 
     std::optional<audit::InflightTracker> audit_;
+
+    telemetry::Options telem_;
+    /** Engine self-profiling record, registered under "engine". */
+    telemetry::EngineProfile engine_profile_;
+    /** End-to-end remote-read latency (issue to data back at the
+     * source). Sampled in each source GPU's domain, hence sharded. */
+    telemetry::ShardedHistogram remote_read_latency_;
 
     stats::StatGroup stat_root_;
     std::vector<std::unique_ptr<stats::StatGroup>> stat_groups_;

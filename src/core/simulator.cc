@@ -89,7 +89,8 @@ run(const SimJob &job)
     const RunOptions &opt = job.options;
     const SystemConfig cfg = resolveEngine(job);
     SyntheticWorkload wl(job.workload, cfg.line_size, opt.seed);
-    MultiGpuSystem sys(cfg, wl, opt.profile_lines, opt.audit);
+    MultiGpuSystem sys(cfg, wl, opt.profile_lines, opt.audit,
+                       opt.telemetry);
 
     std::unique_ptr<trace::Session> session;
     if (opt.trace.enabled) {

@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "core/report.hh"
 #include "core/system_preset.hh"
+#include "telemetry/histogram.hh"
 #include "trace/trace.hh"
 #include "workloads/synthetic.hh"
 
@@ -46,6 +47,16 @@ struct RunOptions
      * at window barriers and requires the serial engine; run() warns
      * and forces SimEngine::Serial when both are requested. */
     trace::Options trace;
+    /** Runtime telemetry (see telemetry/histogram.hh): latency/
+     * occupancy histograms in the stat tree plus engine self-
+     * profiling. Off by default and provably free when off — no
+     * telemetry stat is registered and no sampling site executes.
+     * Everything it records (except barrier_wait_ns, which needs
+     * telemetry.host_timing) is a pure function of the simulated
+     * schedule, so enabling it never changes simulation results and
+     * its histograms are identical across engines and thread
+     * counts. */
+    telemetry::Options telemetry;
     /** Simulation engine override: when set, wins over config.engine.
      * Serial and Parallel run the same windowed algorithm and produce
      * byte-identical stat trees. The deprecated CARVE_EVENTQ

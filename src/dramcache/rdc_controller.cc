@@ -291,7 +291,15 @@ RdcController::registerStats(stats::StatGroup &g)
     epoch_.registerStats(*child("epoch"));
     predictor_.registerStats(*child("predictor"));
     dirty_map_.registerStats(*child("dirty_map"));
-    mshrs_.registerStats(*child("mshrs"));
+    stats::StatGroup *mshrsg = child("mshrs");
+    mshrs_.registerStats(*mshrsg);
+    if (telem_) {
+        mshrsg->addHistogram("park_duration", &mshr_park_dur_,
+                             "cycles misses waited parked on the "
+                             "full MSHR file");
+        mshrsg->addHistogram("miss_lifetime", &miss_life_,
+                             "cycles from MSHR allocate to fill");
+    }
 }
 
 void

@@ -123,6 +123,15 @@ class RdcController
     /** Attach the in-flight token tracker (audit mode only). */
     void setAudit(audit::InflightTracker *tracker) { audit_ = tracker; }
 
+    /** Enable MSHR park-duration / miss-lifetime histograms; call
+     * before registerStats() so they join the stat tree. */
+    void
+    enableTelemetry()
+    {
+        telem_ = true;
+        mshrs_.attachTelemetry(&eq_, &mshr_park_dur_, &miss_life_);
+    }
+
     /** Attach the tracer: miss lifetimes become spans on row @p track,
      * boundary flushes and epoch rollovers become instant markers. */
     void
@@ -199,6 +208,10 @@ class RdcController
     audit::InflightTracker *audit_ = nullptr;
     trace::Session *trace_ = nullptr;
     std::uint32_t trace_track_ = 0;
+
+    bool telem_ = false;
+    telemetry::Histogram mshr_park_dur_;  ///< park->wake cycles
+    telemetry::Histogram miss_life_;      ///< allocate->fill cycles
 
     stats::Scalar read_hits_;
     stats::Scalar read_misses_;

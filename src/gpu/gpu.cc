@@ -431,6 +431,17 @@ GpuNode::setTrace(trace::Session *session, std::uint32_t pid)
 }
 
 void
+GpuNode::enableTelemetry()
+{
+    telem_ = true;
+    l2_mshrs_.attachTelemetry(&eq_, &l2_park_dur_, &l2_miss_life_);
+    for (auto &sm : sms_)
+        sm->enableTelemetry(&l1_park_dur_);
+    if (rdc_)
+        rdc_->enableTelemetry();
+}
+
+void
 GpuNode::registerStats(stats::StatGroup &g)
 {
     g.addScalar("hw_invalidations_in", &hw_invalidations_in_,
@@ -455,7 +466,19 @@ GpuNode::registerStats(stats::StatGroup &g)
     l2_.registerStats(*l2g);
     l2g->addScalar("mshr_stalls", &l2_mshr_stalls_,
                    "stall episodes on a full L2 MSHR file");
-    l2_mshrs_.registerStats(*child("mshrs", l2g));
+    stats::StatGroup *l2mg = child("mshrs", l2g);
+    l2_mshrs_.registerStats(*l2mg);
+    if (telem_) {
+        l2mg->addHistogram("park_duration", &l2_park_dur_,
+                           "cycles reads waited parked on the full "
+                           "L2 MSHR file");
+        l2mg->addHistogram("miss_lifetime", &l2_miss_life_,
+                           "cycles from L2 MSHR allocate to fill");
+        child("l1_mshrs", &g)->addHistogram(
+            "park_duration", &l1_park_dur_,
+            "cycles reads waited parked on a full L1 MSHR file "
+            "(pooled across this GPU's SMs)");
+    }
 
     tlb_.registerStats(*child("tlb", &g));
     mem_.registerStats(*child("mem", &g));

@@ -168,6 +168,11 @@ class GpuNode
      * system-owned "gpu<i>" group. */
     void registerStats(stats::StatGroup &g);
 
+    /** Enable MSHR latency histograms on this node (L1 park
+     * durations pooled across SMs, L2 park/lifetime, RDC when
+     * present); call before registerStats(). */
+    void enableTelemetry();
+
     /** Attach the tracer under process @p pid: per-SM rows, the L2
      * MSHR / RDC / coherence rows, the DRAM channel rows, and this
      * GPU's counter tracks (MSHR + DRAM queue occupancy, RDC hit
@@ -225,6 +230,11 @@ class GpuNode
     audit::InflightTracker *audit_ = nullptr;
     trace::Session *trace_ = nullptr;
     std::uint32_t coherence_track_ = 0;
+
+    bool telem_ = false;
+    telemetry::Histogram l1_park_dur_;   ///< all SMs' L1 MSHR parks
+    telemetry::Histogram l2_park_dur_;   ///< L2 MSHR park->wake
+    telemetry::Histogram l2_miss_life_;  ///< L2 MSHR allocate->fill
 
     GpuTraffic traffic_;
     stats::Scalar l2_mshr_stalls_;

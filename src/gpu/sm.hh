@@ -107,6 +107,15 @@ class Sm
      * nested "mshrs" group) into @p g. */
     void registerStats(stats::StatGroup &g);
 
+    /** Route this SM's L1 MSHR park durations into @p park_duration
+     * (the owning GPU shares one histogram across its SMs — all run
+     * in the same event domain, so the writes are single-threaded). */
+    void
+    enableTelemetry(telemetry::Histogram *park_duration)
+    {
+        l1_mshrs_.attachTelemetry(&eq_, park_duration, nullptr);
+    }
+
     /** Attach the tracer: warp read-latency spans and MSHR-stall
      * instants land on this SM's timeline row @p track. */
     void

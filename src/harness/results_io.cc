@@ -233,6 +233,8 @@ sweepToJson(const SweepMeta &meta,
     doc.set("git", meta.git_version.empty() ? gitDescribe()
                                             : meta.git_version);
     doc.set("config", std::move(cfg));
+    if (!meta.harness.isNull())
+        doc.set("harness", meta.harness);
     doc.set("runs", std::move(runs));
     return doc;
 }

@@ -51,6 +51,11 @@ struct SweepMeta
     std::string git_version;
     /** Free-form "key=value" config overrides applied to the base. */
     std::vector<std::string> overrides;
+    /** Harness telemetry (per-worker load, job wall-time histogram)
+     * rendered as a flat object of dotted keys; written as a
+     * top-level "harness" member when non-null. Host facts — leave
+     * null for byte-reproducible results (see RunSpec::host_stats). */
+    json::Value harness;
 };
 
 /** Best-effort `git describe --always --dirty`; "unknown" offline. */

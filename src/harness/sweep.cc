@@ -125,10 +125,48 @@ runSweep(const std::vector<RunSpec> &specs, const SweepOptions &opt)
             opt.on_progress(d, specs.size(), results[i]);
     };
 
-    parallelFor(specs.size(), opt.threads == 0
-                    ? ThreadPool::hardwareThreads()
-                    : opt.threads,
-                run_one);
+    unsigned threads = opt.threads == 0
+        ? ThreadPool::hardwareThreads()
+        : opt.threads;
+    if (threads > specs.size())
+        threads = static_cast<unsigned>(specs.size());
+
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            run_one(i);
+        if (opt.telemetry) {
+            // Inline execution: one synthetic "worker" (the calling
+            // thread, which never NUMA-binds itself).
+            opt.telemetry->workers.assign(
+                1, SweepTelemetry::Worker{specs.size(), -1});
+        }
+    } else {
+        // The pool is owned here (not hidden inside parallelFor) so
+        // the per-worker WorkerState survives until it can be read
+        // into the telemetry record. One pool job per run keeps the
+        // dynamic load balancing of the old index loop and makes
+        // jobs_run count simulations, not drain loops.
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            pool.submit([&run_one, i] { run_one(i); });
+        pool.wait();
+        if (opt.telemetry) {
+            opt.telemetry->workers.resize(pool.size());
+            for (unsigned w = 0; w < pool.size(); ++w) {
+                opt.telemetry->workers[w] = SweepTelemetry::Worker{
+                    pool.jobsRun(w), pool.workerNode(w)};
+            }
+        }
+    }
+
+    if (opt.telemetry) {
+        // Filled post-hoc in spec order, single-threaded, so the
+        // bucket contents do not depend on completion order.
+        for (const RunResult &r : results) {
+            opt.telemetry->job_wall_us.sample(
+                static_cast<std::uint64_t>(r.wall_seconds * 1e6));
+        }
+    }
     return results;
 }
 

@@ -22,9 +22,29 @@
 #include <vector>
 
 #include "harness/run_spec.hh"
+#include "telemetry/histogram.hh"
 
 namespace carve {
 namespace harness {
+
+/**
+ * Harness-side telemetry captured by runSweep: per-worker load (the
+ * ThreadPool WorkerState fields) and the per-job wall-time
+ * distribution. Workers and wall times are host facts, so this rides
+ * results files only under host_stats (CI byte-compare workflows
+ * exclude it exactly like sim.wall_seconds).
+ */
+struct SweepTelemetry
+{
+    struct Worker
+    {
+        std::uint64_t jobs_run = 0;  ///< runs executed by this worker
+        int numa_node = -1;          ///< host node bound to, or -1
+    };
+    std::vector<Worker> workers;
+    /** Wall time per run, in microseconds. */
+    telemetry::Histogram job_wall_us;
+};
 
 /** Sweep execution knobs. */
 struct SweepOptions
@@ -35,6 +55,9 @@ struct SweepOptions
      * thread; must be thread-safe). (done, total, result). */
     std::function<void(std::size_t, std::size_t, const RunResult &)>
         on_progress;
+    /** When set, runSweep fills in worker load and the job wall-time
+     * histogram after the sweep completes. */
+    SweepTelemetry *telemetry = nullptr;
 };
 
 /** Execute one spec in-process with failure isolation. */

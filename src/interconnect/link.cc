@@ -32,6 +32,8 @@ Link::send(std::uint64_t bytes, Callback delivered)
     ++packets_;
     busy_cycles_ += occupancy;
     queue_delay_.sample(static_cast<double>(start - now));
+    if (telem_)
+        queue_delay_hist_.sample(start - now);
 
     if (trace::active(trace_, trace::Category::Link)) {
         trace_->span(trace::Category::Link, trace_track_, "pkt",

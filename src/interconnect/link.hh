@@ -89,6 +89,11 @@ class Link
         trace_track_ = track;
     }
 
+    /** Record the full queueing-delay distribution (not just the
+     * mean) into a telemetry histogram. Call before registerStats()
+     * so the histogram joins the stat tree. */
+    void enableTelemetry() { telem_ = true; }
+
     /** Register this link's counters into @p g. */
     void
     registerStats(stats::StatGroup &g)
@@ -99,6 +104,10 @@ class Link
                     "cycles the wire was occupied");
         g.addAverage("queue_delay", &queue_delay_,
                      "cycles packets waited for the wire");
+        if (telem_)
+            g.addHistogram("queue_delay_cycles", &queue_delay_hist_,
+                           "distribution of cycles packets waited "
+                           "for the wire");
     }
 
   private:
@@ -116,6 +125,8 @@ class Link
     stats::Scalar packets_;
     stats::Scalar busy_cycles_;
     stats::Average queue_delay_;
+    bool telem_ = false;
+    telemetry::Histogram queue_delay_hist_;
 };
 
 } // namespace carve

@@ -86,6 +86,20 @@ class Network
      * thread row + one windowed utilization counter per link. */
     void setTrace(trace::Session *session, std::uint32_t pid);
 
+    /** Enable queue-delay histograms on every link; call before
+     * registerStats(). */
+    void
+    enableTelemetry()
+    {
+        for (auto &l : gpu_links_)
+            if (l)
+                l->enableTelemetry();
+        for (auto &l : to_cpu_)
+            l->enableTelemetry();
+        for (auto &l : from_cpu_)
+            l->enableTelemetry();
+    }
+
   private:
     std::size_t index(NodeId src, NodeId dst) const;
 

@@ -179,6 +179,17 @@ Client::stats()
     return request(req);
 }
 
+std::string
+Client::metrics()
+{
+    json::Value req{json::Members{}};
+    req.set("op", "metrics");
+    const json::Value resp = request(req);
+    if (!boolAt(resp, "ok") || !resp.at("text").isString())
+        return std::string();
+    return resp.at("text").asString();
+}
+
 JobSpec
 jobFromRunSpec(const harness::RunSpec &spec)
 {

@@ -77,6 +77,10 @@ class Client
     /** The server's "stats" payload. */
     json::Value stats();
 
+    /** The server's "metrics" payload: a Prometheus text-exposition
+     * dump of every live counter. Empty string on failure. */
+    std::string metrics();
+
     /** Raw request/response (events skipped); null Value on I/O loss. */
     json::Value request(const json::Value &req, EventFn on_event = {});
 

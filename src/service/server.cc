@@ -13,6 +13,7 @@
 #include "harness/results_io.hh"
 #include "harness/sweep.hh"
 #include "service/job_key.hh"
+#include "telemetry/telemetry.hh"
 
 namespace carve {
 namespace service {
@@ -202,11 +203,18 @@ Server::connectionLoop(Conn *conn)
             resp = handleCancel(req);
         } else if (op == "stats") {
             resp = statsJson();
+        } else if (op == "metrics") {
+            resp = json::Value{json::Members{}};
+            resp.set("ok", true);
+            resp.set("op", "metrics");
+            resp.set("content_type",
+                     "text/plain; version=0.0.4");
+            resp.set("text", metricsPrometheus());
         } else {
             resp = errorResponse(
                 op, "unknown op '" + op +
                         "' (expected ping/submit/status/result/"
-                        "cancel/stats)");
+                        "cancel/stats/metrics)");
         }
         if (!conn->chan.writeLine(resp.dump(0)))
             break;
@@ -331,6 +339,8 @@ Server::executeJob(const std::shared_ptr<Job> &job)
         ++completed_;
         if (!res.ok())
             ++failed_runs_;
+        job_latency_us_.sample(
+            static_cast<std::uint64_t>(res.wall_seconds * 1e6));
     }
     cv_.notify_all();
     // Only clean completions persist: a watchdog or failure record
@@ -501,36 +511,158 @@ Server::handleCancel(const json::Value &req)
     return o;
 }
 
+Server::MetricsSnapshot
+Server::snapshotMetrics() const
+{
+    MetricsSnapshot s;
+    s.cache = cache_.stats();
+    s.cache_enabled = cache_.enabled();
+    s.uptime_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count();
+    std::lock_guard lock(mu_);
+    s.threads = pool_->size();
+    s.queue_depth = opt_.queue_depth;
+    s.connections = connections_;
+    s.queued = queued_;
+    s.running = running_;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed_runs = failed_runs_;
+    s.cancelled = cancelled_;
+    s.memo_hits = memo_hits_;
+    s.draining = draining_;
+    s.job_latency_us = job_latency_us_;
+    return s;
+}
+
 json::Value
 Server::statsJson() const
 {
-    const ResultCache::Stats cs = cache_.stats();
-    std::lock_guard lock(mu_);
+    const MetricsSnapshot s = snapshotMetrics();
     json::Value o{json::Members{}};
     o.set("ok", true);
     o.set("op", "stats");
     o.set("schema", kProtocolSchema);
-    o.set("threads", pool_->size());
-    o.set("queue_depth",
-          static_cast<std::uint64_t>(opt_.queue_depth));
-    o.set("connections", connections_);
-    o.set("queued", static_cast<std::uint64_t>(queued_));
-    o.set("running", static_cast<std::uint64_t>(running_));
-    o.set("submitted", submitted_);
-    o.set("completed", completed_);
-    o.set("failed_runs", failed_runs_);
-    o.set("cancelled", cancelled_);
-    o.set("memo_hits", memo_hits_);
+    o.set("threads", s.threads);
+    o.set("uptime_seconds", s.uptime_seconds);
+    o.set("draining", s.draining);
+    o.set("queue_depth", s.queue_depth);
+    o.set("connections", s.connections);
+    o.set("queued", s.queued);
+    o.set("running", s.running);
+    o.set("submitted", s.submitted);
+    o.set("completed", s.completed);
+    o.set("failed_runs", s.failed_runs);
+    o.set("cancelled", s.cancelled);
+    o.set("memo_hits", s.memo_hits);
     json::Value c{json::Members{}};
-    c.set("enabled", cache_.enabled());
-    c.set("hits", cs.hits);
-    c.set("misses", cs.misses);
-    c.set("stores", cs.stores);
-    c.set("evictions", cs.evictions);
-    c.set("bytes", cs.bytes);
-    c.set("entries", cs.entries);
+    c.set("enabled", s.cache_enabled);
+    c.set("hits", s.cache.hits);
+    c.set("misses", s.cache.misses);
+    c.set("stores", s.cache.stores);
+    c.set("evictions", s.cache.evictions);
+    c.set("bytes", s.cache.bytes);
+    c.set("entries", s.cache.entries);
     o.set("cache", std::move(c));
+    json::Value lat{json::Members{}};
+    lat.set("count", s.job_latency_us.count());
+    lat.set("max_us", s.job_latency_us.max());
+    lat.set("p50_us", s.job_latency_us.percentile(50));
+    lat.set("p95_us", s.job_latency_us.percentile(95));
+    lat.set("p99_us", s.job_latency_us.percentile(99));
+    lat.set("sum_us", s.job_latency_us.sum());
+    o.set("job_latency", std::move(lat));
     return o;
+}
+
+std::string
+Server::metricsPrometheus() const
+{
+    using telemetry::appendPrometheusHistogram;
+    using telemetry::appendPrometheusValue;
+    const MetricsSnapshot s = snapshotMetrics();
+
+    std::string out;
+    out.reserve(4096);
+    appendPrometheusValue(out, "carve_uptime_seconds",
+                          "Seconds since the daemon started.",
+                          "gauge", s.uptime_seconds);
+    appendPrometheusValue(out, "carve_worker_threads",
+                          "Simulation worker threads.", "gauge",
+                          static_cast<double>(s.threads));
+    appendPrometheusValue(out, "carve_queue_depth_limit",
+                          "Queued jobs admitted before submits "
+                          "bounce.",
+                          "gauge",
+                          static_cast<double>(s.queue_depth));
+    appendPrometheusValue(out, "carve_draining",
+                          "1 while a graceful drain is in "
+                          "progress.",
+                          "gauge", s.draining ? 1.0 : 0.0);
+    appendPrometheusValue(out, "carve_jobs_queued",
+                          "Jobs waiting for a worker.", "gauge",
+                          static_cast<double>(s.queued));
+    appendPrometheusValue(out, "carve_jobs_in_flight",
+                          "Jobs executing right now.", "gauge",
+                          static_cast<double>(s.running));
+    appendPrometheusValue(out, "carve_connections_total",
+                          "Client connections accepted.", "counter",
+                          static_cast<double>(s.connections));
+    appendPrometheusValue(out, "carve_jobs_submitted_total",
+                          "Jobs admitted to the queue.", "counter",
+                          static_cast<double>(s.submitted));
+    appendPrometheusValue(out, "carve_jobs_completed_total",
+                          "Jobs that ran to a record.", "counter",
+                          static_cast<double>(s.completed));
+    appendPrometheusValue(out, "carve_jobs_failed_total",
+                          "Completed jobs whose run did not finish "
+                          "ok.",
+                          "counter",
+                          static_cast<double>(s.failed_runs));
+    appendPrometheusValue(out, "carve_jobs_cancelled_total",
+                          "Jobs cancelled while queued.", "counter",
+                          static_cast<double>(s.cancelled));
+    appendPrometheusValue(out, "carve_memo_hits_total",
+                          "Submits answered by the in-memory job "
+                          "registry.",
+                          "counter",
+                          static_cast<double>(s.memo_hits));
+    appendPrometheusValue(out, "carve_cache_enabled",
+                          "1 when the on-disk result cache is "
+                          "active.",
+                          "gauge", s.cache_enabled ? 1.0 : 0.0);
+    appendPrometheusValue(out, "carve_cache_hits_total",
+                          "Disk-cache lookups that found a record.",
+                          "counter",
+                          static_cast<double>(s.cache.hits));
+    appendPrometheusValue(out, "carve_cache_misses_total",
+                          "Disk-cache lookups that found nothing.",
+                          "counter",
+                          static_cast<double>(s.cache.misses));
+    appendPrometheusValue(out, "carve_cache_stores_total",
+                          "Records persisted to the disk cache.",
+                          "counter",
+                          static_cast<double>(s.cache.stores));
+    appendPrometheusValue(out, "carve_cache_evictions_total",
+                          "Records evicted to stay within the byte "
+                          "budget.",
+                          "counter",
+                          static_cast<double>(s.cache.evictions));
+    appendPrometheusValue(out, "carve_cache_bytes",
+                          "Bytes resident in the disk cache.",
+                          "gauge",
+                          static_cast<double>(s.cache.bytes));
+    appendPrometheusValue(out, "carve_cache_entries",
+                          "Records resident in the disk cache.",
+                          "gauge",
+                          static_cast<double>(s.cache.entries));
+    appendPrometheusHistogram(out, "carve_job_latency_seconds",
+                              "Wall time of completed simulation "
+                              "runs.",
+                              s.job_latency_us, 1e-6);
+    return out;
 }
 
 } // namespace service

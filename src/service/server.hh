@@ -30,6 +30,7 @@
 #define CARVE_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -43,6 +44,7 @@
 #include "harness/thread_pool.hh"
 #include "service/protocol.hh"
 #include "service/result_cache.hh"
+#include "telemetry/histogram.hh"
 
 namespace carve {
 namespace service {
@@ -96,6 +98,14 @@ class Server
     /** Aggregate counters (the "stats" endpoint's payload). */
     json::Value statsJson() const;
 
+    /**
+     * The "metrics" endpoint's payload: every live counter and gauge
+     * of the daemon rendered in Prometheus text exposition format
+     * (carve_* families), including the job-latency histogram.
+     * Reads the same snapshot as statsJson().
+     */
+    std::string metricsPrometheus() const;
+
   private:
     struct Job
     {
@@ -117,6 +127,30 @@ class Server
         std::atomic<bool> done{false};
     };
 
+    /** One consistent read of every counter the two reporting
+     * endpoints ("stats" JSON, "metrics" Prometheus text) expose;
+     * taken under the registry lock so queue/running/latency figures
+     * are mutually consistent. */
+    struct MetricsSnapshot
+    {
+        double uptime_seconds = 0.0;
+        unsigned threads = 0;
+        std::uint64_t queue_depth = 0;
+        std::uint64_t connections = 0;
+        std::uint64_t queued = 0;
+        std::uint64_t running = 0;
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed_runs = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t memo_hits = 0;
+        bool draining = false;
+        bool cache_enabled = false;
+        ResultCache::Stats cache;
+        telemetry::Histogram job_latency_us;
+    };
+    MetricsSnapshot snapshotMetrics() const;
+
     void connectionLoop(Conn *conn);
     void executeJob(const std::shared_ptr<Job> &job);
     harness::RunResult runIsolated(const JobSpec &spec);
@@ -131,6 +165,9 @@ class Server
     const Options opt_;
     ResultCache cache_;
     std::unique_ptr<harness::ThreadPool> pool_;
+    /** Daemon start, for the uptime gauge. */
+    const std::chrono::steady_clock::time_point start_time_ =
+        std::chrono::steady_clock::now();
 
     int listen_fd_ = -1;
     int drain_pipe_[2] = {-1, -1};  ///< [read, write]
@@ -147,6 +184,9 @@ class Server
     std::uint64_t cancelled_ = 0;
     std::uint64_t memo_hits_ = 0;   ///< submits served by the registry
     std::uint64_t connections_ = 0;
+    /** Wall time of completed runs, in microseconds (cache and memo
+     * hits excluded: they cost no simulation). */
+    telemetry::Histogram job_latency_us_;
 
     std::list<Conn> conns_;
 };

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Telemetry foundation: the fixed-bucket log2 histogram every
+ * latency/occupancy distribution in the simulator is recorded with,
+ * plus the run-level telemetry options and the engine self-profiling
+ * record.
+ *
+ * Buckets are powers of two — sample v lands in bucket bit_width(v)
+ * (bucket 0 holds exactly 0) — so recording is one bit-scan and one
+ * increment, merging is element-wise addition (commutative, hence
+ * order-independent across domains), and the bucket layout is a fixed
+ * part of the results schema, like the stat name set pinned by
+ * statnames.golden. Percentiles are rendered deterministically as the
+ * inclusive upper bound of the bucket holding the target rank, using
+ * integer arithmetic only, so p50/p95/p99 are byte-identical across
+ * engines, thread counts and hosts.
+ *
+ * This header is dependency-free on purpose: the stats registry, the
+ * domain engine and the service all include it without cycles.
+ */
+
+#ifndef CARVE_TELEMETRY_HISTOGRAM_HH
+#define CARVE_TELEMETRY_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace carve {
+namespace telemetry {
+
+/** Run-level telemetry switches (SimJob.options.telemetry). */
+struct Options
+{
+    /** Master switch. Off (default) is provably free: no telemetry
+     * stat is registered and no sampling site executes, so the stat
+     * tree is byte-identical to a build without this subsystem. */
+    bool enabled = false;
+    /** Sample host wall-clock quantities (engine barrier wait). These
+     * are the one nondeterministic telemetry source — like the
+     * harness's host_stats — so they default off; every other
+     * telemetry stat is a pure function of the simulated schedule. */
+    bool host_timing = false;
+};
+
+/**
+ * Fixed 64-bucket log2 histogram of nonnegative integer samples.
+ * Bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 holds exactly 0;
+ * the last bucket absorbs everything above 2^62.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned num_buckets = 64;
+
+    static unsigned
+    bucketIndex(std::uint64_t v)
+    {
+        const unsigned w = static_cast<unsigned>(std::bit_width(v));
+        return w < num_buckets ? w : num_buckets - 1;
+    }
+
+    /**
+     * Inclusive upper bound of bucket @p b. The last bucket's bound is
+     * clamped to 2^63 - 1 so every rendered value fits a JSON int.
+     */
+    static std::uint64_t
+    bucketUpperBound(unsigned b)
+    {
+        if (b == 0)
+            return 0;
+        if (b >= num_buckets - 1)
+            return (std::uint64_t{1} << 63) - 1;
+        return (std::uint64_t{1} << b) - 1;
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Element-wise add @p other into this histogram. Addition
+     * commutes, so any merge order yields identical contents. */
+    void
+    merge(const Histogram &other)
+    {
+        for (unsigned b = 0; b < num_buckets; ++b)
+            buckets_[b] += other.buckets_[b];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    /**
+     * Deterministic percentile: the inclusive upper bound of the first
+     * bucket whose cumulative count reaches ceil(count * pct / 100).
+     * Integer arithmetic only; 0 when empty. @p pct in [0, 100].
+     */
+    std::uint64_t
+    percentile(unsigned pct) const
+    {
+        if (count_ == 0)
+            return 0;
+        std::uint64_t target = (count_ * pct + 99) / 100;
+        if (target == 0)
+            target = 1;
+        std::uint64_t cum = 0;
+        for (unsigned b = 0; b < num_buckets; ++b) {
+            cum += buckets_[b];
+            if (cum >= target)
+                return bucketUpperBound(b);
+        }
+        return bucketUpperBound(num_buckets - 1);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+    const std::array<std::uint64_t, num_buckets> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, num_buckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Engine self-profiling record (DomainEngine::attachProfile). Filled
+ * at window barriers and, for barrier_wait_ns, from per-worker shards
+ * merged in worker-id order when the run ends. All members except
+ * barrier_wait_ns are pure functions of the simulated schedule, so
+ * they are identical across engines and thread counts; barrier_wait_ns
+ * is host wall time and only sampled when Options::host_timing is set.
+ */
+struct EngineProfile
+{
+    /** Lookahead windows executed (== barrier count). */
+    std::uint64_t windows = 0;
+    /** Events executed per domain per window. */
+    Histogram window_occupancy;
+    /** Cross-domain messages buffered per outbox at each exchange. */
+    Histogram outbox_depth;
+    /** Cross-domain messages exchanged per window (all outboxes). */
+    Histogram exchange_msgs;
+    /** Nanoseconds a worker spent blocked at window barriers, one
+     * sample per wait (parallel engine + host_timing only). */
+    Histogram barrier_wait_ns;
+    /** Sample wall-clock waits into barrier_wait_ns. */
+    bool host_timing = false;
+};
+
+} // namespace telemetry
+} // namespace carve
+
+#endif // CARVE_TELEMETRY_HISTOGRAM_HH

@@ -1,0 +1,85 @@
+#include "telemetry/telemetry.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace carve {
+namespace telemetry {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        out.append(buf, static_cast<std::size_t>(n));
+}
+
+/** Render a double the way Prometheus clients expect: integral values
+ * without a fraction, everything else with enough digits to round-trip. */
+void
+appendNumber(std::string &out, double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -1e15 && v <= 1e15) {
+        appendf(out, "%lld", static_cast<long long>(v));
+    } else {
+        appendf(out, "%.17g", v);
+    }
+}
+
+} // namespace
+
+void
+appendPrometheusValue(std::string &out, const std::string &family,
+                      const std::string &help, const std::string &type,
+                      double value)
+{
+    out += "# HELP " + family + " " + help + "\n";
+    out += "# TYPE " + family + " " + type + "\n";
+    out += family + " ";
+    appendNumber(out, value);
+    out += "\n";
+}
+
+void
+appendPrometheusHistogram(std::string &out, const std::string &family,
+                          const std::string &help, const Histogram &h,
+                          double scale)
+{
+    out += "# HELP " + family + " " + help + "\n";
+    out += "# TYPE " + family + " histogram\n";
+
+    // Find the last occupied bucket so the dump stays readable; the
+    // cumulative counts below make the elided tail redundant anyway.
+    unsigned last = 0;
+    for (unsigned b = 0; b < Histogram::num_buckets; ++b) {
+        if (h.buckets()[b] != 0)
+            last = b;
+    }
+
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b <= last; ++b) {
+        cum += h.buckets()[b];
+        const double le =
+            static_cast<double>(Histogram::bucketUpperBound(b)) * scale;
+        out += family + "_bucket{le=\"";
+        appendNumber(out, le);
+        appendf(out, "\"} %" PRIu64 "\n", cum);
+    }
+    appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", family.c_str(),
+            h.count());
+    out += family + "_sum ";
+    appendNumber(out, static_cast<double>(h.sum()) * scale);
+    out += "\n";
+    appendf(out, "%s_count %" PRIu64 "\n", family.c_str(), h.count());
+}
+
+} // namespace telemetry
+} // namespace carve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Runtime observability layer on top of telemetry/histogram.hh: the
+ * domain-sharded histogram (the ShardedScalar of distributions) and
+ * the Prometheus text-exposition renderer the carve-served metrics
+ * plane uses.
+ */
+
+#ifndef CARVE_TELEMETRY_TELEMETRY_HH
+#define CARVE_TELEMETRY_TELEMETRY_HH
+
+#include <array>
+#include <string>
+
+#include "common/domain_engine.hh"
+#include "telemetry/histogram.hh"
+
+namespace carve {
+namespace telemetry {
+
+/**
+ * A Histogram whose samples land in a per-domain shard mid-window and
+ * fold into the registered total at each barrier, exactly like
+ * ShardedScalar: samples from the barrier shard (single-threaded
+ * contexts) go to the total directly, and fold() merges every shard
+ * at window barriers. Histogram merge is element-wise addition, so
+ * the folded contents are independent of fold order and thread count.
+ */
+class ShardedHistogram
+{
+  public:
+    void
+    sample(std::uint64_t v)
+    {
+        const unsigned s = engine_ctx::current_shard;
+        if (s == engine_ctx::barrier_shard)
+            total_.sample(v);
+        else
+            shards_[s].h.sample(v);
+    }
+
+    /** Merge every shard into the total (window barriers only). */
+    void
+    fold()
+    {
+        for (Slot &s : shards_) {
+            if (s.h.count() == 0)
+                continue;
+            total_.merge(s.h);
+            s.h.reset();
+        }
+    }
+
+    /** The registered histogram; only coherent at window barriers. */
+    Histogram &histogram() { return total_; }
+    const Histogram &histogram() const { return total_; }
+
+  private:
+    /** Shards of one histogram are written by different worker
+     * threads in the same window; keep them on separate lines. */
+    struct alignas(64) Slot
+    {
+        Histogram h;
+    };
+
+    Histogram total_;
+    std::array<Slot, engine_ctx::barrier_shard> shards_{};
+};
+
+/**
+ * Append one Prometheus histogram family to @p out: cumulative
+ * le-buckets (microsecond samples scaled by @p scale into the unit
+ * the family name advertises), then _sum and _count. Empty trailing
+ * buckets are elided; the +Inf bucket is always emitted.
+ */
+void appendPrometheusHistogram(std::string &out,
+                               const std::string &family,
+                               const std::string &help,
+                               const Histogram &h, double scale);
+
+/** Append a gauge/counter family ("# TYPE" + one sample line). */
+void appendPrometheusValue(std::string &out, const std::string &family,
+                           const std::string &help,
+                           const std::string &type, double value);
+
+} // namespace telemetry
+} // namespace carve
+
+#endif // CARVE_TELEMETRY_TELEMETRY_HH

@@ -143,6 +143,100 @@ TEST(EngineIdentity, SpillJobWithUnifiedMemoryMatches)
     EXPECT_EQ(serial, statBytes(job));
 }
 
+// ---- telemetry ----------------------------------------------------
+
+TEST(EngineTelemetry, TelemetryOffIsByteIdenticalToDefault)
+{
+    // The master switch off must be provably free: the stat tree of
+    // a run with an explicit telemetry::Options{} equals one that
+    // never mentions telemetry, byte for byte (same guarantee the
+    // trace layer makes).
+    SimJob plain = gridJob(Preset::CarveHwc, "Lulesh");
+    const std::string baseline = statBytes(plain);
+
+    SimJob off = gridJob(Preset::CarveHwc, "Lulesh");
+    off.options.telemetry = telemetry::Options{};
+    EXPECT_EQ(baseline, statBytes(off));
+}
+
+TEST(EngineTelemetry, TelemetryOnIsIdenticalAcrossEnginesAndThreads)
+{
+    // With host_timing off, every telemetry sample is a pure
+    // function of the simulated schedule: histograms (bucket
+    // contents and rendered percentiles) must serialize identically
+    // for the serial engine and the parallel engine at every thread
+    // count, across a preset spread covering the RDC, replication
+    // and coherence paths.
+    const std::vector<Preset> presets = {
+        Preset::NumaGpu, Preset::NumaGpuReplRO, Preset::CarveHwc};
+    for (const Preset preset : presets) {
+        SimJob job = gridJob(preset, "Lulesh");
+        job.options.telemetry.enabled = true;
+        job.options.engine = SimEngine::Serial;
+        const std::string serial = statBytes(job);
+        ASSERT_GT(serial.size(), 100u) << presetName(preset);
+        // Telemetry stats actually made it into the tree.
+        EXPECT_NE(serial.find("park_duration"), std::string::npos);
+        EXPECT_NE(serial.find("engine.windows"), std::string::npos);
+
+        job.options.engine = SimEngine::Parallel;
+        for (const unsigned n : threadCounts()) {
+            job.options.sim_threads = n;
+            EXPECT_EQ(serial, statBytes(job))
+                << presetName(preset)
+                << " telemetry diverged at sim_threads=" << n;
+        }
+    }
+}
+
+TEST(EngineTelemetry, HostTimingPopulatesBarrierWaitsDeterministicallyNamed)
+{
+    // host_timing adds samples to engine.barrier_wait_ns (values are
+    // wall-clock, so only the name set and count semantics are
+    // checkable): parallel runs must record one sample per worker
+    // barrier crossing, serial runs keep the histogram registered but
+    // empty, and the stat NAME set must not depend on engine,
+    // threads, or host_timing — only on telemetry.enabled.
+    SimJob job = gridJob(Preset::CarveHwc, "Lulesh");
+    job.options.telemetry.enabled = true;
+    job.options.telemetry.host_timing = true;
+
+    job.options.engine = SimEngine::Serial;
+    const SimResult serial = run(job);
+    job.options.engine = SimEngine::Parallel;
+    job.options.sim_threads = threadCounts().back();
+    const SimResult parallel = run(job);
+
+    const auto names = [](const SimResult &r) {
+        std::set<std::string> out;
+        for (const auto &st : r.stat_tree)
+            out.insert(st.name);
+        return out;
+    };
+    EXPECT_EQ(names(serial), names(parallel));
+
+    const auto statValue = [](const SimResult &r,
+                              const std::string &name) {
+        for (const auto &st : r.stat_tree) {
+            if (st.name == name)
+                return st.u64;
+        }
+        return std::uint64_t{0};
+    };
+    // The serial engine has no window barriers to wait at.
+    EXPECT_EQ(statValue(serial, "engine.barrier_wait_ns.count"), 0u);
+    // The parallel engine crosses two barriers (start + done) per
+    // window per worker; with real multi-worker execution (a single
+    // worker degenerates to the serial loop) and any windows run,
+    // the count must be nonzero.
+    if (threadCounts().back() > 1 &&
+        statValue(parallel, "engine.windows") > 0) {
+        EXPECT_GT(statValue(parallel,
+                            "engine.barrier_wait_ns.count"),
+                  0u);
+    }
+}
+
 // ---- lookahead window ---------------------------------------------
 
 TEST(DomainEngine, LookaheadWindowTracksMinimumLinkLatency)

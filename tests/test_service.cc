@@ -458,6 +458,82 @@ TEST_F(ServiceTest, ServerAppliesBackpressureAndCancellation)
     serving.join();
 }
 
+TEST_F(ServiceTest, MetricsOpAnswersPrometheusTextExposition)
+{
+    const std::string dir = scratchDir("svc-metrics");
+    Server::Options opt;
+    opt.socket_path = dir + "/s.sock";
+    opt.threads = 1;
+    opt.cache_dir = dir + "/cache";
+    opt.quiet = true;
+
+    Server server(opt);
+    std::jthread serving([&] { server.serve(); });
+    auto client = connectRetry(opt.socket_path);
+    ASSERT_TRUE(client.has_value());
+
+    // Before any job: every family present, all counters zero.
+    std::string text = client->metrics();
+    ASSERT_FALSE(text.empty());
+    for (const char *family :
+         {"carve_uptime_seconds", "carve_worker_threads",
+          "carve_jobs_queued", "carve_jobs_in_flight",
+          "carve_jobs_submitted_total",
+          "carve_jobs_completed_total", "carve_jobs_failed_total",
+          "carve_memo_hits_total", "carve_cache_hits_total",
+          "carve_cache_misses_total", "carve_cache_bytes",
+          "carve_draining", "carve_job_latency_seconds"}) {
+        EXPECT_NE(text.find(std::string("# TYPE ") + family),
+                  std::string::npos)
+            << "missing family " << family;
+    }
+    EXPECT_NE(text.find("carve_jobs_completed_total 0\n"),
+              std::string::npos);
+
+    // One real run plus a memoized resubmit: counters and the
+    // latency histogram move, and the JSON stats endpoint reports
+    // the same figures (both read one snapshot path).
+    const JobSpec job = miniJob();
+    const SubmitReply s = client->submit(job);
+    ASSERT_TRUE(s.ok) << s.error;
+    const ResultReply r = client->result(s.id);
+    ASSERT_TRUE(r.ok) << r.error;
+    const SubmitReply again = client->submit(job);
+    ASSERT_TRUE(again.ok);
+    EXPECT_TRUE(again.cached);
+
+    // The disk store trails the Done transition by a beat (the
+    // worker persists after waking waiters); poll it in.
+    for (int i = 0; i < 250; ++i) {
+        text = client->metrics();
+        if (text.find("carve_cache_stores_total 1\n") !=
+            std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_NE(text.find("carve_jobs_completed_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("carve_memo_hits_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("carve_cache_stores_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("carve_job_latency_seconds_bucket{le=\"+Inf\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("carve_job_latency_seconds_count 1"),
+              std::string::npos);
+
+    const json::Value st = client->stats();
+    EXPECT_EQ(st.at("completed").asInt(), 1);
+    EXPECT_TRUE(st.at("job_latency").isObject());
+    EXPECT_EQ(st.at("job_latency").at("count").asInt(), 1);
+    EXPECT_GT(st.at("uptime_seconds").asDouble(), 0.0);
+    EXPECT_FALSE(st.at("draining").asBool());
+
+    server.requestDrain();
+    serving.join();
+}
+
 } // namespace
 } // namespace service
 } // namespace carve

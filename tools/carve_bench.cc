@@ -422,6 +422,18 @@ main(int argc, char **argv)
         on.options.trace.sample_interval = 1000;
         rep.cells.push_back(runCell(on));
 
+        // Telemetry-overhead cell: every latency histogram armed
+        // (MSHR park/miss lifetimes, link queue delay, remote-read
+        // latency, engine self-profiling), no host timing. The plain
+        // NUMA-GPU cell above is the denominator; the acceptance
+        // budget for always-on telemetry is a few percent of
+        // warp-insts/sec.
+        SimJob telem =
+            makePresetJob(Preset::NumaGpu, base, lulesh, opts);
+        telem.preset_label = "NUMA-GPU+telem-on";
+        telem.options.telemetry.enabled = true;
+        rep.cells.push_back(runCell(telem));
+
         // MSHR-saturated cell: tiny L1/L2 files keep the wake-lists
         // hot for the whole run. Its events column prices the
         // park/drain discipline — a regression back toward retry
@@ -451,6 +463,22 @@ main(int argc, char **argv)
             par.options.engine = SimEngine::Parallel;
             par.options.sim_threads = n;
             rep.cells.push_back(runCell(par));
+
+            // The same cell with full telemetry plus host-clock
+            // barrier-wait timing: the difference against the plain
+            // par<N> cell prices the engine's self-profiling, and a
+            // --telemetry-host-timing run of this shape is how
+            // ROADMAP's barrier-overhead question gets its numbers
+            // (engine.barrier_wait_ns in the stat tree).
+            SimJob part =
+                makePresetJob(Preset::CarveHwc, base, lulesh, opts);
+            part.preset_label =
+                "CARVE-HWC+par" + std::to_string(n) + "+telem";
+            part.options.engine = SimEngine::Parallel;
+            part.options.sim_threads = n;
+            part.options.telemetry.enabled = true;
+            part.options.telemetry.host_timing = true;
+            rep.cells.push_back(runCell(part));
         }
     }
 

@@ -62,6 +62,8 @@ struct CliOptions
     std::string compare_path;
     double tolerance = 0.05;
     bool trace = false;
+    bool telemetry = false;
+    bool telemetry_host_timing = false;
     std::string trace_categories = "all";
     std::string trace_out = "traces";
     std::uint64_t trace_capacity = 0;         ///< 0 == library default
@@ -129,6 +131,19 @@ usage()
         "                            repeated identical runs come\n"
         "                            back from the daemon's result\n"
         "                            cache without re-simulating\n"
+        "\n"
+        "telemetry:\n"
+        "  --telemetry               record latency histograms (MSHR\n"
+        "                            park/miss lifetimes, link queue\n"
+        "                            delay, remote-read latency) and\n"
+        "                            engine self-profiling counters\n"
+        "                            into the stat tree; deterministic\n"
+        "                            across --sim-threads values\n"
+        "  --telemetry-host-timing   also time parallel-engine barrier\n"
+        "                            waits with the host clock\n"
+        "                            (implies --telemetry; makes the\n"
+        "                            engine.barrier_wait_ns stats\n"
+        "                            host-dependent)\n"
         "\n"
         "tracing:\n"
         "  --trace                   write one Chrome trace-event\n"
@@ -284,6 +299,11 @@ parseArgs(int argc, char **argv)
             cli.overrides.push_back(need(i, "--set"));
         } else if (a == "--profile-lines") {
             cli.profile_lines = true;
+        } else if (a == "--telemetry") {
+            cli.telemetry = true;
+        } else if (a == "--telemetry-host-timing") {
+            cli.telemetry = true;
+            cli.telemetry_host_timing = true;
         } else if (a == "--trace") {
             cli.trace = true;
         } else if (a == "--trace-categories") {
@@ -424,9 +444,11 @@ runViaServer(const std::vector<RunSpec> &specs, const CliOptions &cli)
 }
 
 /** Run @p specs via --server when set (with in-process fallback),
- * locally otherwise. */
+ * locally otherwise. @p telemetry (may be null) is filled only for
+ * local execution — served runs burn their wall time daemon-side. */
 std::vector<RunResult>
-executeSpecs(const std::vector<RunSpec> &specs, const CliOptions &cli)
+executeSpecs(const std::vector<RunSpec> &specs, const CliOptions &cli,
+             SweepTelemetry *telemetry)
 {
     if (!cli.server_path.empty()) {
         auto served = runViaServer(specs, cli);
@@ -438,9 +460,34 @@ executeSpecs(const std::vector<RunSpec> &specs, const CliOptions &cli)
     }
     SweepOptions sweep;
     sweep.threads = cli.threads;
+    sweep.telemetry = telemetry;
     if (!cli.quiet)
         sweep.on_progress = makeProgress();
     return runSweep(specs, sweep);
+}
+
+/** Render harness telemetry as the flat "harness" results member
+ * (dotted keys, mirroring the flattened stat-tree spelling). */
+json::Value
+harnessJson(const SweepTelemetry &t)
+{
+    json::Members m;
+    for (std::size_t w = 0; w < t.workers.size(); ++w) {
+        const std::string prefix =
+            "worker." + std::to_string(w) + ".";
+        m.emplace_back(prefix + "jobs_run",
+                       json::Value{t.workers[w].jobs_run});
+        m.emplace_back(prefix + "numa_node",
+                       json::Value{t.workers[w].numa_node});
+    }
+    const telemetry::Histogram &h = t.job_wall_us;
+    m.emplace_back("job_wall_us.count", json::Value{h.count()});
+    m.emplace_back("job_wall_us.max", json::Value{h.max()});
+    m.emplace_back("job_wall_us.p50", json::Value{h.percentile(50)});
+    m.emplace_back("job_wall_us.p95", json::Value{h.percentile(95)});
+    m.emplace_back("job_wall_us.p99", json::Value{h.percentile(99)});
+    m.emplace_back("job_wall_us.sum", json::Value{h.sum()});
+    return json::Value{std::move(m)};
 }
 
 int
@@ -510,6 +557,11 @@ main(int argc, char **argv)
         fatal("--trace cannot be combined with --server: trace files "
               "would be written on the daemon side");
 
+    if (cli.telemetry && !cli.server_path.empty())
+        fatal("--telemetry cannot be combined with --server: served "
+              "job specs do not carry telemetry options (scrape the "
+              "daemon's own metrics with carve-top instead)");
+
     // Read the baseline up-front: a missing or unparsable file must
     // fail the invocation immediately, not after the whole sweep has
     // been simulated.
@@ -549,8 +601,10 @@ main(int argc, char **argv)
             specs.back().host_stats = cli.host_stats;
         }
 
-        const std::vector<RunResult> results =
-            executeSpecs(specs, cli);
+        SweepTelemetry fuzz_telemetry;
+        const std::vector<RunResult> results = executeSpecs(
+            specs, cli,
+            cli.host_stats ? &fuzz_telemetry : nullptr);
 
         unsigned bad = 0;
         for (std::size_t i = 0; i < results.size(); ++i) {
@@ -571,6 +625,8 @@ main(int argc, char **argv)
             for (const FuzzSpec &f : fuzzes)
                 for (const std::string &o : f.overrides)
                     meta.overrides.push_back(o);
+            if (cli.host_stats && !fuzz_telemetry.workers.empty())
+                meta.harness = harnessJson(fuzz_telemetry);
             writeResultsFile(cli.out_path,
                              sweepToJson(meta, results));
             std::fprintf(stderr,
@@ -623,6 +679,8 @@ main(int argc, char **argv)
     opts.max_wall_seconds = cli.max_wall_seconds;
     opts.profile_lines = cli.profile_lines;
     opts.audit = cli.audit;
+    opts.telemetry.enabled = cli.telemetry;
+    opts.telemetry.host_timing = cli.telemetry_host_timing;
 
     if (cli.trace) {
         opts.trace.enabled = true;
@@ -655,7 +713,9 @@ main(int argc, char **argv)
                  cli.threads == 0 ? ThreadPool::hardwareThreads()
                                   : cli.threads);
 
-    const std::vector<RunResult> results = executeSpecs(specs, cli);
+    SweepTelemetry sweep_telemetry;
+    const std::vector<RunResult> results = executeSpecs(
+        specs, cli, cli.host_stats ? &sweep_telemetry : nullptr);
 
     unsigned bad = 0;
     for (const auto &r : results) {
@@ -672,6 +732,11 @@ main(int argc, char **argv)
     meta.memory_scale = cli.scale;
     meta.duration = cli.duration;
     meta.overrides = cli.overrides;
+    // Worker-load facts are host-dependent, so they ride the same
+    // opt-out as sim.wall_seconds: --no-host-stats keeps results
+    // byte-reproducible. Served sweeps leave the record empty.
+    if (cli.host_stats && !sweep_telemetry.workers.empty())
+        meta.harness = harnessJson(sweep_telemetry);
     const json::Value doc = sweepToJson(meta, results);
 
     if (!cli.out_path.empty()) {

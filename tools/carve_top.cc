@@ -1,0 +1,277 @@
+/**
+ * @file
+ * carve-top: terminal dashboard for a running carve-served daemon.
+ *
+ * Speaks the NDJSON protocol's "metrics" op, which answers with a
+ * Prometheus text-exposition dump of every live counter (see
+ * Server::metricsPrometheus()), and renders it as a compact status
+ * panel: queue and in-flight gauges, job and cache counters, and the
+ * job-latency distribution. One-shot by default; --watch redraws in
+ * place until interrupted; --raw prints the Prometheus text verbatim
+ * (for piping into a scrape validator or file).
+ *
+ * Examples:
+ *   carve-top --socket /tmp/carve.sock
+ *   carve-top --socket /tmp/carve.sock --watch --interval 1
+ *   carve-top --socket /tmp/carve.sock --raw > metrics.prom
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "service/client.hh"
+
+namespace {
+
+using namespace carve;
+
+struct CliOptions
+{
+    std::string socket_path = "carve-served.sock";
+    bool watch = false;
+    double interval = 2.0;
+    bool raw = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: carve-top [options]\n"
+        "\n"
+        "  --socket PATH   carve-served socket to scrape (default\n"
+        "                  carve-served.sock)\n"
+        "  --watch         redraw every --interval seconds until\n"
+        "                  interrupted\n"
+        "  --interval S    refresh period for --watch (default 2)\n"
+        "  --raw           print the Prometheus text dump verbatim\n"
+        "                  instead of the panel\n"
+        "  --help          this text\n");
+}
+
+/**
+ * Parsed form of one Prometheus dump: plain samples by family name,
+ * histogram buckets by family name as (le, cumulative count) pairs.
+ * Comment lines ("# HELP", "# TYPE") are skipped; this only needs to
+ * read back what Server::metricsPrometheus() writes.
+ */
+struct Metrics
+{
+    std::unordered_map<std::string, double> values;
+    std::unordered_map<std::string,
+                       std::vector<std::pair<double, double>>>
+        buckets;
+
+    double
+    value(const std::string &family) const
+    {
+        const auto it = values.find(family);
+        return it == values.end() ? 0.0 : it->second;
+    }
+};
+
+Metrics
+parseMetrics(const std::string &text)
+{
+    Metrics m;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        const std::string name = line.substr(0, sp);
+        const double val = std::strtod(line.c_str() + sp + 1,
+                                       nullptr);
+        const std::size_t brace = name.find('{');
+        if (brace == std::string::npos) {
+            m.values[name] = val;
+            continue;
+        }
+        // Only one label is ever emitted: le="..." on buckets.
+        // Strip the "_bucket" suffix so buckets file under the
+        // family name the panel looks up.
+        std::string family = name.substr(0, brace);
+        constexpr const char *suffix = "_bucket";
+        const std::size_t slen = 7;
+        if (family.size() > slen &&
+            family.compare(family.size() - slen, slen, suffix) == 0)
+            family.resize(family.size() - slen);
+        const std::size_t q1 = name.find('"', brace);
+        const std::size_t q2 =
+            q1 == std::string::npos ? std::string::npos
+                                    : name.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        const std::string le = name.substr(q1 + 1, q2 - q1 - 1);
+        const double bound =
+            le == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::strtod(le.c_str(), nullptr);
+        m.buckets[family].emplace_back(bound, val);
+    }
+    return m;
+}
+
+/** Smallest bucket bound whose cumulative count covers @p pct
+ * percent of the samples; 0 when the histogram is empty. */
+double
+bucketPercentile(
+    const std::vector<std::pair<double, double>> &buckets,
+    double pct)
+{
+    if (buckets.empty())
+        return 0.0;
+    const double total = buckets.back().second;
+    if (total <= 0.0)
+        return 0.0;
+    const double target = total * pct / 100.0;
+    for (const auto &[le, cum] : buckets) {
+        if (cum >= target)
+            return le;
+    }
+    return buckets.back().first;
+}
+
+std::string
+formatSeconds(double s)
+{
+    char buf[64];
+    if (s >= 3600.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+    } else if (s >= 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fm", s / 60.0);
+    } else if (s >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0fms", s * 1000.0);
+    }
+    return buf;
+}
+
+void
+renderPanel(const std::string &socket, const Metrics &m)
+{
+    const double completed = m.value("carve_jobs_completed_total");
+    std::printf("carve-served @ %s — up %s, %u worker thread(s)%s\n",
+                socket.c_str(),
+                formatSeconds(m.value("carve_uptime_seconds"))
+                    .c_str(),
+                static_cast<unsigned>(
+                    m.value("carve_worker_threads")),
+                m.value("carve_draining") != 0.0 ? ", DRAINING"
+                                                 : "");
+    std::printf(
+        "jobs     queued %-6.0f in-flight %-6.0f submitted %-8.0f"
+        "completed %-8.0ffailed %-6.0f cancelled %.0f\n",
+        m.value("carve_jobs_queued"),
+        m.value("carve_jobs_in_flight"),
+        m.value("carve_jobs_submitted_total"), completed,
+        m.value("carve_jobs_failed_total"),
+        m.value("carve_jobs_cancelled_total"));
+    std::printf(
+        "cache    %-7s hits %-9.0f misses %-7.0f stores %-7.0f "
+        "evicted %-6.0f %.1f MiB in %.0f entries\n",
+        m.value("carve_cache_enabled") != 0.0 ? "on" : "off",
+        m.value("carve_cache_hits_total"),
+        m.value("carve_cache_misses_total"),
+        m.value("carve_cache_stores_total"),
+        m.value("carve_cache_evictions_total"),
+        m.value("carve_cache_bytes") / (1024.0 * 1024.0),
+        m.value("carve_cache_entries"));
+    std::printf(
+        "clients  connections %-6.0f memo hits %-6.0f queue limit "
+        "%.0f\n",
+        m.value("carve_connections_total"),
+        m.value("carve_memo_hits_total"),
+        m.value("carve_queue_depth_limit"));
+
+    const auto it = m.buckets.find("carve_job_latency_seconds");
+    if (it != m.buckets.end() && completed > 0.0) {
+        const double mean =
+            m.value("carve_job_latency_seconds_sum") / completed;
+        std::printf(
+            "latency  mean %-8s p50 <= %-8s p95 <= %-8s "
+            "p99 <= %s\n",
+            formatSeconds(mean).c_str(),
+            formatSeconds(bucketPercentile(it->second, 50.0))
+                .c_str(),
+            formatSeconds(bucketPercentile(it->second, 95.0))
+                .c_str(),
+            formatSeconds(bucketPercentile(it->second, 99.0))
+                .c_str());
+    } else {
+        std::printf("latency  no completed runs yet\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    const auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("%s requires an argument", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            cli.socket_path = need(i, "--socket");
+        } else if (a == "--watch") {
+            cli.watch = true;
+        } else if (a == "--interval") {
+            cli.interval =
+                std::strtod(need(i, "--interval").c_str(), nullptr);
+            if (cli.interval <= 0.0)
+                fatal("--interval: expected a positive number of "
+                      "seconds");
+        } else if (a == "--raw") {
+            cli.raw = true;
+        } else {
+            fatal("unknown flag '%s' (see --help)", a.c_str());
+        }
+    }
+
+    auto client = service::Client::connect(cli.socket_path);
+    if (!client)
+        fatal("no carve-served daemon answering on '%s'",
+              cli.socket_path.c_str());
+
+    while (true) {
+        const std::string text = client->metrics();
+        if (text.empty())
+            fatal("carve-top: daemon at '%s' stopped answering",
+                  cli.socket_path.c_str());
+        if (cli.raw) {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            if (cli.watch)
+                std::fputs("\033[H\033[2J", stdout);  // home+clear
+            renderPanel(cli.socket_path, parseMetrics(text));
+        }
+        std::fflush(stdout);
+        if (!cli.watch)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cli.interval));
+    }
+    return 0;
+}
